@@ -1,0 +1,32 @@
+//! Substrate micro-benches: global truss decomposition, k-core
+//! decomposition, and triangle listing — the building blocks whose costs
+//! appear in every complexity bound of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sd_graph::triangles::{edge_support, triangle_count};
+use sd_truss::{core_decomposition, truss_decomposition};
+
+fn bench_decomposition(c: &mut Criterion) {
+    let dataset = sd_datasets::dataset("wiki-vote-syn").expect("registry");
+    let g = dataset.generate(0.15);
+
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("triangle_count", g.m()), &g, |b, g| {
+        b.iter(|| triangle_count(g))
+    });
+    group.bench_with_input(BenchmarkId::new("edge_support", g.m()), &g, |b, g| {
+        b.iter(|| edge_support(g))
+    });
+    group.bench_with_input(BenchmarkId::new("truss_decomposition", g.m()), &g, |b, g| {
+        b.iter(|| truss_decomposition(g))
+    });
+    group.bench_with_input(BenchmarkId::new("core_decomposition", g.m()), &g, |b, g| {
+        b.iter(|| core_decomposition(g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

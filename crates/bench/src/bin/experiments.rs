@@ -1,0 +1,65 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <name> [--scale X] [--mc N] [--seed S]
+//!
+//! <name>   one of: table1 fig3 table2 fig8 fig9 fig10 table3 table4
+//!          fig11 fig12 fig13 fig14 fig15 table5 case-study all
+//! --scale  dataset scale in (0, 1]   (default 0.25)
+//! --mc     Monte-Carlo cascade samples (default 2000; paper used 10000)
+//! --seed   RNG seed for effectiveness experiments (default 0xD1CE)
+//! ```
+
+use sd_bench::experiments::{run, ExpContext, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExpContext::default();
+    let mut name: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = iter.next().and_then(|s| s.parse::<f64>().ok());
+                match v {
+                    Some(s) if s > 0.0 && s <= 1.0 => ctx.scale = s,
+                    _ => return usage("--scale expects a number in (0, 1]"),
+                }
+            }
+            "--mc" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => ctx.mc_samples = n,
+                _ => return usage("--mc expects a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => ctx.seed = s,
+                _ => return usage("--seed expects an integer"),
+            },
+            "--p" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(p) if p > 0.0 && p <= 1.0 => ctx.ic_p = p,
+                _ => return usage("--p expects a probability in (0, 1]"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(name) = name else {
+        return usage("missing experiment name");
+    };
+    eprintln!(
+        "[ctx] scale={} mc_samples={} ic_p={} seed={:#x}",
+        ctx.scale, ctx.mc_samples, ctx.ic_p, ctx.seed
+    );
+    if !run(&name, &ctx) {
+        usage(&format!("unknown experiment {name:?}"));
+        std::process::exit(1);
+    }
+}
+
+fn usage(err: &str) {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: experiments <name> [--scale X] [--mc N] [--seed S]");
+    eprintln!("  names: {} all", EXPERIMENTS.join(" "));
+}

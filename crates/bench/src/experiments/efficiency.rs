@@ -1,0 +1,315 @@
+//! Efficiency experiments: Tables 1–4, Figures 3 and 8–12.
+
+use std::time::Duration;
+
+use sd_core::{
+    bound_top_r, online_top_r, DiversityConfig, GctIndex, HybridIndex, TsdIndex,
+};
+use sd_datasets::{registry, PowerLawConfig};
+use sd_graph::stats::GraphStats;
+use sd_truss::{trussness_histogram, truss_decomposition, vertex_trussness};
+
+use crate::table::Table;
+use crate::timing::{fmt_bytes, fmt_duration, time_it};
+
+use super::ExpContext;
+
+/// Table 1: network statistics (n, m, d_max, τ*_G, τ*_ego, T) for every
+/// dataset, side by side with the paper's values.
+pub fn table1(ctx: &ExpContext) {
+    let mut t = Table::new([
+        "Name", "|V|", "|E|", "dmax", "tau*_G", "tau*_ego", "T",
+        "paper(|V|)", "paper(|E|)", "paper(T)",
+    ]);
+    for d in registry() {
+        let g = ctx.load(&d);
+        let stats = GraphStats::compute(&g);
+        let decomposition = truss_decomposition(&g);
+        let tau_ego = max_ego_trussness(&g);
+        t.row([
+            d.name.to_string(),
+            stats.n.to_string(),
+            stats.m.to_string(),
+            stats.d_max.to_string(),
+            decomposition.max_trussness.to_string(),
+            tau_ego.to_string(),
+            stats.triangles.to_string(),
+            d.paper.n.to_string(),
+            d.paper.m.to_string(),
+            d.paper.triangles.to_string(),
+        ]);
+    }
+    println!("\nTable 1: Network statistics (ours vs paper)\n{}", t.render());
+}
+
+/// `τ*_ego = max_v max_e τ_{GN(v)}(e)`: the largest edge trussness across all
+/// ego-networks. In both the paper's Table 1 and here this is `τ*_G − 1`:
+/// dropping the hub from its densest truss loses exactly one level.
+fn max_ego_trussness(g: &sd_graph::CsrGraph) -> u32 {
+    let mut best = 0u32;
+    for v in g.vertices() {
+        let ego = sd_core::EgoNetwork::extract(g, v);
+        if ego.graph.m() == 0 {
+            continue;
+        }
+        let d = truss_decomposition(&ego.graph);
+        best = best.max(d.max_trussness);
+    }
+    best
+}
+
+/// Figure 3: edge-trussness distribution on the four paper graphs.
+pub fn fig3(ctx: &ExpContext) {
+    println!("\nFigure 3: number of edges per trussness value");
+    for name in ["wiki-vote-syn", "email-enron-syn", "gowalla-syn", "epinions-syn"] {
+        let d = sd_datasets::dataset(name).expect("registry");
+        let g = ctx.load(&d);
+        let decomposition = truss_decomposition(&g);
+        let hist = trussness_histogram(&decomposition);
+        let mut t = Table::new(["trussness", "edges"]);
+        for (k, &count) in hist.iter().enumerate().skip(2) {
+            if count > 0 {
+                t.row([k.to_string(), count.to_string()]);
+            }
+        }
+        println!("\n--- {name} ---\n{}", t.render());
+    }
+}
+
+/// Table 2: running time and search space of baseline / bound / TSD with
+/// the speed-up ratio `R_t` and pruning ratio `R_s` (k = 3, r = 100).
+pub fn table2(ctx: &ExpContext) {
+    let cfg = DiversityConfig::new(3, 100);
+    let mut t = Table::new([
+        "Network", "baseline", "bound", "TSD", "Rt",
+        "SS(baseline)", "SS(bound)", "SS(TSD)", "Rs",
+    ]);
+    for d in registry() {
+        let g = ctx.load(&d);
+        let base = online_top_r(&g, &cfg);
+        let bound = bound_top_r(&g, &cfg);
+        let (index, _) = time_it(|| TsdIndex::build(&g));
+        let tsd = index.top_r(&g, &cfg);
+        assert_eq!(base.scores(), bound.scores(), "{}: bound mismatch", d.name);
+        assert_eq!(base.scores(), tsd.scores(), "{}: tsd mismatch", d.name);
+        let rt = base.metrics.elapsed.as_secs_f64() / tsd.metrics.elapsed.as_secs_f64().max(1e-9);
+        let rs = base.metrics.score_computations as f64
+            / tsd.metrics.score_computations.max(1) as f64;
+        t.row([
+            d.name.to_string(),
+            fmt_duration(base.metrics.elapsed),
+            fmt_duration(bound.metrics.elapsed),
+            fmt_duration(tsd.metrics.elapsed),
+            format!("{rt:.0}"),
+            base.metrics.score_computations.to_string(),
+            bound.metrics.score_computations.to_string(),
+            tsd.metrics.score_computations.to_string(),
+            format!("{rs:.1}"),
+        ]);
+    }
+    println!("\nTable 2: time & search space, k=3 r=100 (TSD query time excludes index build)\n{}", t.render());
+}
+
+/// Figure 8: running time of all six methods varied by k (r = 100).
+pub fn fig8(ctx: &ExpContext) {
+    for d in ctx.figure_datasets() {
+        let g = ctx.load(&d);
+        let tsd = TsdIndex::build(&g);
+        let gct = GctIndex::build(&g);
+        let mut t = Table::new(["k", "baseline", "bound", "TSD", "GCT", "Comp-Div", "Core-Div"]);
+        for k in 2..=6u32 {
+            let cfg = DiversityConfig::new(k, 100);
+            let base = online_top_r(&g, &cfg);
+            let bnd = bound_top_r(&g, &cfg);
+            let tq = tsd.top_r(&g, &cfg);
+            let gq = gct.top_r(&cfg);
+            let comp = sd_core::baselines::comp_div_top_r(&g, &cfg);
+            let core = sd_core::baselines::core_div_top_r(&g, &cfg);
+            t.row([
+                k.to_string(),
+                fmt_duration(base.metrics.elapsed),
+                fmt_duration(bnd.metrics.elapsed),
+                fmt_duration(tq.metrics.elapsed),
+                fmt_duration(gq.metrics.elapsed),
+                fmt_duration(comp.metrics.elapsed),
+                fmt_duration(core.metrics.elapsed),
+            ]);
+        }
+        println!("\nFigure 8 ({}): running time vs k, r=100\n{}", d.name, t.render());
+    }
+}
+
+/// Figure 9: search space of baseline / bound / TSD varied by k (r = 100).
+pub fn fig9(ctx: &ExpContext) {
+    for d in ctx.figure_datasets() {
+        let g = ctx.load(&d);
+        let tsd = TsdIndex::build(&g);
+        let mut t = Table::new(["k", "baseline", "bound", "TSD"]);
+        for k in 2..=6u32 {
+            let cfg = DiversityConfig::new(k, 100);
+            let base = online_top_r(&g, &cfg);
+            let bnd = bound_top_r(&g, &cfg);
+            let tq = tsd.top_r(&g, &cfg);
+            t.row([
+                k.to_string(),
+                base.metrics.score_computations.to_string(),
+                bnd.metrics.score_computations.to_string(),
+                tq.metrics.score_computations.to_string(),
+            ]);
+        }
+        println!("\nFigure 9 ({}): search space vs k, r=100\n{}", d.name, t.render());
+    }
+}
+
+/// Figure 10: TSD query time varied by r for k ∈ {3, 4, 5}.
+pub fn fig10(ctx: &ExpContext) {
+    for d in ctx.figure_datasets() {
+        let g = ctx.load(&d);
+        let tsd = TsdIndex::build(&g);
+        let mut t = Table::new(["r", "k=3", "k=4", "k=5"]);
+        for r in [50usize, 100, 150, 200, 250, 300] {
+            let mut cells = vec![r.to_string()];
+            for k in [3u32, 4, 5] {
+                let res = tsd.top_r(&g, &DiversityConfig::new(k, r));
+                cells.push(fmt_duration(res.metrics.elapsed));
+            }
+            t.row(cells);
+        }
+        println!("\nFigure 10 ({}): TSD query time vs r\n{}", d.name, t.render());
+    }
+}
+
+/// Table 3: index size, construction time and query time — TSD vs GCT.
+pub fn table3(ctx: &ExpContext) {
+    let cfg = DiversityConfig::new(3, 100);
+    let mut t = Table::new([
+        "Network", "graph", "TSD size", "GCT size", "TSD build", "GCT build",
+        "TSD query", "GCT query",
+    ]);
+    for d in registry() {
+        let g = ctx.load(&d);
+        let (tsd, tsd_build) = time_it(|| TsdIndex::build(&g));
+        let (gct, gct_build) = time_it(|| GctIndex::build(&g));
+        let tsd_query = tsd.top_r(&g, &cfg).metrics.elapsed;
+        let gct_query = gct.top_r(&cfg).metrics.elapsed;
+        t.row([
+            d.name.to_string(),
+            fmt_bytes(g.heap_bytes()),
+            fmt_bytes(tsd.index_size_bytes()),
+            fmt_bytes(gct.index_size_bytes()),
+            fmt_duration(tsd_build),
+            fmt_duration(gct_build),
+            fmt_duration(tsd_query),
+            fmt_duration(gct_query),
+        ]);
+    }
+    println!("\nTable 3: TSD vs GCT indexing (k=3, r=100 queries)\n{}", t.render());
+}
+
+/// Table 4: ego-network extraction and ego-network truss decomposition time
+/// for TSD (per-vertex) vs GCT (one-shot global + bitmap).
+pub fn table4(ctx: &ExpContext) {
+    let mut t = Table::new([
+        "Network", "extract(TSD)", "extract(GCT)", "decomp(TSD)", "decomp(GCT)",
+    ]);
+    for d in registry() {
+        let g = ctx.load(&d);
+        let (_, tsd_stats) = TsdIndex::build_with_stats(&g);
+        let (_, gct_stats) = GctIndex::build_with_stats(&g);
+        t.row([
+            d.name.to_string(),
+            fmt_duration(tsd_stats.extraction),
+            fmt_duration(gct_stats.extraction),
+            fmt_duration(tsd_stats.decomposition),
+            fmt_duration(gct_stats.decomposition),
+        ]);
+    }
+    println!("\nTable 4: ego-network phases, TSD vs GCT\n{}", t.render());
+}
+
+/// Figure 11: Hybrid vs GCT query time varied by r (k = 3).
+pub fn fig11(ctx: &ExpContext) {
+    for d in ctx.figure_datasets() {
+        let g = ctx.load(&d);
+        let tsd = TsdIndex::build(&g);
+        let hybrid = HybridIndex::build_from_tsd(&tsd);
+        let gct = GctIndex::build(&g);
+        let mut t = Table::new(["r", "Hybrid", "GCT"]);
+        for r in [1usize, 60, 120, 180, 240, 300] {
+            let cfg = DiversityConfig::new(3, r);
+            let h = hybrid.top_r(&g, &cfg);
+            let q = gct.top_r(&cfg);
+            assert_eq!(h.scores(), q.scores(), "{} r={r}", d.name);
+            t.row([
+                r.to_string(),
+                fmt_duration(h.metrics.elapsed),
+                fmt_duration(q.metrics.elapsed),
+            ]);
+        }
+        println!("\nFigure 11 ({}): Hybrid vs GCT query time vs r, k=3\n{}", d.name, t.render());
+    }
+}
+
+/// Figure 12: scalability of TSD-index construction and TSD search on
+/// power-law graphs with `|E| = 5|V|`.
+pub fn fig12(ctx: &ExpContext) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let base_sizes = [20_000usize, 40_000, 60_000, 80_000, 100_000];
+    let mut t = Table::new(["|V|", "|E|", "index build", "TSD top-r (k=3,r=100)"]);
+    for &base in &base_sizes {
+        let n = ((base as f64) * (ctx.scale / 0.25).max(0.05)) as usize;
+        let n = n.max(2_000);
+        let mut rng = StdRng::seed_from_u64(0xF12 + n as u64);
+        let g = sd_datasets::powerlaw_graph(&PowerLawConfig::paper_scalability(n), &mut rng);
+        let (index, build) = time_it(|| TsdIndex::build(&g));
+        let q = index.top_r(&g, &DiversityConfig::new(3, 100));
+        t.row([
+            g.n().to_string(),
+            g.m().to_string(),
+            fmt_duration(build),
+            fmt_duration(q.metrics.elapsed),
+        ]);
+    }
+    println!("\nFigure 12: scalability on power-law graphs (|E| = 5|V|)\n{}", t.render());
+}
+
+/// Figure 18: the TSD-index vs TCP-index semantic comparison on the paper's
+/// witness graph (Section 8.2).
+pub fn fig18(_ctx: &ExpContext) {
+    use sd_core::{paper_figure18_graph, TcpIndex};
+    let (g, q1, names) = paper_figure18_graph();
+    let tcp = TcpIndex::build(&g);
+    let tsd = TsdIndex::build(&g);
+
+    println!("\nFigure 18: per-vertex forests of q1 under both indexes");
+    let mut t = Table::new(["edge", "TCP weight (global)", "TSD weight (ego)"]);
+    let label = |v: u32| names[v as usize];
+    let mut tsd_edges: Vec<(u32, u32, u32)> = tsd.forest(q1).collect();
+    tsd_edges.sort_unstable_by_key(|&(u, w, _)| (u, w));
+    for (u, w, tsd_w) in tsd_edges {
+        let tcp_w = tcp
+            .forest_weight(q1, u, w)
+            .map(|x| x.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        t.row([format!("({}, {})", label(u), label(w)), tcp_w, tsd_w.to_string()]);
+    }
+    println!("{}", t.render());
+    println!(
+        "TCP says (q2,q3) joins a global 4-truss community; TSD says that inside \
+         GN(q1) it is only a maximal connected 2-truss — the local semantics the \
+         diversity model needs."
+    );
+}
+
+/// Quick sanity helper for the whole-suite smoke test: total wall time of a
+/// tiny run (used by tests, not the CLI).
+pub fn smoke(ctx: &ExpContext) -> Duration {
+    let d = sd_datasets::dataset("wiki-vote-syn").expect("registry");
+    let g = ctx.load(&d);
+    let (_, took) = time_it(|| {
+        let _ = truss_decomposition(&g);
+        let _ = vertex_trussness(&g, &truss_decomposition(&g));
+    });
+    took
+}

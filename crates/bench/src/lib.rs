@@ -1,0 +1,13 @@
+//! # sd-bench — experiment harness utilities
+//!
+//! Shared plumbing for the `experiments` binary and the Criterion benches:
+//! dataset caching, timing helpers, and table formatting. The experiments
+//! themselves live in [`experiments`]; each function regenerates one table
+//! or figure of the paper.
+
+pub mod experiments;
+pub mod table;
+pub mod timing;
+
+pub use table::Table;
+pub use timing::time_it;

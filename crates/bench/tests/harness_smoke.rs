@@ -1,0 +1,48 @@
+//! Smoke tests for the experiment harness: every experiment function must
+//! run to completion at miniature scale (catches panics from dataset/
+//! algorithm interface drift before the long recorded runs).
+
+use sd_bench::experiments::{run, ExpContext, EXPERIMENTS};
+
+fn tiny_ctx() -> ExpContext {
+    ExpContext { scale: 0.004, mc_samples: 20, ic_p: 0.05, seed: 7 }
+}
+
+#[test]
+fn dispatch_rejects_unknown_names() {
+    assert!(!run("no-such-experiment", &tiny_ctx()));
+}
+
+#[test]
+fn fig18_runs() {
+    assert!(run("fig18", &tiny_ctx()));
+}
+
+#[test]
+fn case_study_runs() {
+    assert!(run("case-study", &tiny_ctx()));
+}
+
+#[test]
+fn table5_runs() {
+    assert!(run("table5", &tiny_ctx()));
+}
+
+#[test]
+fn fig12_runs_scaled_down() {
+    assert!(run("fig12", &tiny_ctx()));
+}
+
+#[test]
+fn experiment_list_is_complete() {
+    // Every listed experiment dispatches (this loops through the quick ones;
+    // heavy ones are covered by the recorded runs).
+    for name in EXPERIMENTS {
+        assert!(
+            ["table1", "fig3", "table2", "fig8", "fig9", "fig10", "table3", "table4", "fig11",
+             "fig12", "fig13", "fig14", "fig15", "table5", "case-study", "fig18"]
+                .contains(name),
+            "unknown experiment in list: {name}"
+        );
+    }
+}

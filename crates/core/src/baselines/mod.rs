@@ -1,0 +1,11 @@
+//! Competitor structural diversity models (Section 7's effectiveness and
+//! efficiency baselines): component-based [7, 21], core-based [20], and
+//! random selection.
+
+pub mod comp_div;
+pub mod core_div;
+pub mod random;
+
+pub use comp_div::{comp_div_scores, comp_div_top_r};
+pub use core_div::{core_div_scores, core_div_top_r};
+pub use random::random_top_r;

@@ -1,0 +1,50 @@
+//! Random vertex selection — the null model of the effectiveness
+//! experiments (Figure 14).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use sd_graph::{CsrGraph, VertexId};
+
+/// Picks `r` distinct vertices uniformly at random (all of them if `r ≥ n`).
+pub fn random_top_r(g: &CsrGraph, r: usize, rng: &mut impl Rng) -> Vec<VertexId> {
+    let mut vertices: Vec<VertexId> = g.vertices().collect();
+    vertices.shuffle(rng);
+    vertices.truncate(r.min(g.n()));
+    vertices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_graph::GraphBuilder;
+
+    #[test]
+    fn returns_distinct_vertices() {
+        let g = GraphBuilder::with_min_vertices(50).extend_edges([(0, 1)]).build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks = random_top_r(&g, 20, &mut rng);
+        assert_eq!(picks.len(), 20);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+    }
+
+    #[test]
+    fn clamps_to_n() {
+        let g = GraphBuilder::with_min_vertices(5).extend_edges([(0, 1)]).build();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(random_top_r(&g, 100, &mut rng).len(), 5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = GraphBuilder::with_min_vertices(30).extend_edges([(0, 1)]).build();
+        let a = random_top_r(&g, 10, &mut StdRng::seed_from_u64(42));
+        let b = random_top_r(&g, 10, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

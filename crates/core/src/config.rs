@@ -1,0 +1,103 @@
+//! Query configuration and search metrics.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use sd_graph::VertexId;
+
+/// Parameters of a top-r truss-based structural diversity query
+/// (Section 2.3): trussness threshold `k ≥ 2` and result size `r ≥ 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct DiversityConfig {
+    /// Trussness threshold; the paper requires `k ≥ 2`.
+    pub k: u32,
+    /// Number of top vertices to return; clamped to `n` by the algorithms.
+    pub r: usize,
+}
+
+impl DiversityConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Panics
+    /// If `k < 2` or `r == 0` — both are outside the problem definition.
+    pub fn new(k: u32, r: usize) -> Self {
+        assert!(k >= 2, "trussness threshold k must be >= 2 (got {k})");
+        assert!(r >= 1, "result size r must be >= 1");
+        DiversityConfig { k, r }
+    }
+}
+
+/// One result entry: a vertex, its diversity score, and its social contexts
+/// (vertex sets of the maximal connected k-trusses in its ego-network,
+/// in global vertex ids).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct TopREntry {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Its truss-based structural diversity `score(v) = |SC(v)|`.
+    pub score: u32,
+    /// Its social contexts `SC(v)`, ordered by (size desc, first vertex asc).
+    pub contexts: Vec<Vec<VertexId>>,
+}
+
+/// Instrumentation shared by every search algorithm, powering Table 2 and
+/// Figures 8–11.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SearchMetrics {
+    /// Number of vertices whose structural diversity was *computed* — the
+    /// paper's "search space" column.
+    pub score_computations: usize,
+    /// Wall-clock time of the whole query.
+    #[serde(skip)]
+    pub elapsed: Duration,
+}
+
+/// Result of a top-r query: entries sorted by (score desc, vertex asc) plus
+/// search metrics.
+///
+/// When several vertices tie at the boundary score, *which* of them is
+/// returned is unspecified (as in the paper, where replacement requires a
+/// strictly greater score); the returned score multiset is unique.
+#[derive(Clone, Debug, Serialize)]
+pub struct TopRResult {
+    /// The top-r entries.
+    pub entries: Vec<TopREntry>,
+    /// Search-space and timing metrics.
+    pub metrics: SearchMetrics,
+}
+
+impl TopRResult {
+    /// Scores of the entries, descending (for cross-method equivalence checks).
+    pub fn scores(&self) -> Vec<u32> {
+        self.entries.iter().map(|e| e.score).collect()
+    }
+
+    /// Vertices of the entries.
+    pub fn vertices(&self) -> Vec<VertexId> {
+        self.entries.iter().map(|e| e.vertex).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "k must be >= 2")]
+    fn rejects_k_below_2() {
+        DiversityConfig::new(1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "r must be >= 1")]
+    fn rejects_zero_r() {
+        DiversityConfig::new(3, 0);
+    }
+
+    #[test]
+    fn valid_config() {
+        let c = DiversityConfig::new(4, 10);
+        assert_eq!((c.k, c.r), (4, 10));
+    }
+}

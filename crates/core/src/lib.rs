@@ -1,0 +1,50 @@
+//! # sd-core — truss-based structural diversity search
+//!
+//! The paper's primary contribution: given an undirected graph `G`, a
+//! trussness threshold `k`, and a result size `r`, find the `r` vertices
+//! whose ego-networks decompose into the most maximal connected k-trusses
+//! (*social contexts*), and return those contexts.
+//!
+//! Five interchangeable engines, matching the paper's experimental lineup:
+//!
+//! | engine | paper | entry point |
+//! |---|---|---|
+//! | `baseline` | Algorithm 3 | [`online_top_r`] |
+//! | `bound` | Algorithm 4 (sparsify + Lemma 2) | [`bound_top_r`] |
+//! | `TSD` | Algorithms 5–6 | [`TsdIndex`] |
+//! | `GCT` | Algorithms 7–8 + Lemma 3 | [`GctIndex`] |
+//! | `Hybrid` | Exp-4 competitor | [`HybridIndex`] |
+//!
+//! plus the competitor diversity models under [`baselines`] (Comp-Div,
+//! Core-Div, Random).
+//!
+//! All engines return [`TopRResult`]s whose score multisets agree; this is
+//! enforced by cross-engine tests and property tests (see `tests/`).
+
+pub mod baselines;
+pub mod bound;
+pub mod config;
+pub mod dynamic;
+pub mod egonet;
+pub mod gct;
+pub mod hybrid;
+pub mod online;
+pub mod paper;
+pub mod parallel;
+pub mod score;
+pub mod tcp;
+pub mod topr;
+pub mod tsd;
+
+pub use bound::{bound_top_r, bound_top_r_with, sparsify, upper_bounds, BoundOptions, Sparsified};
+pub use config::{DiversityConfig, SearchMetrics, TopREntry, TopRResult};
+pub use dynamic::DynamicTsd;
+pub use egonet::{AllEgoNetworks, EgoNetwork};
+pub use gct::{GctIndex, BITMAP_FALLBACK_THRESHOLD};
+pub use hybrid::HybridIndex;
+pub use online::{all_scores, online_top_r};
+pub use paper::{paper_figure1_edges, paper_figure1_graph, paper_figure18_graph};
+pub use tcp::{ktruss_communities, TcpIndex};
+pub use score::{score, social_contexts, EgoDecomposition};
+pub use topr::TopRCollector;
+pub use tsd::{TsdBuilder, TsdIndex};

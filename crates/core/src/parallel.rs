@@ -1,0 +1,122 @@
+//! Parallel index construction and scoring (crossbeam scoped threads).
+//!
+//! The per-vertex work of index construction (ego extraction + truss
+//! decomposition + forest/supernode assembly) is embarrassingly parallel; a
+//! static chunking over vertex ranges keeps results deterministic. This is a
+//! beyond-the-paper extension (the paper's implementation is single-threaded)
+//! and is benchmarked as an ablation in `sd-bench`.
+
+use parking_lot::Mutex;
+
+use sd_graph::CsrGraph;
+use sd_truss::{truss_decomposition, vertex_trussness};
+
+use crate::egonet::EgoNetwork;
+use crate::gct::{GctEntry, GctIndex};
+use crate::score::{social_contexts_of_ego, EgoDecomposition};
+
+/// Number of worker threads to use: `available_parallelism`, capped.
+fn worker_count(cap: usize) -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(cap).max(1)
+}
+
+/// Computes `score(v)` for every vertex in parallel; result identical to
+/// [`crate::online::all_scores`].
+pub fn all_scores_parallel(g: &CsrGraph, k: u32) -> Vec<u32> {
+    let n = g.n();
+    let threads = worker_count(16);
+    let mut scores = vec![0u32; n];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    const CHUNK: usize = 256;
+    let slots = Mutex::new(scores.chunks_mut(CHUNK).collect::<Vec<_>>());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let chunk_idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let start = chunk_idx * CHUNK;
+                if start >= n {
+                    break;
+                }
+                // Detach this chunk's slot; chunks are claimed exactly once.
+                let slot = {
+                    let mut guard = slots.lock();
+                    std::mem::take(&mut guard[chunk_idx])
+                };
+                for (offset, out) in slot.iter_mut().enumerate() {
+                    let v = (start + offset) as u32;
+                    let ego = EgoNetwork::extract(g, v);
+                    *out = social_contexts_of_ego(&ego, k, EgoDecomposition::Classic).len() as u32;
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(slots);
+    scores
+}
+
+/// Builds the GCT-index in parallel (identical output to
+/// [`GctIndex::build`], which is deterministic per vertex).
+pub fn build_gct_parallel(g: &CsrGraph) -> GctIndex {
+    let n = g.n();
+    let threads = worker_count(16);
+    let all = crate::egonet::AllEgoNetworks::build(g);
+    let mut entries: Vec<GctEntry> = vec![GctEntry::default(); n];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    const CHUNK: usize = 128;
+    let slots = Mutex::new(entries.chunks_mut(CHUNK).collect::<Vec<_>>());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let chunk_idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let start = chunk_idx * CHUNK;
+                if start >= n {
+                    break;
+                }
+                let slot = {
+                    let mut guard = slots.lock();
+                    std::mem::take(&mut guard[chunk_idx])
+                };
+                for (offset, out) in slot.iter_mut().enumerate() {
+                    let v = (start + offset) as u32;
+                    let ego = all.ego_graph(g, v);
+                    let decomposition = truss_decomposition(&ego.graph);
+                    let tau_v = vertex_trussness(&ego.graph, &decomposition);
+                    *out = GctEntry::from_ego(&ego, &decomposition, &tau_v);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(slots);
+    GctIndex::from_entries(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::all_scores;
+    use crate::paper::paper_figure1_graph;
+
+    #[test]
+    fn parallel_scores_match_serial() {
+        let (g, _, _) = paper_figure1_graph();
+        for k in [2, 4] {
+            assert_eq!(all_scores_parallel(&g, k), all_scores(&g, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_gct_matches_serial() {
+        let (g, _, _) = paper_figure1_graph();
+        let a = build_gct_parallel(&g);
+        let b = GctIndex::build(&g);
+        for v in g.vertices() {
+            for k in 2..=5 {
+                assert_eq!(a.score(v, k), b.score(v, k), "v={v} k={k}");
+            }
+        }
+    }
+}

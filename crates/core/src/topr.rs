@@ -1,0 +1,109 @@
+//! Bounded top-r accumulator shared by all search algorithms.
+//!
+//! Keeps the `r` highest-scoring vertices seen so far in a min-heap;
+//! replacement requires a *strictly* greater score than the current minimum,
+//! exactly like lines 5–7 of Algorithm 3 / lines 12–14 of Algorithm 4, which
+//! is what makes the early-termination tests (`ub ≤ min score`) sound.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sd_graph::VertexId;
+
+/// Accumulates the top `r` `(vertex, score)` pairs.
+#[derive(Clone, Debug)]
+pub struct TopRCollector {
+    r: usize,
+    /// Min-heap keyed by (score, vertex): the root is the weakest entry.
+    heap: BinaryHeap<Reverse<(u32, VertexId)>>,
+}
+
+impl TopRCollector {
+    /// Collector for `r ≥ 1` entries.
+    pub fn new(r: usize) -> Self {
+        assert!(r >= 1);
+        TopRCollector { r, heap: BinaryHeap::with_capacity(r + 1) }
+    }
+
+    /// Whether the collector already holds `r` entries.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.r
+    }
+
+    /// Lowest score currently kept, or `None` while not full. The early-stop
+    /// rule is `upper_bound ≤ min_score()` once full.
+    pub fn min_score(&self) -> Option<u32> {
+        if self.is_full() {
+            self.heap.peek().map(|Reverse((s, _))| *s)
+        } else {
+            None
+        }
+    }
+
+    /// Offers a candidate; returns whether it was kept.
+    pub fn offer(&mut self, vertex: VertexId, score: u32) -> bool {
+        if self.heap.len() < self.r {
+            self.heap.push(Reverse((score, vertex)));
+            return true;
+        }
+        // Strictly-greater replacement, as in the paper.
+        let &Reverse((min_score, _)) = self.heap.peek().expect("full collector");
+        if score > min_score {
+            self.heap.pop();
+            self.heap.push(Reverse((score, vertex)));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Finishes: `(vertex, score)` pairs sorted by (score desc, vertex asc).
+    pub fn into_sorted(self) -> Vec<(VertexId, u32)> {
+        let mut out: Vec<(VertexId, u32)> =
+            self.heap.into_iter().map(|Reverse((s, v))| (v, s)).collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_top_r() {
+        let mut c = TopRCollector::new(2);
+        for (v, s) in [(0, 1), (1, 5), (2, 3), (3, 4)] {
+            c.offer(v, s);
+        }
+        assert_eq!(c.into_sorted(), vec![(1, 5), (3, 4)]);
+    }
+
+    #[test]
+    fn strictly_greater_replacement() {
+        let mut c = TopRCollector::new(1);
+        assert!(c.offer(7, 3));
+        assert!(!c.offer(1, 3), "equal score must not replace");
+        assert!(c.offer(2, 4));
+        assert_eq!(c.into_sorted(), vec![(2, 4)]);
+    }
+
+    #[test]
+    fn min_score_only_when_full() {
+        let mut c = TopRCollector::new(2);
+        assert_eq!(c.min_score(), None);
+        c.offer(0, 9);
+        assert_eq!(c.min_score(), None);
+        c.offer(1, 4);
+        assert_eq!(c.min_score(), Some(4));
+    }
+
+    #[test]
+    fn sorted_output_breaks_ties_by_vertex() {
+        let mut c = TopRCollector::new(3);
+        c.offer(5, 2);
+        c.offer(1, 2);
+        c.offer(3, 2);
+        assert_eq!(c.into_sorted(), vec![(1, 2), (3, 2), (5, 2)]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Uniform G(n, m) random graphs — the low-clustering control used by tests
+//! and as background noise in the collaboration generator.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use sd_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Samples a uniform simple graph with `n` vertices and `m` distinct edges.
+///
+/// # Panics
+/// If `m` exceeds `n(n-1)/2`.
+pub fn gnm_graph(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "m={m} exceeds the {max_edges} possible edges");
+    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::with_min_vertices(n);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.extend_edges([]).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnm_graph(100, 250, &mut rng);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 250);
+    }
+
+    #[test]
+    fn dense_edge_case() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnm_graph(10, 45, &mut rng); // complete K10
+        assert_eq!(g.m(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_impossible_m() {
+        let mut rng = StdRng::seed_from_u64(3);
+        gnm_graph(5, 11, &mut rng);
+    }
+
+    #[test]
+    fn zero_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gnm_graph(7, 0, &mut rng);
+        assert_eq!((g.n(), g.m()), (7, 0));
+    }
+}

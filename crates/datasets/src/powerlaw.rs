@@ -1,0 +1,151 @@
+//! Holme–Kim power-law generator (preferential attachment + triad step).
+//!
+//! Plain Barabási–Albert gives power-law degrees but almost no triangles;
+//! truss structure needs clustering. Holme–Kim interleaves a *triad
+//! formation* step: with probability `p_triad`, the new vertex connects to a
+//! random neighbor of its previous target, closing a triangle. This is the
+//! stand-in for the paper's "PythonWeb Graph Generator" power-law graphs
+//! (Exp-6 / Figure 12).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use sd_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Power-law generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLawConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edges added per new vertex (`|E| ≈ edges_per_vertex · |V|`).
+    pub edges_per_vertex: usize,
+    /// Probability of the triad-formation step (0 = pure BA).
+    pub p_triad: f64,
+}
+
+impl PowerLawConfig {
+    /// The paper's scalability setting: `|E| = 5|V|` with moderate clustering.
+    pub fn paper_scalability(n: usize) -> Self {
+        PowerLawConfig { n, edges_per_vertex: 5, p_triad: 0.35 }
+    }
+}
+
+/// Generates a connected power-law graph.
+pub fn powerlaw_graph(config: &PowerLawConfig, rng: &mut impl Rng) -> CsrGraph {
+    let PowerLawConfig { n, edges_per_vertex: m, p_triad } = *config;
+    assert!(m >= 1, "edges_per_vertex must be >= 1");
+    assert!(n > m, "need more vertices than edges_per_vertex");
+
+    let mut builder = GraphBuilder::with_min_vertices(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed: a path over the first m+1 vertices (connected, minimal bias).
+    for v in 0..m as VertexId {
+        builder.add_edge(v, v + 1);
+        endpoints.push(v);
+        endpoints.push(v + 1);
+    }
+
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    let mut neighbor_pool: Vec<VertexId> = Vec::new();
+    // Adjacency so far, for triad formation (grows as we add edges).
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for v in 0..=m {
+        if v < m {
+            adj[v].push(v as VertexId + 1);
+            adj[v + 1].push(v as VertexId);
+        }
+    }
+
+    for v in (m as VertexId + 1)..n as VertexId {
+        targets.clear();
+        let mut last_target: Option<VertexId> = None;
+        while targets.len() < m {
+            let candidate = if let Some(prev) = last_target.filter(|_| rng.gen_bool(p_triad)) {
+                // Triad formation: neighbor of the previous target.
+                neighbor_pool.clear();
+                neighbor_pool.extend(
+                    adj[prev as usize].iter().copied().filter(|&u| u != v && !targets.contains(&u)),
+                );
+                match neighbor_pool.choose(rng) {
+                    Some(&u) => u,
+                    None => *endpoints.choose(rng).expect("non-empty endpoint list"),
+                }
+            } else {
+                *endpoints.choose(rng).expect("non-empty endpoint list")
+            };
+            if candidate != v && !targets.contains(&candidate) {
+                targets.push(candidate);
+                last_target = Some(candidate);
+            } else {
+                last_target = None;
+            }
+        }
+        for &t in &targets {
+            builder.add_edge(v, t);
+            adj[v as usize].push(t);
+            adj[t as usize].push(v);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.extend_edges([]).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_graph::connectivity::is_connected;
+    use sd_graph::triangles::triangle_count;
+
+    #[test]
+    fn produces_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = powerlaw_graph(&PowerLawConfig { n: 500, edges_per_vertex: 5, p_triad: 0.3 }, &mut rng);
+        assert_eq!(g.n(), 500);
+        // m ≈ 5n (slightly less from the seed path).
+        assert!(g.m() > 4 * 500 && g.m() <= 5 * 500, "m = {}", g.m());
+    }
+
+    #[test]
+    fn connected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = powerlaw_graph(&PowerLawConfig::paper_scalability(300), &mut rng);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn triad_step_creates_triangles() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let with_triads =
+            powerlaw_graph(&PowerLawConfig { n: 400, edges_per_vertex: 4, p_triad: 0.6 }, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let without =
+            powerlaw_graph(&PowerLawConfig { n: 400, edges_per_vertex: 4, p_triad: 0.0 }, &mut rng);
+        assert!(
+            triangle_count(&with_triads) > triangle_count(&without),
+            "{} vs {}",
+            triangle_count(&with_triads),
+            triangle_count(&without)
+        );
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = powerlaw_graph(&PowerLawConfig::paper_scalability(2000), &mut rng);
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(g.max_degree() as f64 > 5.0 * avg, "hub degree {} vs avg {avg}", g.max_degree());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = PowerLawConfig { n: 200, edges_per_vertex: 3, p_triad: 0.4 };
+        let a = powerlaw_graph(&cfg, &mut StdRng::seed_from_u64(9));
+        let b = powerlaw_graph(&cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.edges(), b.edges());
+    }
+}

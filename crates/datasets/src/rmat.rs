@@ -1,0 +1,140 @@
+//! R-MAT generator (Chakrabarti–Zhan–Faloutsos).
+//!
+//! Recursive-quadrant edge placement with Graph500-style probabilities
+//! produces heavy-tailed degree distributions and community-like density —
+//! the closest cheap synthetic stand-in for the paper's SNAP social
+//! networks. Duplicate edges and self-loops are rejected until the requested
+//! number of *unique* edges is reached, so `(n, m)` match Table 1's scaled
+//! targets exactly (up to a safety cap).
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use sd_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// R-MAT parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// log2 of the vertex-id space (actual `n` may be smaller after dedup;
+    /// the builder pads to `n_target`).
+    pub scale: u32,
+    /// Number of unique undirected edges to produce.
+    pub edges: usize,
+    /// Quadrant probabilities; must sum to 1.
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// Per-level multiplicative noise on the quadrant probabilities.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// Graph500-flavored defaults for a target `(n, m)`.
+    pub fn social(n: usize, m: usize) -> Self {
+        let scale = (n.max(2) as f64).log2().ceil() as u32;
+        RmatConfig { scale, edges: m, a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+}
+
+/// Generates an R-MAT graph with exactly `config.edges` unique edges (unless
+/// the id space saturates first) and at least one incident edge redistributed
+/// so vertex ids stay within `2^scale`.
+pub fn rmat_graph(config: &RmatConfig, rng: &mut impl Rng) -> CsrGraph {
+    let n = 1usize << config.scale;
+    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(config.edges * 2);
+    let mut builder = GraphBuilder::with_edge_capacity(config.edges);
+    let max_attempts = config.edges.saturating_mul(20).max(1000);
+    let mut attempts = 0usize;
+    while seen.len() < config.edges && attempts < max_attempts {
+        attempts += 1;
+        let (u, v) = sample_edge(config, n, rng);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.extend_edges([]).build()
+}
+
+fn sample_edge(config: &RmatConfig, n: usize, rng: &mut impl Rng) -> (VertexId, VertexId) {
+    let (mut x0, mut x1) = (0usize, n);
+    let (mut y0, mut y1) = (0usize, n);
+    while x1 - x0 > 1 {
+        // Per-level noisy quadrant probabilities.
+        let mut jitter = |p: f64| p * (1.0 - config.noise + 2.0 * config.noise * rng.gen::<f64>());
+        let (a, b, c) = (jitter(config.a), jitter(config.b), jitter(config.c));
+        let d = jitter(1.0 - config.a - config.b - config.c);
+        let total = a + b + c + d;
+        let roll = rng.gen::<f64>() * total;
+        let (right, down) = if roll < a {
+            (false, false)
+        } else if roll < a + b {
+            (true, false)
+        } else if roll < a + b + c {
+            (false, true)
+        } else {
+            (true, true)
+        };
+        let mx = (x0 + x1) / 2;
+        let my = (y0 + y1) / 2;
+        if right {
+            x0 = mx;
+        } else {
+            x1 = mx;
+        }
+        if down {
+            y0 = my;
+        } else {
+            y1 = my;
+        }
+    }
+    (x0 as VertexId, y0 as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reaches_target_edges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = rmat_graph(&RmatConfig::social(1024, 5000), &mut rng);
+        assert_eq!(g.m(), 5000);
+        assert!(g.n() <= 1024);
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = rmat_graph(&RmatConfig::social(4096, 20000), &mut rng);
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(g.max_degree() as f64 > 4.0 * avg, "max {} avg {avg}", g.max_degree());
+    }
+
+    #[test]
+    fn simple_graph_invariants() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = rmat_graph(&RmatConfig::social(512, 2000), &mut rng);
+        // No self loops, no duplicate edges (canonical, strictly increasing).
+        assert!(g.edges().iter().all(|&(u, v)| u < v));
+        let mut sorted = g.edges().to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.m());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = RmatConfig::social(256, 1000);
+        let a = rmat_graph(&cfg, &mut StdRng::seed_from_u64(5));
+        let b = rmat_graph(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,157 @@
+//! Fixed-capacity bitmap with word-level set algebra.
+//!
+//! This is the data structure behind the paper's Section 6.2 bitmap-based
+//! truss decomposition: ego-network adjacency rows become bitmaps, and edge
+//! support is `popcount(row(u) AND row(v))`, computed 64 neighbors at a time.
+
+/// A fixed-capacity bitmap over `0..len` backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// All-zero bitmap with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Bit capacity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `popcount(self AND other)` — the bitmap support primitive. The two
+    /// bitmaps may have different capacities; the shorter prefix is used.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Calls `f(i)` for every bit set in `self AND other`, in ascending order.
+    pub fn for_each_intersection(&self, other: &BitSet, mut f: impl FnMut(usize)) {
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut w = a & b;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f((wi << 6) | bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Calls `f(i)` for every set bit, in ascending order.
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (wi, a) in self.words.iter().enumerate() {
+            let mut w = *a;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f((wi << 6) | bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Clears every bit without reallocating.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Heap bytes used (for index-size accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn intersection_across_words() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in [1usize, 63, 64, 127, 128, 199] {
+            a.set(i);
+        }
+        for i in [1usize, 64, 128, 150] {
+            b.set(i);
+        }
+        assert_eq!(a.intersection_count(&b), 3);
+        let mut seen = Vec::new();
+        a.for_each_intersection(&b, |i| seen.push(i));
+        assert_eq!(seen, vec![1, 64, 128]);
+    }
+
+    #[test]
+    fn for_each_ascending() {
+        let mut a = BitSet::new(70);
+        a.set(69);
+        a.set(3);
+        let mut seen = Vec::new();
+        a.for_each(|i| seen.push(i));
+        assert_eq!(seen, vec![3, 69]);
+    }
+
+    #[test]
+    fn clear_all_and_empty() {
+        let mut a = BitSet::new(10);
+        a.set(9);
+        a.clear_all();
+        assert_eq!(a.count_ones(), 0);
+        let e = BitSet::new(0);
+        assert!(e.is_empty());
+        assert_eq!(e.count_ones(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Bin-sort bucket queue for peeling algorithms.
+//!
+//! Both truss decomposition (peel the edge of minimum support, Algorithm 1)
+//! and k-core decomposition (peel the vertex of minimum degree) need a queue
+//! over items with small integer keys supporting:
+//!
+//! * `pop_min` in O(1),
+//! * `decrease_key` by one in O(1),
+//! * keys that never drop below the current peeling level (the classic
+//!   clamp that makes the lazy bucket array sound).
+//!
+//! This is the bin-sort structure of Batagelj–Zaversnik, generalized over
+//! "items" so edges and vertices share one implementation.
+
+/// Bucket queue over items `0..len` keyed by `u32`, supporting monotone
+/// peeling: keys are popped in non-decreasing order.
+#[derive(Clone, Debug)]
+pub struct PeelingBuckets {
+    key: Vec<u32>,
+    /// Position of each item inside `order`.
+    pos: Vec<u32>,
+    /// Items sorted ascending by current key; prefix `..cursor` is processed.
+    order: Vec<u32>,
+    /// `bin_start[k]` = first position in `order` whose key is `k`.
+    bin_start: Vec<u32>,
+    cursor: usize,
+}
+
+impl PeelingBuckets {
+    /// Builds the queue from initial keys (counting sort, O(len + max_key)).
+    pub fn new(keys: &[u32]) -> Self {
+        let len = keys.len();
+        let max_key = keys.iter().copied().max().unwrap_or(0);
+        let mut count = vec![0u32; max_key as usize + 2];
+        for &k in keys {
+            count[k as usize + 1] += 1;
+        }
+        for i in 1..count.len() {
+            count[i] += count[i - 1];
+        }
+        let bin_start = count.clone();
+        let mut order = vec![0u32; len];
+        let mut pos = vec![0u32; len];
+        let mut cursor_per_key = count;
+        for (item, &k) in keys.iter().enumerate() {
+            let p = cursor_per_key[k as usize];
+            order[p as usize] = item as u32;
+            pos[item] = p;
+            cursor_per_key[k as usize] += 1;
+        }
+        PeelingBuckets { key: keys.to_vec(), pos, order, bin_start, cursor: 0 }
+    }
+
+    /// Number of unprocessed items.
+    pub fn remaining(&self) -> usize {
+        self.order.len() - self.cursor
+    }
+
+    /// Current key of `item` (meaningful only while unprocessed, frozen after).
+    #[inline]
+    pub fn key(&self, item: u32) -> u32 {
+        self.key[item as usize]
+    }
+
+    /// Whether `item` has already been popped.
+    #[inline]
+    pub fn is_processed(&self, item: u32) -> bool {
+        (self.pos[item as usize] as usize) < self.cursor
+    }
+
+    /// Pops the unprocessed item of minimum key. Keys come out in
+    /// non-decreasing order thanks to the clamped decrements.
+    pub fn pop_min(&mut self) -> Option<(u32, u32)> {
+        if self.cursor == self.order.len() {
+            return None;
+        }
+        let item = self.order[self.cursor];
+        self.cursor += 1;
+        Some((item, self.key[item as usize]))
+    }
+
+    /// Decrements `item`'s key by one unless it is at or below `floor` (the
+    /// current peeling level). Returns whether a decrement happened.
+    ///
+    /// `item` must be unprocessed.
+    pub fn decrease_key_clamped(&mut self, item: u32, floor: u32) -> bool {
+        let k = self.key[item as usize];
+        if k <= floor {
+            return false;
+        }
+        debug_assert!(!self.is_processed(item));
+        // Swap `item` with the first element of its bucket, then shrink the
+        // bucket from the left; `item` joins bucket k-1.
+        let p_item = self.pos[item as usize];
+        let p_first = self.bin_start[k as usize];
+        debug_assert!(p_first as usize >= self.cursor);
+        if p_item != p_first {
+            let other = self.order[p_first as usize];
+            self.order[p_item as usize] = other;
+            self.pos[other as usize] = p_item;
+            self.order[p_first as usize] = item;
+            self.pos[item as usize] = p_first;
+        }
+        self.bin_start[k as usize] += 1;
+        self.key[item as usize] = k - 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut q = PeelingBuckets::new(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let mut popped = Vec::new();
+        while let Some((_, k)) = q.pop_min() {
+            popped.push(k);
+        }
+        assert_eq!(popped, vec![1, 1, 2, 3, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut q = PeelingBuckets::new(&[5, 3, 5, 7]);
+        assert!(q.decrease_key_clamped(0, 0)); // 5 -> 4
+        assert!(q.decrease_key_clamped(0, 0)); // 4 -> 3
+        assert!(q.decrease_key_clamped(0, 0)); // 3 -> 2
+        let (item, k) = q.pop_min().unwrap();
+        assert_eq!((item, k), (0, 2));
+    }
+
+    #[test]
+    fn clamp_blocks_decrement_below_floor() {
+        let mut q = PeelingBuckets::new(&[2, 2]);
+        assert!(!q.decrease_key_clamped(0, 2));
+        assert!(q.decrease_key_clamped(0, 1));
+        assert!(!q.decrease_key_clamped(0, 1));
+        assert_eq!(q.key(0), 1);
+    }
+
+    #[test]
+    fn peel_simulation_monotone_levels() {
+        // Simulate a peel where every pop decrements all remaining keys.
+        let mut q = PeelingBuckets::new(&[0, 2, 2, 3, 3, 3]);
+        let mut level = 0;
+        let mut last = 0;
+        while let Some((popped, k)) = q.pop_min() {
+            level = level.max(k);
+            assert!(k >= last, "keys must be non-decreasing");
+            last = k;
+            for item in 0..6u32 {
+                if item != popped && !q.is_processed(item) {
+                    q.decrease_key_clamped(item, level);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = PeelingBuckets::new(&[]);
+        assert_eq!(q.remaining(), 0);
+        assert!(q.pop_min().is_none());
+    }
+}

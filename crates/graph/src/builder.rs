@@ -1,0 +1,104 @@
+//! Mutable construction of [`CsrGraph`].
+//!
+//! The builder accepts arbitrary `(u, v)` pairs — unordered endpoints,
+//! duplicates, self-loops — and produces a canonical simple undirected graph:
+//! self-loops are dropped, parallel edges collapsed, endpoints normalized to
+//! `(min, max)` and sorted. This mirrors how the paper treats its datasets
+//! ("we treat them as undirected graphs").
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Accumulates edges and builds a canonical [`CsrGraph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    min_vertices: usize,
+    dropped_self_loops: usize,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder whose output has at least `n` vertices, even if some are
+    /// isolated (useful when vertex ids are meaningful externally).
+    pub fn with_min_vertices(n: usize) -> Self {
+        GraphBuilder { min_vertices: n, ..Self::default() }
+    }
+
+    /// Pre-allocates capacity for `m` edges.
+    pub fn with_edge_capacity(m: usize) -> Self {
+        GraphBuilder { edges: Vec::with_capacity(m), ..Self::default() }
+    }
+
+    /// Adds one undirected edge; self-loops are silently dropped (counted in
+    /// [`Self::dropped_self_loops`]).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        if u == v {
+            self.dropped_self_loops += 1;
+            return self;
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        self
+    }
+
+    /// Adds many edges; returns `self` for chaining.
+    pub fn extend_edges(mut self, iter: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of self-loops dropped so far.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Number of (possibly duplicated) edges currently buffered.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finishes construction: sorts, deduplicates, and produces the CSR graph.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let max_v = self.edges.iter().map(|&(_, v)| v as usize + 1).max().unwrap_or(0);
+        let n = max_v.max(self.min_vertices);
+        CsrGraph::from_canonical_edges(n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_normalizes() {
+        let g = GraphBuilder::new()
+            .extend_edges([(1, 0), (0, 1), (0, 1), (2, 1)])
+            .build();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(3, 3);
+        b.add_edge(0, 1);
+        assert_eq!(b.dropped_self_loops(), 1);
+        let g = b.extend_edges([]).build();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn min_vertices_respected_even_when_edges_exceed() {
+        let g = GraphBuilder::with_min_vertices(2).extend_edges([(5, 6)]).build();
+        assert_eq!(g.n(), 7);
+    }
+}

@@ -1,0 +1,88 @@
+//! BFS-based connectivity.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Component labels for every vertex plus the component count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component index of `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of connected components (isolated vertices count).
+    pub count: usize,
+}
+
+impl Components {
+    /// Vertices grouped per component, each group sorted ascending.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &c) in self.label.iter().enumerate() {
+            groups[c as usize].push(v as VertexId);
+        }
+        groups
+    }
+}
+
+/// Labels the connected components of `g` with a BFS per unvisited vertex.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut queue = Vec::new();
+    let mut count = 0u32;
+    for start in g.vertices() {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = count;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = count;
+                    queue.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count: count as usize }
+}
+
+/// Whether `g` is connected (the empty graph is considered connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    g.n() <= 1 || connected_components(g).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn two_components_plus_isolated() {
+        let g = GraphBuilder::with_min_vertices(6)
+            .extend_edges([(0, 1), (1, 2), (3, 4)])
+            .build();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.label[0], c.label[2]);
+        assert_eq!(c.label[3], c.label[4]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_ne!(c.label[5], c.label[0]);
+        assert_ne!(c.label[5], c.label[3]);
+        let groups = c.groups();
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn connected_path() {
+        let g = GraphBuilder::new().extend_edges([(0, 1), (1, 2), (2, 3)]).build();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton_connected() {
+        assert!(is_connected(&GraphBuilder::new().build()));
+        assert!(is_connected(&GraphBuilder::with_min_vertices(1).extend_edges([]).build()));
+    }
+}

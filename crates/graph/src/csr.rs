@@ -1,0 +1,228 @@
+//! Compressed-sparse-row undirected simple graph.
+//!
+//! [`CsrGraph`] is immutable once built (use [`crate::GraphBuilder`]). Every
+//! undirected edge `{u, v}` is stored once in canonical `(min, max)` form in
+//! the edge table and twice as arcs in the adjacency array; each arc carries
+//! the id of its undirected edge so peeling algorithms can map an adjacency
+//! position back to per-edge state in O(1).
+//!
+//! Adjacency lists are sorted by neighbor id, which gives:
+//! * `O(log d)` membership/edge-id lookup ([`CsrGraph::edge_id_between`]),
+//! * linear-time sorted-merge intersection for triangle listing.
+
+use crate::types::{EdgeId, VertexId};
+
+/// An immutable undirected simple graph in CSR form with stable edge ids.
+#[derive(Clone, Debug, Default)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` is the arc slice of vertex `v`. Length `n+1`.
+    offsets: Vec<usize>,
+    /// Neighbor of each arc, sorted ascending within each vertex slice. Length `2m`.
+    neighbors: Vec<VertexId>,
+    /// Undirected edge id of each arc. Length `2m`.
+    arc_edge: Vec<EdgeId>,
+    /// Canonical endpoints `(u, v)` with `u < v`, sorted lexicographically. Length `m`.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from canonical edges: every pair must satisfy `u < v`,
+    /// be sorted lexicographically, and contain no duplicates. `n` must exceed
+    /// every vertex id. [`crate::GraphBuilder`] establishes these invariants;
+    /// prefer it unless the input is already canonical.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the canonical-form invariants are violated.
+    pub fn from_canonical_edges(n: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+deduped");
+        debug_assert!(edges.iter().all(|&(u, v)| u < v && (v as usize) < n));
+
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc];
+        let mut arc_edge = vec![0 as EdgeId; acc];
+        for (eid, &(u, v)) in edges.iter().enumerate() {
+            let eid = eid as EdgeId;
+            let cu = cursor[u as usize];
+            neighbors[cu] = v;
+            arc_edge[cu] = eid;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize];
+            neighbors[cv] = u;
+            arc_edge[cv] = eid;
+            cursor[v as usize] += 1;
+        }
+        // Lexicographic edge order fills each slice in ascending neighbor
+        // order (lower endpoints first, then higher), so no per-slice sort is
+        // needed; assert it in debug builds.
+        debug_assert!((0..n).all(|v| {
+            let s = &neighbors[offsets[v]..offsets[v + 1]];
+            s.windows(2).all(|w| w[0] < w[1])
+        }));
+        CsrGraph { offsets, neighbors, arc_edge, edges }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge-id slice parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn arc_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.arc_edge[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterates `(neighbor, edge_id)` pairs of `v` in ascending neighbor order.
+    #[inline]
+    pub fn neighbor_arcs(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.neighbors(v).iter().copied().zip(self.arc_edges(v).iter().copied())
+    }
+
+    /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e as usize]
+    }
+
+    /// All canonical edges in lexicographic order.
+    #[inline]
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Id of the edge between `u` and `v`, searching the smaller adjacency
+    /// list: `O(log min(d(u), d(v)))`.
+    pub fn edge_id_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let slice = self.neighbors(a);
+        let idx = slice.binary_search(&b).ok()?;
+        Some(self.arc_edges(a)[idx])
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_id_between(u, v).is_some()
+    }
+
+    /// Iterates all vertex ids `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.n() as VertexId
+    }
+
+    /// Total bytes of the in-memory representation (for index-size reports).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.arc_edge.len() * std::mem::size_of::<EdgeId>()
+            + self.edges.len() * std::mem::size_of::<(VertexId, VertexId)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        // 0-1, 0-2, 1-2 (triangle), 2-3 (pendant)
+        GraphBuilder::new().extend_edges([(0, 1), (0, 2), (1, 2), (2, 3)]).build()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn adjacency_sorted_and_symmetric() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                assert!(g.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_consistent_between_arcs_and_table() {
+        let g = triangle_plus_pendant();
+        for v in g.vertices() {
+            for (u, e) in g.neighbor_arcs(v) {
+                let (a, b) = g.edge(e);
+                assert_eq!((a, b), (v.min(u), v.max(u)));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 3));
+        let e = g.edge_id_between(2, 3).unwrap();
+        assert_eq!(g.edge(e), (2, 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_via_min_n() {
+        let g = GraphBuilder::with_min_vertices(5).extend_edges([(0, 1)]).build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.neighbors(4).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Disjoint-set union (union-find) with path halving and union by size.
+//!
+//! Used for: social-context component identification, Kruskal's maximum
+//! spanning forest in TSD-index construction (Algorithm 5), and the Comp-Div
+//! baseline's per-ego-network component counting.
+
+/// Union-find over `0..len` with near-constant amortized operations.
+#[derive(Clone, Debug)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    /// Component size, valid only at roots.
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        Dsu { parent: (0..len as u32).collect(), size: vec![1; len], components: len }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Resets to `len` singletons without reallocating.
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.size.fill(1);
+        self.components = self.parent.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_and_finds() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.components(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(!d.union(0, 2));
+        assert_eq!(d.components(), 3);
+        assert!(d.connected(0, 2));
+        assert!(!d.connected(0, 3));
+        assert_eq!(d.set_size(2), 3);
+        assert_eq!(d.set_size(4), 1);
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut d = Dsu::new(4);
+        d.union(0, 3);
+        d.reset();
+        assert_eq!(d.components(), 4);
+        assert!(!d.connected(0, 3));
+    }
+
+    #[test]
+    fn empty() {
+        let d = Dsu::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.components(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Mutable adjacency-list graph for dynamic workloads.
+//!
+//! [`crate::CsrGraph`] is immutable by design (cache-friendly, stable edge
+//! ids). Dynamic maintenance — the paper's Section 5.3 remark about
+//! supporting node/edge insertions and deletions — needs a mutable
+//! counterpart; [`DynamicGraph`] keeps sorted adjacency vectors so the
+//! ego-network extraction merge loops work unchanged.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// An undirected simple graph under edge insertions/deletions.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicGraph {
+    /// Sorted neighbor list per vertex.
+    adj: Vec<Vec<VertexId>>,
+    m: usize,
+}
+
+impl DynamicGraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph { adj: vec![Vec::new(); n], m: 0 }
+    }
+
+    /// Copies a static graph into dynamic form.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let adj = g.vertices().map(|v| g.neighbors(v).to_vec()).collect();
+        DynamicGraph { adj, m: g.m() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Grows the vertex set so that `v` is a valid vertex.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if (v as usize) >= self.adj.len() {
+            self.adj.resize(v as usize + 1, Vec::new());
+        }
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sorted neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Inserts edge `{u, v}`, growing the vertex set if needed.
+    /// Returns false (and changes nothing) for self-loops and duplicates.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.ensure_vertex(u.max(v));
+        let pos_u = match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        self.adj[u as usize].insert(pos_u, v);
+        let pos_v = self.adj[v as usize].binary_search(&u).expect_err("u<->v symmetric");
+        self.adj[v as usize].insert(pos_v, u);
+        self.m += 1;
+        true
+    }
+
+    /// Removes edge `{u, v}`; returns whether it existed.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || (u.max(v) as usize) >= self.adj.len() {
+            return false;
+        }
+        let Ok(pos_u) = self.adj[u as usize].binary_search(&v) else {
+            return false;
+        };
+        self.adj[u as usize].remove(pos_u);
+        let pos_v = self.adj[v as usize].binary_search(&u).expect("symmetric edge");
+        self.adj[v as usize].remove(pos_v);
+        self.m -= 1;
+        true
+    }
+
+    /// Common neighbors of `u` and `v` (sorted merge).
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        let (a, b) = (&self.adj[u as usize], &self.adj[v as usize]);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Snapshots to an immutable CSR graph.
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.m);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            let u = u as VertexId;
+            for &v in nbrs {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        // Per-vertex lists are sorted, so the flattened list is already in
+        // lexicographic order.
+        CsrGraph::from_canonical_edges(self.n(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = DynamicGraph::new(4);
+        assert!(g.insert_edge(0, 1));
+        assert!(g.insert_edge(1, 2));
+        assert!(!g.insert_edge(1, 0), "duplicate rejected");
+        assert!(!g.insert_edge(2, 2), "self-loop rejected");
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1), "already removed");
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn adjacency_stays_sorted() {
+        let mut g = DynamicGraph::new(5);
+        for v in [3, 1, 4, 2] {
+            g.insert_edge(0, v);
+        }
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut g = DynamicGraph::new(0);
+        g.insert_edge(5, 9);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.degree(9), 1);
+        assert!(!g.remove_edge(3, 42), "out-of-range remove is a no-op");
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let mut g = DynamicGraph::new(6);
+        for v in [1, 2, 3] {
+            g.insert_edge(0, v);
+        }
+        for v in [2, 3, 4] {
+            g.insert_edge(5, v);
+        }
+        assert_eq!(g.common_neighbors(0, 5), vec![2, 3]);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let csr = GraphBuilder::new().extend_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).build();
+        let dynamic = DynamicGraph::from_csr(&csr);
+        let back = dynamic.to_csr();
+        assert_eq!(csr.edges(), back.edges());
+        assert_eq!(csr.n(), back.n());
+    }
+
+    #[test]
+    fn to_csr_after_edits() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(2, 3);
+        g.insert_edge(1, 2);
+        g.remove_edge(2, 3);
+        let csr = g.to_csr();
+        assert_eq!(csr.edges(), &[(0, 1), (1, 2)]);
+    }
+}

@@ -1,0 +1,144 @@
+//! SNAP-style edge-list text I/O.
+//!
+//! The paper's datasets ship as whitespace-separated `u v` lines with `#`
+//! comment lines; this module parses and writes that format with buffered
+//! I/O and precise error reporting.
+
+use std::fmt;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data line that is not two integers.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "edge list I/O error: {e}"),
+            EdgeListError::Malformed { line, content } => {
+                write!(f, "malformed edge list line {line}: {content:?} (expected `u v`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses `u v` pairs from a reader; `#`-prefixed and blank lines are skipped.
+pub fn parse_edge_list(reader: impl BufRead) -> Result<Vec<(VertexId, VertexId)>, EdgeListError> {
+    let mut edges = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        match (parse(parts.next()), parse(parts.next()), parts.next()) {
+            (Some(u), Some(v), None) => edges.push((u, v)),
+            _ => {
+                return Err(EdgeListError::Malformed { line: idx + 1, content: trimmed.to_owned() })
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Parses an edge-list string into a canonical graph.
+pub fn graph_from_str(s: &str) -> Result<CsrGraph, EdgeListError> {
+    let edges = parse_edge_list(s.as_bytes())?;
+    Ok(GraphBuilder::new().extend_edges(edges).build())
+}
+
+/// Loads a graph from an edge-list file.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<CsrGraph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    let edges = parse_edge_list(io::BufReader::new(file))?;
+    Ok(GraphBuilder::new().extend_edges(edges).build())
+}
+
+/// Writes a graph as `u v` lines (canonical order) with a header comment.
+pub fn save_graph(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# undirected simple graph: n={} m={}", g.n(), g.m())?;
+    for &(u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let text = "# header\n0 1\n\n 1 2 \n# tail\n2 0\n";
+        let g = graph_from_str(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        let err = graph_from_str("0 1\nnot numbers\n").unwrap_err();
+        match err {
+            EdgeListError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_three_fields() {
+        assert!(graph_from_str("0 1 2\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = graph_from_str("0 1\n1 2\n0 2\n3 1\n").unwrap();
+        let dir = std::env::temp_dir().join("sd_graph_edgelist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        assert_eq!(g.n(), g2.n());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = graph_from_str("# nothing\n").unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sd-graph — graph substrate
+//!
+//! Foundation crate for the truss-based structural diversity system. It
+//! provides the data structures every layer above builds on:
+//!
+//! * [`CsrGraph`] — an immutable, compressed-sparse-row, undirected simple
+//!   graph with stable edge ids and sorted adjacency (binary-searchable).
+//! * [`GraphBuilder`] — the only way to construct a [`CsrGraph`] from raw
+//!   pairs; it canonicalizes, deduplicates, and drops self-loops.
+//! * [`triangles`] — triangle listing/counting via the forward (oriented)
+//!   algorithm, per-edge support, and per-vertex triangle counts.
+//! * [`Dsu`] — union-find with path halving and union by size.
+//! * [`BitSet`] — a fixed-capacity bitmap with word-level intersection,
+//!   the workhorse of the GCT bitmap truss decomposition.
+//! * [`PeelingBuckets`] — the bin-sort bucket queue used by both k-core and
+//!   k-truss peeling (O(1) pop-min and decrease-key).
+//! * [`edgelist`] — SNAP-style edge-list text I/O.
+//! * [`connectivity`] — BFS connected components.
+//! * [`stats`] — graph statistics (n, m, d_max, triangle count, arboricity
+//!   bound) matching Table 1 of the paper.
+
+pub mod bitset;
+pub mod buckets;
+pub mod builder;
+pub mod connectivity;
+pub mod csr;
+pub mod dsu;
+pub mod dynamic;
+pub mod edgelist;
+pub mod stats;
+pub mod triangles;
+pub mod types;
+
+pub use bitset::BitSet;
+pub use buckets::PeelingBuckets;
+pub use builder::GraphBuilder;
+pub use connectivity::{connected_components, is_connected};
+pub use csr::CsrGraph;
+pub use dsu::Dsu;
+pub use dynamic::DynamicGraph;
+pub use stats::GraphStats;
+pub use types::{EdgeId, VertexId, INVALID_EDGE, INVALID_VERTEX};

@@ -1,0 +1,127 @@
+//! Graph statistics matching Table 1 of the paper.
+
+use serde::Serialize;
+
+use crate::csr::CsrGraph;
+use crate::triangles::triangle_count;
+
+/// Basic statistics of a graph: the `|V|`, `|E|`, `d_max`, `T` columns of
+/// Table 1 plus the arboricity upper bound used in the complexity analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub d_max: usize,
+    /// Number of triangles.
+    pub triangles: u64,
+    /// `ρ ≤ min(⌊√m⌋, d_max)` (Chiba–Nishizeki); the bound appearing in the
+    /// paper's `O(ρ(m + T))` complexity statements.
+    pub arboricity_bound: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics (one triangle-listing pass).
+    pub fn compute(g: &CsrGraph) -> Self {
+        let d_max = g.max_degree();
+        let m = g.m();
+        GraphStats {
+            n: g.n(),
+            m,
+            d_max,
+            triangles: triangle_count(g),
+            arboricity_bound: ((m as f64).sqrt().floor() as usize).min(d_max),
+        }
+    }
+
+    /// Average degree `2m/n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.m as f64 / self.n as f64
+        }
+    }
+}
+
+/// Global clustering coefficient (transitivity): `3T / #wedges`, where a
+/// wedge is a length-2 path. Social graphs sit well above random graphs of
+/// the same density — the property the dataset generators must reproduce for
+/// the truss experiments to be meaningful.
+pub fn global_clustering_coefficient(g: &CsrGraph) -> f64 {
+    let wedges: u64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / wedges as f64
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_k4() {
+        let g = GraphBuilder::new()
+            .extend_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.m, 6);
+        assert_eq!(s.d_max, 3);
+        assert_eq!(s.triangles, 4);
+        assert!((s.avg_degree() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = GraphStats::compute(&GraphBuilder::new().build());
+        assert_eq!((s.n, s.m, s.d_max, s.triangles), (0, 0, 0, 0));
+        assert_eq!(s.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_clique_is_one() {
+        let g = GraphBuilder::new()
+            .extend_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = GraphBuilder::new().extend_edges([(0, 1), (0, 2), (0, 3)]).build();
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_pendant() {
+        // Triangle + pendant: T=1; wedges: deg(2)=3 -> 3, two deg-2 -> 1+1, deg-1 -> 0.
+        let g = GraphBuilder::new().extend_edges([(0, 1), (0, 2), (1, 2), (2, 3)]).build();
+        assert!((global_clustering_coefficient(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = GraphBuilder::with_min_vertices(5).extend_edges([(0, 1), (0, 2)]).build();
+        assert_eq!(degree_histogram(&g), vec![2, 2, 1]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Drivers for the effectiveness experiments (Exp-7 … Exp-9, Table 5).
+
+use rand::Rng;
+
+use sd_graph::{CsrGraph, GraphBuilder, VertexId};
+
+use crate::ic::{simulate_cascade, IcModel, ROUND_NOT_ACTIVATED};
+
+/// Splits positive scores into four quartile-ish interval boundaries
+/// (Exp-7 groups vertices into 4 score intervals "from low to high").
+/// Returns `[b1, b2, b3]`: group 0 is `score ≤ b1`, group 3 is `> b3`.
+pub fn score_quartile_boundaries(scores: &[u32]) -> [u32; 3] {
+    let mut positive: Vec<u32> = scores.iter().copied().filter(|&s| s > 0).collect();
+    if positive.is_empty() {
+        return [0, 0, 0];
+    }
+    positive.sort_unstable();
+    let q = |f: f64| positive[(f * (positive.len() - 1) as f64) as usize];
+    [q(0.25), q(0.5), q(0.75)]
+}
+
+/// Exp-7 / Figure 13: activation rate (fraction of vertices activated at
+/// least once across `samples` cascades… measured as expected activation
+/// probability) per score group. Returns `(group_ranges, rates)` where
+/// groups partition vertices with positive score by the quartile boundaries.
+pub fn activation_rates_by_group(
+    g: &CsrGraph,
+    scores: &[u32],
+    seeds: &[VertexId],
+    model: IcModel,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> ([(u32, u32); 4], [f64; 4]) {
+    let bounds = score_quartile_boundaries(scores);
+    let max_score = scores.iter().copied().max().unwrap_or(0);
+    let group_of = |s: u32| -> Option<usize> {
+        if s == 0 {
+            None
+        } else if s <= bounds[0] {
+            Some(0)
+        } else if s <= bounds[1] {
+            Some(1)
+        } else if s <= bounds[2] {
+            Some(2)
+        } else {
+            Some(3)
+        }
+    };
+    let mut hits = [0u64; 4];
+    let mut members = [0u64; 4];
+    for (v, &s) in scores.iter().enumerate() {
+        if let Some(gi) = group_of(s) {
+            members[gi] += samples as u64;
+            let _ = v;
+        }
+    }
+    for _ in 0..samples {
+        let outcome = simulate_cascade(g, seeds, model, rng);
+        for (v, &s) in scores.iter().enumerate() {
+            if let Some(gi) = group_of(s) {
+                if outcome.round[v] != ROUND_NOT_ACTIVATED {
+                    hits[gi] += 1;
+                }
+            }
+        }
+    }
+    let mut rates = [0.0f64; 4];
+    for gi in 0..4 {
+        rates[gi] = if members[gi] == 0 { 0.0 } else { hits[gi] as f64 / members[gi] as f64 };
+    }
+    let ranges = [
+        (1, bounds[0]),
+        (bounds[0] + 1, bounds[1]),
+        (bounds[1] + 1, bounds[2]),
+        (bounds[2] + 1, max_score),
+    ];
+    (ranges, rates)
+}
+
+/// Exp-8 / Figure 14: expected number of `targets` activated by cascades
+/// from `seeds`.
+pub fn activated_counts(
+    g: &CsrGraph,
+    targets: &[VertexId],
+    seeds: &[VertexId],
+    model: IcModel,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let mut total = 0u64;
+    for _ in 0..samples {
+        let outcome = simulate_cascade(g, seeds, model, rng);
+        total += targets
+            .iter()
+            .filter(|&&t| outcome.round[t as usize] != ROUND_NOT_ACTIVATED)
+            .count() as u64;
+    }
+    total as f64 / samples as f64
+}
+
+/// Exp-9 / Figure 15: activation latency. For each `j`, the average round at
+/// which the j-th target (in activation order) became active, over the
+/// samples where at least `j` targets activated. Returns
+/// `(avg_round_for_jth, support_count)` pairs, `j = 1..=targets.len()`.
+pub fn activation_latency(
+    g: &CsrGraph,
+    targets: &[VertexId],
+    seeds: &[VertexId],
+    model: IcModel,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> Vec<(f64, usize)> {
+    let mut sums = vec![0f64; targets.len()];
+    let mut counts = vec![0usize; targets.len()];
+    let mut rounds = Vec::with_capacity(targets.len());
+    for _ in 0..samples {
+        let outcome = simulate_cascade(g, seeds, model, rng);
+        rounds.clear();
+        rounds.extend(
+            targets
+                .iter()
+                .map(|&t| outcome.round[t as usize])
+                .filter(|&r| r != ROUND_NOT_ACTIVATED),
+        );
+        rounds.sort_unstable();
+        for (j, &r) in rounds.iter().enumerate() {
+            sums[j] += r as f64;
+            counts[j] += 1;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(s, c)| if c == 0 { (0.0, 0) } else { (s / c as f64, c) })
+        .collect()
+}
+
+/// Table 5 (Exp-12): activation probability of a center vertex `v` on the
+/// graph `H* = GN(v) ∪ {v}`, seeded by `seed_count` random members of
+/// `N(v)`, edge probability `model.p`, over `samples` cascades.
+pub fn center_activation_probability(
+    g: &CsrGraph,
+    v: VertexId,
+    model: IcModel,
+    seed_count: usize,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    // Build H*: the ego-network of v plus v with its incident edges,
+    // re-labelled 0..=d(v) with v last.
+    let nbrs = g.neighbors(v);
+    let local = |x: VertexId| nbrs.binary_search(&x).expect("neighbor") as VertexId;
+    let center = nbrs.len() as VertexId;
+    let mut builder = GraphBuilder::with_min_vertices(nbrs.len() + 1);
+    for (iu, &u) in nbrs.iter().enumerate() {
+        builder.add_edge(iu as VertexId, center);
+        // Ego edges: intersect N(u) with the tail of N(v).
+        for &w in g.neighbors(u) {
+            if w > u && nbrs.binary_search(&w).is_ok() {
+                builder.add_edge(iu as VertexId, local(w));
+            }
+        }
+    }
+    let h = builder.extend_edges([]).build();
+
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        // Fresh random seeds each sample, per the paper's setup.
+        let mut seeds: Vec<VertexId> = Vec::with_capacity(seed_count);
+        while seeds.len() < seed_count.min(nbrs.len()) {
+            let s = rng.gen_range(0..nbrs.len() as VertexId);
+            if !seeds.contains(&s) {
+                seeds.push(s);
+            }
+        }
+        let outcome = simulate_cascade(&h, &seeds, model, rng);
+        if outcome.round[center as usize] != ROUND_NOT_ACTIVATED {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quartiles_of_uniform_scores() {
+        let scores: Vec<u32> = (0..=100).collect();
+        let b = score_quartile_boundaries(&scores);
+        assert!(b[0] >= 20 && b[0] <= 30, "{b:?}");
+        assert!(b[1] >= 45 && b[1] <= 55);
+        assert!(b[2] >= 70 && b[2] <= 80);
+    }
+
+    #[test]
+    fn quartiles_all_zero() {
+        assert_eq!(score_quartile_boundaries(&[0, 0, 0]), [0, 0, 0]);
+    }
+
+    #[test]
+    fn activated_counts_p1_counts_component() {
+        let g = GraphBuilder::new().extend_edges([(0, 1), (1, 2)]).build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = activated_counts(&g, &[1, 2], &[0], IcModel { p: 1.0 }, 10, &mut rng);
+        assert_eq!(c, 2.0);
+    }
+
+    #[test]
+    fn latency_on_path_is_distance() {
+        let g = GraphBuilder::new().extend_edges([(0, 1), (1, 2), (2, 3)]).build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lat = activation_latency(&g, &[1, 3], &[0], IcModel { p: 1.0 }, 5, &mut rng);
+        assert_eq!(lat[0], (1.0, 5)); // vertex 1 activates at round 1
+        assert_eq!(lat[1], (3.0, 5)); // vertex 3 at round 3
+    }
+
+    #[test]
+    fn center_probability_is_one_at_p1() {
+        let g = GraphBuilder::new().extend_edges([(0, 1), (0, 2), (1, 2)]).build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = center_activation_probability(&g, 0, IcModel { p: 1.0 }, 1, 20, &mut rng);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn center_probability_zero_at_p0() {
+        let g = GraphBuilder::new().extend_edges([(0, 1), (0, 2), (1, 2)]).build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = center_activation_probability(&g, 0, IcModel { p: 0.0 }, 1, 20, &mut rng);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn rates_by_group_monotone_for_hub_structure() {
+        // Dense core + sparse periphery: higher "scores" assigned to core
+        // vertices must see higher activation rates.
+        let mut b = GraphBuilder::new();
+        for i in 0..10u32 {
+            for j in i + 1..10 {
+                b.add_edge(i, j);
+            }
+        }
+        for leaf in 10..40u32 {
+            b.add_edge(leaf % 10, leaf);
+        }
+        let g = b.extend_edges([]).build();
+        let scores: Vec<u32> =
+            g.vertices().map(|v| if v < 10 { 4 } else { 1 }).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, rates) =
+            activation_rates_by_group(&g, &scores, &[0, 1], IcModel { p: 0.3 }, 300, &mut rng);
+        assert!(rates[3] > rates[0], "{rates:?}");
+    }
+
+    use sd_graph::GraphBuilder;
+}

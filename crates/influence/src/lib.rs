@@ -1,0 +1,25 @@
+//! # sd-influence — social contagion substrate
+//!
+//! The paper's effectiveness experiments (Section 7.2) simulate social
+//! contagion with the independent cascade (IC) model:
+//!
+//! * [`ic`] — IC Monte-Carlo simulation with per-round activation tracking
+//!   (undirected edges treated as two directed arcs with uniform probability,
+//!   exactly as Section 7.2 describes).
+//! * [`seeds`] — influence-maximization seed selection: RIS (reverse
+//!   influence sampling, the IMM [37] stand-in) and the degree-discount
+//!   heuristic.
+//! * [`experiments`] — drivers for Figures 13–15 and Table 5: activation
+//!   rate per score group, activated counts among top-r sets, activation
+//!   latency curves, and center-vertex activation probability.
+
+pub mod experiments;
+pub mod ic;
+pub mod seeds;
+
+pub use experiments::{
+    activated_counts, activation_latency, activation_rates_by_group, center_activation_probability,
+    score_quartile_boundaries,
+};
+pub use ic::{simulate_cascade, simulate_weighted_cascade, CascadeOutcome, IcModel};
+pub use seeds::{degree_discount_seeds, ris_seeds};

@@ -1,0 +1,181 @@
+//! Truss decomposition (Algorithm 1 of the paper).
+//!
+//! Peels edges in ascending support with the bin-sort bucket queue: the edge
+//! of minimum support `s` gets trussness `s + 2` (clamped at the current
+//! level), and every triangle it participated in loses one unit of support on
+//! its two surviving edges. Runtime `O(Σ_{(u,v)∈E} min(d(u), d(v)))` plus the
+//! initial support computation — the bound quoted in Lemma 1/Theorem 2.
+
+use sd_graph::triangles::edge_support;
+use sd_graph::{CsrGraph, EdgeId, PeelingBuckets};
+
+/// Result of truss decomposition: per-edge trussness `τ_G(e) ≥ 2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrussDecomposition {
+    /// `trussness[e]` = largest `k` such that a connected k-truss contains `e`.
+    pub trussness: Vec<u32>,
+    /// `τ*_G = max_e τ_G(e)` (0 when the graph has no edges).
+    pub max_trussness: u32,
+}
+
+impl TrussDecomposition {
+    /// Trussness of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> u32 {
+        self.trussness[e as usize]
+    }
+}
+
+/// Runs truss decomposition on `g`, computing supports first.
+pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
+    let support = edge_support(g);
+    truss_decomposition_with_support(g, &support)
+}
+
+/// Runs truss decomposition with precomputed per-edge supports (callers that
+/// already listed triangles — e.g. the GCT builder — reuse them here).
+pub fn truss_decomposition_with_support(g: &CsrGraph, support: &[u32]) -> TrussDecomposition {
+    debug_assert_eq!(support.len(), g.m());
+    let m = g.m();
+    let mut buckets = PeelingBuckets::new(support);
+    let mut alive = vec![true; m];
+    let mut trussness = vec![2u32; m];
+    let mut level = 0u32;
+
+    while let Some((e, key)) = buckets.pop_min() {
+        level = level.max(key);
+        trussness[e as usize] = level + 2;
+        alive[e as usize] = false;
+        let (u, v) = g.edge(e);
+        // Enumerate triangles through the smaller endpoint; each surviving
+        // triangle (u, v, w) costs one support unit on (u, w) and (v, w).
+        let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        for (w, e_aw) in g.neighbor_arcs(a) {
+            if !alive[e_aw as usize] {
+                continue;
+            }
+            let Some(e_bw) = g.edge_id_between(b, w) else { continue };
+            if alive[e_bw as usize] {
+                buckets.decrease_key_clamped(e_aw, level);
+                buckets.decrease_key_clamped(e_bw, level);
+            }
+        }
+    }
+
+    let max_trussness = if m == 0 { 0 } else { level + 2 };
+    TrussDecomposition { trussness, max_trussness }
+}
+
+/// Per-vertex trussness: `τ(v) = max` trussness over edges incident to `v`
+/// (0 for isolated vertices). For `k ≥ 2` every connected k-truss containing
+/// `v` contains an edge at `v`, so this equals Definition 4's vertex
+/// trussness. Used to seed GCT supernodes (Algorithm 8, line 3).
+pub fn vertex_trussness(g: &CsrGraph, decomposition: &TrussDecomposition) -> Vec<u32> {
+    let mut tau = vec![0u32; g.n()];
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        let t = decomposition.trussness[e];
+        if t > tau[u as usize] {
+            tau[u as usize] = t;
+        }
+        if t > tau[v as usize] {
+            tau[v as usize] = t;
+        }
+    }
+    tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_graph::GraphBuilder;
+
+    fn decompose(edges: &[(u32, u32)]) -> (CsrGraph, TrussDecomposition) {
+        let g = GraphBuilder::new().extend_edges(edges.iter().copied()).build();
+        let d = truss_decomposition(&g);
+        (g, d)
+    }
+
+    fn trussness_of(g: &CsrGraph, d: &TrussDecomposition, u: u32, v: u32) -> u32 {
+        d.edge(g.edge_id_between(u, v).unwrap())
+    }
+
+    #[test]
+    fn k4_is_a_4_truss() {
+        let (_, d) = decompose(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(d.trussness.iter().all(|&t| t == 4));
+        assert_eq!(d.max_trussness, 4);
+    }
+
+    #[test]
+    fn triangle_is_a_3_truss() {
+        let (_, d) = decompose(&[(0, 1), (0, 2), (1, 2)]);
+        assert!(d.trussness.iter().all(|&t| t == 3));
+    }
+
+    #[test]
+    fn tree_edges_have_trussness_2() {
+        let (_, d) = decompose(&[(0, 1), (1, 2), (2, 3), (1, 4)]);
+        assert!(d.trussness.iter().all(|&t| t == 2));
+        assert_eq!(d.max_trussness, 2);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let (g, d) = decompose(&[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert_eq!(trussness_of(&g, &d, 0, 1), 3);
+        assert_eq!(trussness_of(&g, &d, 2, 3), 2);
+    }
+
+    /// The paper's Figure 2(b): the H1 subgraph. Two 4-cliques
+    /// {x1,x2,x3,x4} and {y1,y2,y3,y4} bridged by edges (x2,y1) and (x4,y1).
+    /// All clique edges have trussness 4; the two bridges have trussness 3.
+    #[test]
+    fn paper_figure_2_h1() {
+        // x1=0, x2=1, x3=2, x4=3, y1=4, y2=5, y3=6, y4=7.
+        let (g, d) = decompose(&[
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // x-clique
+            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7), // y-clique
+            (1, 4), (3, 4), // bridges (x2,y1), (x4,y1)
+        ]);
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            assert_eq!(trussness_of(&g, &d, u, v), 4, "x-clique edge ({u},{v})");
+        }
+        for (u, v) in [(4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7)] {
+            assert_eq!(trussness_of(&g, &d, u, v), 4, "y-clique edge ({u},{v})");
+        }
+        assert_eq!(trussness_of(&g, &d, 1, 4), 3, "bridge (x2,y1)");
+        assert_eq!(trussness_of(&g, &d, 3, 4), 3, "bridge (x4,y1)");
+        assert_eq!(d.max_trussness, 4);
+    }
+
+    #[test]
+    fn vertex_trussness_matches_max_incident() {
+        let (g, d) = decompose(&[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let tau = vertex_trussness(&g, &d);
+        assert_eq!(tau, vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn vertex_trussness_isolated_is_zero() {
+        let g = GraphBuilder::with_min_vertices(3).extend_edges([(0, 1)]).build();
+        let d = truss_decomposition(&g);
+        let tau = vertex_trussness(&g, &d);
+        assert_eq!(tau, vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (_, d) = decompose(&[]);
+        assert!(d.trussness.is_empty());
+        assert_eq!(d.max_trussness, 0);
+    }
+
+    /// Two triangles sharing one edge: the shared edge has support 2 but the
+    /// graph is only a 3-truss (bowtie check against over-assignment).
+    #[test]
+    fn bowtie_shared_edge() {
+        let (g, d) = decompose(&[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(trussness_of(&g, &d, 1, 2), 3);
+        assert_eq!(d.max_trussness, 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! Edge-trussness distribution (Figure 3 of the paper).
+
+use crate::decompose::TrussDecomposition;
+
+/// `histogram[k]` = number of edges with trussness exactly `k`
+/// (indices 0 and 1 are always zero; trussness starts at 2).
+pub fn trussness_histogram(decomposition: &TrussDecomposition) -> Vec<u64> {
+    let mut hist = vec![0u64; decomposition.max_trussness as usize + 1];
+    for &t in &decomposition.trussness {
+        hist[t as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decomposition;
+    use sd_graph::GraphBuilder;
+
+    #[test]
+    fn triangle_with_pendant_histogram() {
+        let g = GraphBuilder::new().extend_edges([(0, 1), (0, 2), (1, 2), (2, 3)]).build();
+        let d = truss_decomposition(&g);
+        let h = trussness_histogram(&d);
+        assert_eq!(h, vec![0, 0, 1, 3]);
+        assert_eq!(h.iter().sum::<u64>() as usize, g.m());
+    }
+
+    #[test]
+    fn empty_graph_histogram() {
+        let g = GraphBuilder::new().build();
+        let d = truss_decomposition(&g);
+        assert_eq!(trussness_histogram(&d), vec![0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # sd-truss — truss & core decomposition substrate
+//!
+//! Implements the decomposition machinery under the structural diversity
+//! search:
+//!
+//! * [`decompose`] — truss decomposition (Algorithm 1 of the paper, the
+//!   Wang–Cheng peeling algorithm) producing per-edge trussness.
+//! * [`bitmap`] — the bitmap-accelerated variant of Section 6.2 used by the
+//!   GCT index builder on ego-networks.
+//! * [`ktruss`] — k-truss extraction and maximal connected k-trusses
+//!   (the paper's *social contexts* when applied to an ego-network).
+//! * [`kcore`] — k-core decomposition, needed by the Core-Div baseline.
+//! * [`histogram`] — edge-trussness distributions (Figure 3).
+
+pub mod bitmap;
+pub mod decompose;
+pub mod histogram;
+pub mod kcore;
+pub mod ktruss;
+
+pub use bitmap::bitmap_truss_decomposition;
+pub use decompose::{truss_decomposition, vertex_trussness, TrussDecomposition};
+pub use histogram::trussness_histogram;
+pub use kcore::{core_decomposition, maximal_connected_kcores, CoreDecomposition};
+pub use ktruss::{ktruss_edges, maximal_connected_ktrusses};

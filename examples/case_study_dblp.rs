@@ -1,0 +1,56 @@
+//! The Section 7.3 case study on a DBLP-style collaboration network:
+//! find the author whose co-author neighborhood decomposes into the most
+//! research groups, and show why component- and core-based models cannot
+//! see that structure.
+//!
+//! ```sh
+//! cargo run --release --example case_study_dblp
+//! ```
+
+use structural_diversity::datasets::dblp_like;
+use structural_diversity::search::baselines::{comp_div_top_r, core_div_top_r};
+use structural_diversity::search::{DiversityConfig, GctIndex};
+
+fn main() {
+    let g = dblp_like().generate(0.5);
+    println!("collaboration network: n={} m={}", g.n(), g.m());
+
+    // k = 5, r = 1 — the paper's case-study query.
+    let cfg = DiversityConfig::new(5, 1);
+    let gct = GctIndex::build(&g);
+
+    let truss = gct.top_r(&cfg);
+    let top = &truss.entries[0];
+    println!(
+        "\nTruss-Div top-1: author a{} with {} research groups (maximal connected 5-trusses):",
+        top.vertex, top.score
+    );
+    for (i, group) in top.contexts.iter().enumerate() {
+        println!(
+            "  group {}: {} co-authors, e.g. {}",
+            i + 1,
+            group.len(),
+            group.iter().take(5).map(|v| format!("a{v}")).collect::<Vec<_>>().join(" ")
+        );
+    }
+
+    // The same query under the competitor models (Exp-11).
+    let comp = comp_div_top_r(&g, &cfg);
+    let core = core_div_top_r(&g, &cfg);
+    println!(
+        "\nComp-Div top-1: a{} with {} context(s) — components ≥ {} vertices",
+        comp.entries[0].vertex,
+        comp.entries[0].score,
+        cfg.k
+    );
+    println!(
+        "Core-Div top-1: a{} with {} context(s) — maximal connected {}-cores",
+        core.entries[0].vertex,
+        core.entries[0].score,
+        cfg.k
+    );
+    println!(
+        "\nThe truss model separates research groups that the component/core \
+         models fuse through weak bridges (Observation of Exp-10/11)."
+    );
+}

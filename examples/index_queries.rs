@@ -1,0 +1,54 @@
+//! Index lifecycle: build a TSD-index and a GCT-index once, serialize them
+//! to disk, reload, and answer many (k, r) queries — the "index once, query
+//! forever" workflow the paper designs Section 5/6 around.
+//!
+//! ```sh
+//! cargo run --release --example index_queries
+//! ```
+
+use std::time::Instant;
+
+use structural_diversity::datasets;
+use structural_diversity::search::{DiversityConfig, GctIndex, TsdIndex};
+
+fn main() {
+    let dataset = datasets::dataset("email-enron-syn").expect("registry dataset");
+    let g = dataset.generate(0.2);
+    println!("graph: {} (n={} m={})", dataset.name, g.n(), g.m());
+
+    // Build both indexes.
+    let t0 = Instant::now();
+    let tsd = TsdIndex::build(&g);
+    println!("TSD-index: built in {:?}, {} bytes", t0.elapsed(), tsd.index_size_bytes());
+    let t1 = Instant::now();
+    let gct = GctIndex::build(&g);
+    println!("GCT-index: built in {:?}, {} bytes", t1.elapsed(), gct.index_size_bytes());
+
+    // Serialize / reload round-trip (e.g. to ship the index next to the data).
+    let dir = std::env::temp_dir().join("sd_index_example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("graph.gct");
+    std::fs::write(&path, gct.to_bytes()).expect("write index");
+    let blob = std::fs::read(&path).expect("read index");
+    let gct = GctIndex::from_bytes(blob.into()).expect("decode index");
+    println!("reloaded GCT-index from {}", path.display());
+
+    // One index, many queries: the same structures answer every (k, r).
+    println!("\n{:<6} {:<4} {:>14} {:>14}", "k", "r", "TSD query", "GCT query");
+    for k in [3u32, 4, 5, 6] {
+        for r in [10usize, 100] {
+            let cfg = DiversityConfig::new(k, r);
+            let t = Instant::now();
+            let a = tsd.top_r(&g, &cfg);
+            let tsd_time = t.elapsed();
+            let t = Instant::now();
+            let b = gct.top_r(&cfg);
+            let gct_time = t.elapsed();
+            assert_eq!(a.scores(), b.scores(), "engines must agree");
+            let top = a.entries.first().map(|e| e.score).unwrap_or(0);
+            println!(
+                "k={k:<4} r={r:<4} {tsd_time:>12.2?} {gct_time:>12.2?}   (top score {top})"
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a graph, run a top-r truss-based structural diversity
+//! query with each engine, and inspect the social contexts.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use structural_diversity::graph::GraphBuilder;
+use structural_diversity::search::{
+    bound_top_r, online_top_r, paper_figure1_edges, DiversityConfig, GctIndex, TsdIndex,
+    paper::PAPER_FIGURE1_NAMES,
+};
+
+fn main() {
+    // The paper's running example (Figure 1): vertex v with three social
+    // contexts at k = 4.
+    let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
+    println!("graph: n={} m={}", g.n(), g.m());
+
+    let config = DiversityConfig::new(4, 3);
+
+    // 1. Online search (Algorithm 3) — no index, full scan.
+    let online = online_top_r(&g, &config);
+    println!("\n[online] evaluated {} vertices", online.metrics.score_computations);
+
+    // 2. Bound search (Algorithm 4) — sparsification + upper-bound pruning.
+    let bound = bound_top_r(&g, &config);
+    println!("[bound]  evaluated {} vertices (early termination)", bound.metrics.score_computations);
+
+    // 3. TSD-index (Algorithms 5-6) — one index, any (k, r).
+    let tsd = TsdIndex::build(&g);
+    let tsd_result = tsd.top_r(&g, &config);
+    println!("[tsd]    index size {} bytes", tsd.index_size_bytes());
+
+    // 4. GCT-index (Algorithms 7-8) — compressed, O(log) scores.
+    let gct = GctIndex::build(&g);
+    let gct_result = gct.top_r(&config);
+    println!("[gct]    index size {} bytes", gct.index_size_bytes());
+
+    // All engines agree.
+    assert_eq!(online.scores(), bound.scores());
+    assert_eq!(online.scores(), tsd_result.scores());
+    assert_eq!(online.scores(), gct_result.scores());
+
+    println!("\ntop-{} vertices at k = {}:", config.r, config.k);
+    for entry in &gct_result.entries {
+        let name = PAPER_FIGURE1_NAMES[entry.vertex as usize];
+        println!("  {name}: score {}", entry.score);
+        for (i, context) in entry.contexts.iter().enumerate() {
+            let members: Vec<&str> =
+                context.iter().map(|&u| PAPER_FIGURE1_NAMES[u as usize]).collect();
+            println!("    context {}: {{{}}}", i + 1, members.join(", "));
+        }
+    }
+}

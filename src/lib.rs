@@ -1,0 +1,35 @@
+//! # structural-diversity — truss-based structural diversity search
+//!
+//! Umbrella crate re-exporting the whole system: a faithful Rust
+//! reproduction of *"Truss-based Structural Diversity Search in Large
+//! Graphs"* (Huang, Huang & Xu — TKDE / ICDE'21 extended abstract).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use structural_diversity::graph::GraphBuilder;
+//! use structural_diversity::search::{DiversityConfig, TsdIndex};
+//!
+//! // The paper's running example (Figure 1): vertex v's neighborhood
+//! // decomposes into three social contexts at k = 4.
+//! let g = GraphBuilder::new()
+//!     .extend_edges(structural_diversity::search::paper_figure1_edges())
+//!     .build();
+//! let index = TsdIndex::build(&g);
+//! let result = index.top_r(&g, &DiversityConfig { k: 4, r: 1 });
+//! assert_eq!(result.entries[0].score, 3);
+//! ```
+//!
+//! See the crate-level docs of the members for details:
+//! * [`graph`] — CSR graphs, triangle listing, bitsets, union-find.
+//! * [`truss`] — truss/core decomposition.
+//! * [`search`] — the paper's algorithms (online, bound, TSD, GCT, hybrid,
+//!   baselines).
+//! * [`influence`] — independent-cascade contagion simulation.
+//! * [`datasets`] — synthetic dataset generators and registry.
+
+pub use sd_core as search;
+pub use sd_datasets as datasets;
+pub use sd_graph as graph;
+pub use sd_influence as influence;
+pub use sd_truss as truss;

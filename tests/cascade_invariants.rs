@@ -1,0 +1,99 @@
+//! Property tests of the independent-cascade substrate: structural
+//! invariants every valid cascade must satisfy, on arbitrary graphs.
+
+mod common;
+
+use common::arb_graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use structural_diversity::graph::connected_components;
+use structural_diversity::influence::{
+    degree_discount_seeds, ris_seeds, simulate_cascade, simulate_weighted_cascade, IcModel,
+};
+use structural_diversity::influence::ic::ROUND_NOT_ACTIVATED;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every activated non-seed vertex must have a neighbor activated in the
+    /// previous round — cascades cannot teleport.
+    #[test]
+    fn activation_rounds_are_causal(
+        g in arb_graph(24, 100),
+        seed in 0u64..1000,
+        p in 0.05f64..0.95,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds = [0u32];
+        let outcome = simulate_cascade(&g, &seeds, IcModel { p }, &mut rng);
+        for v in g.vertices() {
+            let r = outcome.round[v as usize];
+            if r == ROUND_NOT_ACTIVATED || r == 0 {
+                continue;
+            }
+            let has_cause = g
+                .neighbors(v)
+                .iter()
+                .any(|&u| outcome.round[u as usize] == r - 1);
+            prop_assert!(has_cause, "vertex {} activated at {} without cause", v, r);
+        }
+    }
+
+    /// p = 1 activates exactly the connected component of the seed.
+    #[test]
+    fn certain_cascade_fills_component(g in arb_graph(20, 60), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = simulate_cascade(&g, &[0], IcModel { p: 1.0 }, &mut rng);
+        let components = connected_components(&g);
+        let seed_component = components.label[0];
+        for v in g.vertices() {
+            let in_component = components.label[v as usize] == seed_component;
+            let activated = outcome.round[v as usize] != ROUND_NOT_ACTIVATED;
+            prop_assert_eq!(in_component, activated, "vertex {}", v);
+        }
+    }
+
+    /// Weighted cascade obeys the same causality invariant.
+    #[test]
+    fn weighted_cascade_is_causal(g in arb_graph(20, 60), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = simulate_weighted_cascade(&g, &[0], &mut rng);
+        for v in g.vertices() {
+            let r = outcome.round[v as usize];
+            if r == ROUND_NOT_ACTIVATED || r == 0 {
+                continue;
+            }
+            prop_assert!(g.neighbors(v).iter().any(|&u| outcome.round[u as usize] == r - 1));
+        }
+    }
+
+    /// Seed selectors return the requested number of distinct vertices.
+    #[test]
+    fn seed_selectors_return_distinct(g in arb_graph(24, 80), count in 1usize..10) {
+        let dd = degree_discount_seeds(&g, 0.05, count);
+        prop_assert_eq!(dd.len(), count.min(g.n()));
+        let mut sorted = dd.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), dd.len());
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let ris = ris_seeds(&g, IcModel { p: 0.2 }, count, 200, &mut rng);
+        prop_assert_eq!(ris.len(), count.min(g.n()));
+        let mut sorted = ris.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), ris.len());
+    }
+
+    /// Activated count always equals the number of finite rounds.
+    #[test]
+    fn activated_count_consistent(g in arb_graph(20, 60), seed in 0u64..100, p in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = simulate_cascade(&g, &[0, 1 % g.n() as u32], IcModel { p }, &mut rng);
+        let finite = outcome.round.iter().filter(|&&r| r != ROUND_NOT_ACTIVATED).count();
+        prop_assert_eq!(outcome.activated, finite);
+    }
+}

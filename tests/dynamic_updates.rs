@@ -1,0 +1,94 @@
+//! Property tests for dynamic TSD-index maintenance: after an arbitrary
+//! script of edge insertions and deletions, the incrementally-maintained
+//! index must agree exactly with a from-scratch rebuild — scores AND social
+//! contexts, for every k.
+
+mod common;
+
+use common::arb_graph;
+use proptest::prelude::*;
+
+use structural_diversity::search::dynamic::DynamicTsd;
+use structural_diversity::search::{all_scores, social_contexts};
+
+/// One edit: insert or delete an (attempted) edge.
+#[derive(Clone, Debug)]
+enum Edit {
+    Insert(u32, u32),
+    Remove(u32, u32),
+}
+
+fn arb_edits(n: u32, len: usize) -> impl Strategy<Value = Vec<Edit>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0..n, 0..n).prop_map(|(ins, u, v)| {
+            if ins {
+                Edit::Insert(u, v)
+            } else {
+                Edit::Remove(u, v)
+            }
+        }),
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn incremental_equals_rebuild(
+        g in arb_graph(14, 40),
+        edits in arb_edits(14, 12),
+        k in 2u32..5,
+    ) {
+        let mut dynamic = DynamicTsd::from_csr(&g);
+        for edit in &edits {
+            match *edit {
+                Edit::Insert(u, v) => { dynamic.insert_edge(u, v); }
+                Edit::Remove(u, v) => { dynamic.remove_edge(u, v); }
+            }
+            let snapshot = dynamic.graph().to_csr();
+            prop_assert_eq!(
+                dynamic.all_scores(k),
+                all_scores(&snapshot, k),
+                "after {:?}",
+                edit
+            );
+        }
+    }
+
+    #[test]
+    fn contexts_equal_rebuild_at_end(
+        g in arb_graph(12, 30),
+        edits in arb_edits(12, 8),
+        k in 2u32..5,
+    ) {
+        let mut dynamic = DynamicTsd::from_csr(&g);
+        for edit in edits {
+            match edit {
+                Edit::Insert(u, v) => { dynamic.insert_edge(u, v); }
+                Edit::Remove(u, v) => { dynamic.remove_edge(u, v); }
+            }
+        }
+        let snapshot = dynamic.graph().to_csr();
+        for v in snapshot.vertices() {
+            prop_assert_eq!(
+                dynamic.social_contexts(v, k),
+                social_contexts(&snapshot, v, k),
+                "v={}", v
+            );
+        }
+    }
+
+    /// Insert-then-remove of the same edge restores all scores exactly.
+    #[test]
+    fn insert_remove_is_identity(g in arb_graph(14, 40), u in 0u32..14, v in 0u32..14, k in 2u32..5) {
+        prop_assume!(u != v);
+        prop_assume!(u < g.n() as u32 && v < g.n() as u32);
+        prop_assume!(!g.has_edge(u, v));
+        let before = all_scores(&g, k);
+        let mut dynamic = DynamicTsd::from_csr(&g);
+        dynamic.insert_edge(u, v);
+        dynamic.remove_edge(u, v);
+        prop_assert_eq!(dynamic.all_scores(k), before);
+    }
+}

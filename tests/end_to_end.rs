@@ -1,0 +1,165 @@
+//! End-to-end pipeline tests: dataset generation → index construction →
+//! top-r search → contagion simulation, exactly the flow the experiment
+//! harness runs, at miniature scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use structural_diversity::datasets::{dblp_like, registry};
+use structural_diversity::graph::stats::GraphStats;
+use structural_diversity::influence::{
+    activated_counts, activation_rates_by_group, ris_seeds, IcModel,
+};
+use structural_diversity::search::baselines::{comp_div_top_r, core_div_top_r, random_top_r};
+use structural_diversity::search::{all_scores, online_top_r, DiversityConfig, GctIndex, TsdIndex};
+use structural_diversity::truss::truss_decomposition;
+
+#[test]
+fn every_registry_dataset_generates_and_decomposes() {
+    for d in registry() {
+        let g = d.generate(0.01);
+        let stats = GraphStats::compute(&g);
+        assert!(stats.m > 0, "{}: empty graph", d.name);
+        let decomposition = truss_decomposition(&g);
+        assert!(
+            decomposition.max_trussness >= 3,
+            "{}: no triangles at all (tau* = {})",
+            d.name,
+            decomposition.max_trussness
+        );
+    }
+}
+
+#[test]
+fn search_pipeline_on_generated_dataset() {
+    let g = registry()[0].generate(0.02); // wiki-vote-syn, tiny
+    let cfg = DiversityConfig::new(4, 10);
+    let online = online_top_r(&g, &cfg);
+    let tsd = TsdIndex::build(&g);
+    let gct = GctIndex::build(&g);
+    assert_eq!(online.scores(), tsd.top_r(&g, &cfg).scores());
+    assert_eq!(online.scores(), gct.top_r(&cfg).scores());
+    // Contexts of the winner are non-trivial and well-formed.
+    let top = &online.entries[0];
+    assert!(top.score >= 1, "top score should be positive on a community graph");
+    assert_eq!(top.contexts.len(), top.score as usize);
+}
+
+#[test]
+fn contagion_pipeline_runs_end_to_end() {
+    let g = registry()[0].generate(0.03);
+    let model = IcModel { p: 0.02 };
+    let mut rng = StdRng::seed_from_u64(99);
+    let seeds = ris_seeds(&g, model, 10, 5_000, &mut rng);
+    assert_eq!(seeds.len(), 10);
+
+    let cfg = DiversityConfig::new(4, 30);
+    let gct = GctIndex::build(&g);
+    let truss_set = gct.top_r(&cfg).vertices();
+    let random_set = random_top_r(&g, 30, &mut rng);
+
+    let mut mc = StdRng::seed_from_u64(123);
+    let truss_activated = activated_counts(&g, &truss_set, &seeds, model, 300, &mut mc);
+    let mut mc = StdRng::seed_from_u64(123);
+    let random_activated = activated_counts(&g, &random_set, &seeds, model, 300, &mut mc);
+    // Pipeline sanity: both counts are valid expectations over 30 targets.
+    // (The Figure 14 ordering claim is asserted on a structured graph below;
+    // at this miniature random scale it is statistically noisy.)
+    assert!((0.0..=30.0).contains(&truss_activated));
+    assert!((0.0..=30.0).contains(&random_activated));
+}
+
+/// The Figure 14 ordering claim on a graph built to exhibit it: a periphery
+/// of isolated vertices around dense overlapping communities. Truss-diverse
+/// picks live where cascades flow; uniform random picks mostly don't.
+#[test]
+fn truss_picks_catch_more_contagion_than_random() {
+    use structural_diversity::graph::GraphBuilder;
+    // 10 cliques of 8 sharing hub vertices + 500 isolated-ish periphery.
+    let mut b = GraphBuilder::with_min_vertices(1_000);
+    let mut next = 20u32; // vertices 0..20 are hubs
+    for hub in 0..10u32 {
+        for _ in 0..3 {
+            let members: Vec<u32> = (next..next + 7).collect();
+            next += 7;
+            for (i, &a) in members.iter().enumerate() {
+                b.add_edge(hub, a);
+                for &bb in &members[i + 1..] {
+                    b.add_edge(a, bb);
+                }
+            }
+        }
+    }
+    // Sparse periphery chain (low truss, low contagion).
+    for v in 600..999u32 {
+        b.add_edge(v, v + 1);
+    }
+    let g = b.extend_edges([]).build();
+
+    let model = IcModel { p: 0.08 };
+    let seeds: Vec<u32> = (0..10).collect(); // the hubs
+    let cfg = DiversityConfig::new(4, 50);
+    let gct = GctIndex::build(&g);
+    let truss_set = gct.top_r(&cfg).vertices();
+    let mut rng = StdRng::seed_from_u64(7);
+    let random_set = random_top_r(&g, 50, &mut rng);
+
+    let mut mc = StdRng::seed_from_u64(123);
+    let truss_activated = activated_counts(&g, &truss_set, &seeds, model, 400, &mut mc);
+    let mut mc = StdRng::seed_from_u64(123);
+    let random_activated = activated_counts(&g, &random_set, &seeds, model, 400, &mut mc);
+    assert!(
+        truss_activated > random_activated,
+        "truss {truss_activated} vs random {random_activated}"
+    );
+}
+
+#[test]
+fn activation_rate_grouping_covers_all_positive_vertices() {
+    let g = registry()[1].generate(0.02);
+    let scores = all_scores(&g, 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let seeds = ris_seeds(&g, IcModel { p: 0.02 }, 5, 2_000, &mut rng);
+    let (ranges, rates) =
+        activation_rates_by_group(&g, &scores, &seeds, IcModel { p: 0.02 }, 50, &mut rng);
+    for (lo, hi) in ranges {
+        assert!(lo <= hi + 1, "degenerate range ({lo},{hi})");
+    }
+    assert!(rates.iter().all(|&r| (0.0..=1.0).contains(&r)));
+}
+
+#[test]
+fn dblp_case_study_shape() {
+    let g = dblp_like().generate(0.2);
+    let cfg = DiversityConfig::new(5, 1);
+    let gct = GctIndex::build(&g);
+    let truss = gct.top_r(&cfg);
+    let comp = comp_div_top_r(&g, &cfg);
+    let core = core_div_top_r(&g, &cfg);
+    // The truss model must find strictly more contexts for its winner than
+    // Comp-Div/Core-Div find for theirs — the paper's decomposability story.
+    assert!(
+        truss.entries[0].score > comp.entries[0].score,
+        "truss {} vs comp {}",
+        truss.entries[0].score,
+        comp.entries[0].score
+    );
+    assert!(
+        truss.entries[0].score > core.entries[0].score,
+        "truss {} vs core {}",
+        truss.entries[0].score,
+        core.entries[0].score
+    );
+    // The winner is a hub (generator places hubs at low ids).
+    assert!(truss.entries[0].vertex < 50);
+}
+
+#[test]
+fn quickstart_flow_from_readme() {
+    use structural_diversity::graph::GraphBuilder;
+    use structural_diversity::search::paper_figure1_edges;
+    let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
+    let index = TsdIndex::build(&g);
+    let result = index.top_r(&g, &DiversityConfig::new(4, 1));
+    assert_eq!(result.entries[0].score, 3);
+}

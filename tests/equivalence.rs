@@ -1,0 +1,112 @@
+//! Cross-engine equivalence: the five search engines (online, bound, TSD,
+//! GCT, Hybrid) must produce identical score multisets and identical social
+//! context partitions on arbitrary graphs — the paper's correctness claims
+//! for Algorithm 4 (Property 1 + Lemma 2), the TSD-index (Observations 2–3),
+//! and the GCT-index (Lemma 3), all at once.
+
+mod common;
+
+use common::arb_graph;
+use proptest::prelude::*;
+
+use structural_diversity::search::{
+    all_scores, bound_top_r, online_top_r, social_contexts, upper_bounds, DiversityConfig,
+    GctIndex, HybridIndex, TsdIndex,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_engines_agree_on_scores(g in arb_graph(18, 70), k in 2u32..6, r in 1usize..8) {
+        let cfg = DiversityConfig::new(k, r);
+        let online = online_top_r(&g, &cfg);
+        let bound = bound_top_r(&g, &cfg);
+        let tsd = TsdIndex::build(&g);
+        let tsd_result = tsd.top_r(&g, &cfg);
+        let gct = GctIndex::build(&g);
+        let gct_result = gct.top_r(&cfg);
+        let hybrid = HybridIndex::build_from_tsd(&tsd);
+        let hybrid_result = hybrid.top_r(&g, &cfg);
+
+        prop_assert_eq!(online.scores(), bound.scores());
+        prop_assert_eq!(online.scores(), tsd_result.scores());
+        prop_assert_eq!(online.scores(), gct_result.scores());
+        prop_assert_eq!(online.scores(), hybrid_result.scores());
+    }
+
+    #[test]
+    fn index_scores_equal_online_for_every_vertex(g in arb_graph(18, 70), k in 2u32..7) {
+        let truth = all_scores(&g, k);
+        let tsd = TsdIndex::build(&g);
+        let gct = GctIndex::build(&g);
+        let mut scratch = Vec::new();
+        for v in g.vertices() {
+            prop_assert_eq!(tsd.score(v, k, &mut scratch), truth[v as usize], "tsd v={}", v);
+            prop_assert_eq!(gct.score(v, k), truth[v as usize], "gct v={}", v);
+        }
+    }
+
+    #[test]
+    fn contexts_identical_across_engines(g in arb_graph(14, 50), k in 2u32..5) {
+        let tsd = TsdIndex::build(&g);
+        let gct = GctIndex::build(&g);
+        for v in g.vertices() {
+            let reference = social_contexts(&g, v, k);
+            prop_assert_eq!(&tsd.social_contexts(&g, v, k), &reference, "tsd v={}", v);
+            prop_assert_eq!(&gct.social_contexts(v, k), &reference, "gct v={}", v);
+        }
+    }
+
+    #[test]
+    fn bounds_dominate_scores(g in arb_graph(18, 70), k in 2u32..6) {
+        let truth = all_scores(&g, k);
+        let lemma2 = upper_bounds(&g, k);
+        let tsd = TsdIndex::build(&g);
+        for v in g.vertices() {
+            prop_assert!(lemma2[v as usize] >= truth[v as usize], "lemma2 v={}", v);
+            prop_assert!(tsd.score_upper_bound(v, k) >= truth[v as usize], "tsd-bound v={}", v);
+        }
+    }
+
+    #[test]
+    fn sparsification_preserves_all_scores(g in arb_graph(16, 60), k in 2u32..5) {
+        let sp = structural_diversity::search::sparsify(&g, k);
+        prop_assert_eq!(all_scores(&sp.graph, k), all_scores(&g, k));
+    }
+
+    /// Paper Def. 2/3 sanity: contexts partition a subset of N(v), each with
+    /// at least k vertices... at least max(2, ...) — a k-truss component has
+    /// at least k vertices for k >= 2 (smallest is the k-clique).
+    #[test]
+    fn contexts_are_disjoint_and_large_enough(g in arb_graph(16, 60), k in 2u32..5) {
+        for v in g.vertices() {
+            let contexts = social_contexts(&g, v, k);
+            let mut seen = std::collections::HashSet::new();
+            for context in &contexts {
+                prop_assert!(context.len() >= k as usize, "context smaller than k");
+                for &u in context {
+                    prop_assert!(seen.insert(u), "vertex {} in two contexts", u);
+                    prop_assert!(g.neighbors(v).contains(&u), "context member not a neighbor");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_registry_sample() {
+    // One mid-sized generated dataset as a deterministic smoke test.
+    let g = structural_diversity::datasets::dataset("email-enron-syn")
+        .expect("registry")
+        .generate(0.05);
+    for k in [3u32, 5] {
+        let cfg = DiversityConfig::new(k, 25);
+        let online = online_top_r(&g, &cfg);
+        let tsd = TsdIndex::build(&g);
+        let gct = GctIndex::build(&g);
+        assert_eq!(online.scores(), tsd.top_r(&g, &cfg).scores(), "tsd k={k}");
+        assert_eq!(online.scores(), gct.top_r(&cfg).scores(), "gct k={k}");
+        assert_eq!(online.scores(), bound_top_r(&g, &cfg).scores(), "bound k={k}");
+    }
+}

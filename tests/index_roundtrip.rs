@@ -1,0 +1,63 @@
+//! Index serialization: round-trips must be lossless on arbitrary graphs,
+//! and decoding must reject corrupted blobs instead of panicking.
+
+mod common;
+
+use common::arb_graph;
+use proptest::prelude::*;
+
+use structural_diversity::search::{GctIndex, TsdIndex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tsd_roundtrip(g in arb_graph(20, 80)) {
+        let index = TsdIndex::build(&g);
+        let blob = index.to_bytes();
+        prop_assert_eq!(blob.len(), index.index_size_bytes());
+        let back = TsdIndex::from_bytes(blob).unwrap();
+        prop_assert_eq!(index, back);
+    }
+
+    #[test]
+    fn gct_roundtrip(g in arb_graph(20, 80)) {
+        let index = GctIndex::build(&g);
+        let blob = index.to_bytes();
+        prop_assert_eq!(blob.len(), index.index_size_bytes());
+        let back = GctIndex::from_bytes(blob).unwrap();
+        prop_assert_eq!(index, back);
+    }
+
+    /// Truncating a valid blob anywhere must produce an error, not a panic
+    /// or a silently wrong index.
+    #[test]
+    fn tsd_truncation_detected(g in arb_graph(12, 40), cut in 0usize..64) {
+        let index = TsdIndex::build(&g);
+        let blob = index.to_bytes();
+        prop_assume!(cut < blob.len());
+        let truncated = blob.slice(0..blob.len() - cut - 1);
+        if let Ok(decoded) = TsdIndex::from_bytes(truncated) {
+            // Decoding can only succeed if the cut removed no needed bytes.
+            prop_assert_eq!(decoded, index);
+        }
+    }
+
+    #[test]
+    fn gct_truncation_detected(g in arb_graph(12, 40), cut in 0usize..64) {
+        let index = GctIndex::build(&g);
+        let blob = index.to_bytes();
+        prop_assume!(cut < blob.len());
+        let truncated = blob.slice(0..blob.len() - cut - 1);
+        if let Ok(decoded) = GctIndex::from_bytes(truncated) {
+            prop_assert_eq!(decoded, index);
+        }
+    }
+
+    /// Random bytes must never decode into a panicking state.
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TsdIndex::from_bytes(bytes::Bytes::from(data.clone()));
+        let _ = GctIndex::from_bytes(bytes::Bytes::from(data));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of the decomposition substrate against naive references:
+//! the k-truss from our trussness labels must equal the iterative-removal
+//! fixpoint for every k, bitmap and classic peeling must agree, coreness
+//! must match naive peeling, and triangle counting must match brute force.
+
+mod common;
+
+use common::{arb_graph, naive_kcore_vertices, naive_ktruss_edges, naive_triangle_count};
+use proptest::prelude::*;
+
+use structural_diversity::graph::triangles::{edge_support, triangle_count};
+use structural_diversity::truss::{
+    bitmap_truss_decomposition, core_decomposition, ktruss_edges, truss_decomposition,
+    vertex_trussness,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn triangle_count_matches_naive(g in arb_graph(16, 60)) {
+        prop_assert_eq!(triangle_count(&g), naive_triangle_count(&g));
+    }
+
+    #[test]
+    fn edge_support_sums_to_three_triangles(g in arb_graph(16, 60)) {
+        let total: u64 = edge_support(&g).iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(total, 3 * triangle_count(&g));
+    }
+
+    #[test]
+    fn ktruss_matches_naive_fixpoint(g in arb_graph(14, 50)) {
+        let decomposition = truss_decomposition(&g);
+        for k in 2..=decomposition.max_trussness + 1 {
+            let ours = ktruss_edges(&decomposition, k);
+            let naive = naive_ktruss_edges(&g, k);
+            prop_assert_eq!(&ours, &naive, "k={}", k);
+        }
+    }
+
+    #[test]
+    fn bitmap_equals_classic(g in arb_graph(20, 80)) {
+        prop_assert_eq!(bitmap_truss_decomposition(&g), truss_decomposition(&g));
+    }
+
+    #[test]
+    fn trussness_at_least_2_and_max_consistent(g in arb_graph(16, 60)) {
+        let d = truss_decomposition(&g);
+        prop_assert!(d.trussness.iter().all(|&t| t >= 2) || g.m() == 0);
+        prop_assert_eq!(d.trussness.iter().copied().max().unwrap_or(0), d.max_trussness);
+    }
+
+    #[test]
+    fn vertex_trussness_is_max_incident(g in arb_graph(16, 60)) {
+        let d = truss_decomposition(&g);
+        let tau = vertex_trussness(&g, &d);
+        for v in g.vertices() {
+            let expected = g
+                .arc_edges(v)
+                .iter()
+                .map(|&e| d.trussness[e as usize])
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(tau[v as usize], expected);
+        }
+    }
+
+    #[test]
+    fn coreness_matches_naive(g in arb_graph(16, 60)) {
+        let d = core_decomposition(&g);
+        for k in 0..=d.max_coreness + 1 {
+            let mut ours: Vec<u32> = g
+                .vertices()
+                .filter(|&v| d.coreness[v as usize] >= k)
+                .collect();
+            ours.sort_unstable();
+            prop_assert_eq!(&ours, &naive_kcore_vertices(&g, k), "k={}", k);
+        }
+    }
+
+    /// Trussness is monotone under edge addition: adding an edge never
+    /// lowers any existing edge's trussness.
+    #[test]
+    fn trussness_monotone_under_edge_addition(g in arb_graph(12, 40), extra_u in 0u32..12, extra_v in 0u32..12) {
+        prop_assume!(extra_u != extra_v);
+        prop_assume!(extra_u < g.n() as u32 && extra_v < g.n() as u32);
+        prop_assume!(!g.has_edge(extra_u, extra_v));
+        let before = truss_decomposition(&g);
+        let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
+        edges.push((extra_u.min(extra_v), extra_u.max(extra_v)));
+        let g2 = structural_diversity::graph::GraphBuilder::with_min_vertices(g.n())
+            .extend_edges(edges)
+            .build();
+        let after = truss_decomposition(&g2);
+        for (e2, &(u, v)) in g2.edges().iter().enumerate() {
+            if let Some(e1) = g.edge_id_between(u, v) {
+                prop_assert!(
+                    after.trussness[e2] >= before.trussness[e1 as usize],
+                    "edge ({u},{v}) dropped from {} to {}",
+                    before.trussness[e1 as usize],
+                    after.trussness[e2]
+                );
+            }
+        }
+    }
+}
