@@ -12,12 +12,10 @@ fn bench_index_build(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
-    group.bench_with_input(BenchmarkId::new("tsd", g.m()), &g, |b, g| {
-        b.iter(|| TsdIndex::build(g))
-    });
-    group.bench_with_input(BenchmarkId::new("gct", g.m()), &g, |b, g| {
-        b.iter(|| GctIndex::build(g))
-    });
+    group
+        .bench_with_input(BenchmarkId::new("tsd", g.m()), &g, |b, g| b.iter(|| TsdIndex::build(g)));
+    group
+        .bench_with_input(BenchmarkId::new("gct", g.m()), &g, |b, g| b.iter(|| GctIndex::build(g)));
     group.bench_with_input(BenchmarkId::new("gct_parallel", g.m()), &g, |b, g| {
         b.iter(|| build_gct_parallel(g))
     });

@@ -18,9 +18,8 @@ fn bench_vary_k(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tsd", k), &cfg, |b, cfg| {
             b.iter(|| tsd.top_r(&g, cfg))
         });
-        group.bench_with_input(BenchmarkId::new("gct", k), &cfg, |b, cfg| {
-            b.iter(|| gct.top_r(cfg))
-        });
+        group
+            .bench_with_input(BenchmarkId::new("gct", k), &cfg, |b, cfg| b.iter(|| gct.top_r(cfg)));
         group.bench_with_input(BenchmarkId::new("comp_div", k), &cfg, |b, cfg| {
             b.iter(|| comp_div_top_r(&g, cfg))
         });

@@ -18,9 +18,8 @@ fn bench_vary_r(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tsd", r), &cfg, |b, cfg| {
             b.iter(|| tsd.top_r(&g, cfg))
         });
-        group.bench_with_input(BenchmarkId::new("gct", r), &cfg, |b, cfg| {
-            b.iter(|| gct.top_r(cfg))
-        });
+        group
+            .bench_with_input(BenchmarkId::new("gct", r), &cfg, |b, cfg| b.iter(|| gct.top_r(cfg)));
         group.bench_with_input(BenchmarkId::new("hybrid", r), &cfg, |b, cfg| {
             b.iter(|| hybrid.top_r(&g, cfg))
         });

@@ -9,8 +9,8 @@ use sd_core::{all_scores, DiversityConfig, GctIndex};
 use sd_datasets::dblp_like;
 use sd_graph::{CsrGraph, VertexId};
 use sd_influence::{
-    activated_counts, activation_latency, activation_rates_by_group,
-    center_activation_probability, ris_seeds, IcModel,
+    activated_counts, activation_latency, activation_rates_by_group, center_activation_probability,
+    ris_seeds, IcModel,
 };
 
 use crate::table::Table;
@@ -48,7 +48,11 @@ pub fn fig13(ctx: &ExpContext) {
             }
             t.row([format!("[{},{}]", range.0, range.1), format!("{rate:.4}")]);
         }
-        println!("\nFigure 13 ({}): activation rate by score interval, k=4\n{}", d.name, t.render());
+        println!(
+            "\nFigure 13 ({}): activation rate by score interval, k=4\n{}",
+            d.name,
+            t.render()
+        );
     }
 }
 
@@ -144,7 +148,13 @@ pub fn table5(ctx: &ExpContext) {
     let core = core_div_top_r(&g, &cfg);
 
     let mut t = Table::new([
-        "Method", "vertex", "|V|(ego)", "|E|(ego)", "Density", "|SC(v)|", "ActivatedProb",
+        "Method",
+        "vertex",
+        "|V|(ego)",
+        "|E|(ego)",
+        "Density",
+        "|SC(v)|",
+        "ActivatedProb",
     ]);
     for (name, vertex, contexts) in [
         ("Comp-Div", comp.entries[0].vertex, comp.entries[0].contexts.len()),
@@ -191,8 +201,7 @@ pub fn case_study(ctx: &ExpContext) {
         top.vertex, top.score
     );
     for (i, ctx_set) in top.contexts.iter().enumerate() {
-        let preview: Vec<String> =
-            ctx_set.iter().take(8).map(|v| format!("a{v}")).collect();
+        let preview: Vec<String> = ctx_set.iter().take(8).map(|v| format!("a{v}")).collect();
         let suffix = if ctx_set.len() > 8 { ", …" } else { "" };
         println!(
             "  research group {}: {} members [{}{}]",

@@ -2,12 +2,10 @@
 
 use std::time::Duration;
 
-use sd_core::{
-    bound_top_r, online_top_r, DiversityConfig, GctIndex, HybridIndex, TsdIndex,
-};
+use sd_core::{bound_top_r, online_top_r, DiversityConfig, GctIndex, HybridIndex, TsdIndex};
 use sd_datasets::{registry, PowerLawConfig};
 use sd_graph::stats::GraphStats;
-use sd_truss::{trussness_histogram, truss_decomposition, vertex_trussness};
+use sd_truss::{truss_decomposition, trussness_histogram, vertex_trussness};
 
 use crate::table::Table;
 use crate::timing::{fmt_bytes, fmt_duration, time_it};
@@ -18,8 +16,16 @@ use super::ExpContext;
 /// dataset, side by side with the paper's values.
 pub fn table1(ctx: &ExpContext) {
     let mut t = Table::new([
-        "Name", "|V|", "|E|", "dmax", "tau*_G", "tau*_ego", "T",
-        "paper(|V|)", "paper(|E|)", "paper(T)",
+        "Name",
+        "|V|",
+        "|E|",
+        "dmax",
+        "tau*_G",
+        "tau*_ego",
+        "T",
+        "paper(|V|)",
+        "paper(|E|)",
+        "paper(T)",
     ]);
     for d in registry() {
         let g = ctx.load(&d);
@@ -81,8 +87,15 @@ pub fn fig3(ctx: &ExpContext) {
 pub fn table2(ctx: &ExpContext) {
     let cfg = DiversityConfig::new(3, 100);
     let mut t = Table::new([
-        "Network", "baseline", "bound", "TSD", "Rt",
-        "SS(baseline)", "SS(bound)", "SS(TSD)", "Rs",
+        "Network",
+        "baseline",
+        "bound",
+        "TSD",
+        "Rt",
+        "SS(baseline)",
+        "SS(bound)",
+        "SS(TSD)",
+        "Rs",
     ]);
     for d in registry() {
         let g = ctx.load(&d);
@@ -93,8 +106,8 @@ pub fn table2(ctx: &ExpContext) {
         assert_eq!(base.scores(), bound.scores(), "{}: bound mismatch", d.name);
         assert_eq!(base.scores(), tsd.scores(), "{}: tsd mismatch", d.name);
         let rt = base.metrics.elapsed.as_secs_f64() / tsd.metrics.elapsed.as_secs_f64().max(1e-9);
-        let rs = base.metrics.score_computations as f64
-            / tsd.metrics.score_computations.max(1) as f64;
+        let rs =
+            base.metrics.score_computations as f64 / tsd.metrics.score_computations.max(1) as f64;
         t.row([
             d.name.to_string(),
             fmt_duration(base.metrics.elapsed),
@@ -107,7 +120,10 @@ pub fn table2(ctx: &ExpContext) {
             format!("{rs:.1}"),
         ]);
     }
-    println!("\nTable 2: time & search space, k=3 r=100 (TSD query time excludes index build)\n{}", t.render());
+    println!(
+        "\nTable 2: time & search space, k=3 r=100 (TSD query time excludes index build)\n{}",
+        t.render()
+    );
 }
 
 /// Figure 8: running time of all six methods varied by k (r = 100).
@@ -183,8 +199,14 @@ pub fn fig10(ctx: &ExpContext) {
 pub fn table3(ctx: &ExpContext) {
     let cfg = DiversityConfig::new(3, 100);
     let mut t = Table::new([
-        "Network", "graph", "TSD size", "GCT size", "TSD build", "GCT build",
-        "TSD query", "GCT query",
+        "Network",
+        "graph",
+        "TSD size",
+        "GCT size",
+        "TSD build",
+        "GCT build",
+        "TSD query",
+        "GCT query",
     ]);
     for d in registry() {
         let g = ctx.load(&d);
@@ -209,9 +231,8 @@ pub fn table3(ctx: &ExpContext) {
 /// Table 4: ego-network extraction and ego-network truss decomposition time
 /// for TSD (per-vertex) vs GCT (one-shot global + bitmap).
 pub fn table4(ctx: &ExpContext) {
-    let mut t = Table::new([
-        "Network", "extract(TSD)", "extract(GCT)", "decomp(TSD)", "decomp(GCT)",
-    ]);
+    let mut t =
+        Table::new(["Network", "extract(TSD)", "extract(GCT)", "decomp(TSD)", "decomp(GCT)"]);
     for d in registry() {
         let g = ctx.load(&d);
         let (_, tsd_stats) = TsdIndex::build_with_stats(&g);
@@ -288,10 +309,8 @@ pub fn fig18(_ctx: &ExpContext) {
     let mut tsd_edges: Vec<(u32, u32, u32)> = tsd.forest(q1).collect();
     tsd_edges.sort_unstable_by_key(|&(u, w, _)| (u, w));
     for (u, w, tsd_w) in tsd_edges {
-        let tcp_w = tcp
-            .forest_weight(q1, u, w)
-            .map(|x| x.to_string())
-            .unwrap_or_else(|| "-".to_string());
+        let tcp_w =
+            tcp.forest_weight(q1, u, w).map(|x| x.to_string()).unwrap_or_else(|| "-".to_string());
         t.row([format!("({}, {})", label(u), label(w)), tcp_w, tsd_w.to_string()]);
     }
     println!("{}", t.render());

@@ -36,13 +36,7 @@ impl ExpContext {
     /// Generates a dataset at this context's scale, logging its real size.
     pub fn load(&self, dataset: &Dataset) -> CsrGraph {
         let g = dataset.generate(self.scale);
-        eprintln!(
-            "[gen] {} @ scale {}: n={} m={}",
-            dataset.name,
-            self.scale,
-            g.n(),
-            g.m()
-        );
+        eprintln!("[gen] {} @ scale {}: n={} m={}", dataset.name, self.scale, g.n(), g.m());
         g
     }
 
@@ -58,8 +52,22 @@ impl ExpContext {
 
 /// All experiment names accepted by the `experiments` binary.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "fig3", "table2", "fig8", "fig9", "fig10", "table3", "table4", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "table5", "case-study", "fig18",
+    "table1",
+    "fig3",
+    "table2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table3",
+    "table4",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "table5",
+    "case-study",
+    "fig18",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.

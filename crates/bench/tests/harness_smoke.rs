@@ -39,9 +39,25 @@ fn experiment_list_is_complete() {
     // heavy ones are covered by the recorded runs).
     for name in EXPERIMENTS {
         assert!(
-            ["table1", "fig3", "table2", "fig8", "fig9", "fig10", "table3", "table4", "fig11",
-             "fig12", "fig13", "fig14", "fig15", "table5", "case-study", "fig18"]
-                .contains(name),
+            [
+                "table1",
+                "fig3",
+                "table2",
+                "fig8",
+                "fig9",
+                "fig10",
+                "table3",
+                "table4",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "table5",
+                "case-study",
+                "fig18"
+            ]
+            .contains(name),
             "unknown experiment in list: {name}"
         );
     }

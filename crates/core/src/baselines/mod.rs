@@ -1,5 +1,5 @@
 //! Competitor structural diversity models (Section 7's effectiveness and
-//! efficiency baselines): component-based [7, 21], core-based [20], and
+//! efficiency baselines): component-based \[7, 21\], core-based \[20\], and
 //! random selection.
 
 pub mod comp_div;

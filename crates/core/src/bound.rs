@@ -41,10 +41,8 @@ pub fn sparsify(g: &CsrGraph, k: u32) -> Sparsified {
         }
     }
     let graph = builder.extend_edges([]).build();
-    let vertices_isolated = g
-        .vertices()
-        .filter(|&v| g.degree(v) > 0 && graph.degree(v) == 0)
-        .count();
+    let vertices_isolated =
+        g.vertices().filter(|&v| g.degree(v) > 0 && graph.degree(v) == 0).count();
     Sparsified { graph, edges_removed: g.m() - kept, vertices_isolated }
 }
 
@@ -207,10 +205,7 @@ mod tests {
         let result = bound_top_r(&g, &DiversityConfig::new(4, 1));
         assert_eq!(result.entries[0].vertex, v);
         assert_eq!(result.entries[0].score, 3);
-        assert_eq!(
-            result.metrics.score_computations, 1,
-            "only v itself should be evaluated"
-        );
+        assert_eq!(result.metrics.score_computations, 1, "only v itself should be evaluated");
     }
 
     #[test]

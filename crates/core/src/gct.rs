@@ -444,11 +444,7 @@ mod tests {
         let index = GctIndex::build(&g);
         for k in 2..=5 {
             for v in g.vertices() {
-                assert_eq!(
-                    index.social_contexts(v, k),
-                    social_contexts(&g, v, k),
-                    "v={v} k={k}"
-                );
+                assert_eq!(index.social_contexts(v, k), social_contexts(&g, v, k), "v={v} k={k}");
             }
         }
     }

@@ -79,13 +79,8 @@ impl HybridIndex {
     /// Figure 11.
     pub fn top_r(&self, g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
         let start = Instant::now();
-        let ranking = self
-            .rankings
-            .get(config.k as usize)
-            .map(|r| r.as_slice())
-            .unwrap_or(&[]);
-        let mut picks: Vec<(u32, VertexId)> =
-            ranking.iter().take(config.r).copied().collect();
+        let ranking = self.rankings.get(config.k as usize).map(|r| r.as_slice()).unwrap_or(&[]);
+        let mut picks: Vec<(u32, VertexId)> = ranking.iter().take(config.r).copied().collect();
         // Pad with zero-score vertices when r exceeds the positive-score
         // population, matching the online algorithm's output size.
         if picks.len() < config.r.min(self.n) {

@@ -43,8 +43,8 @@ pub use egonet::{AllEgoNetworks, EgoNetwork};
 pub use gct::{GctIndex, BITMAP_FALLBACK_THRESHOLD};
 pub use hybrid::HybridIndex;
 pub use online::{all_scores, online_top_r};
-pub use paper::{paper_figure1_edges, paper_figure1_graph, paper_figure18_graph};
-pub use tcp::{ktruss_communities, TcpIndex};
+pub use paper::{paper_figure18_graph, paper_figure1_edges, paper_figure1_graph};
 pub use score::{score, social_contexts, EgoDecomposition};
+pub use tcp::{ktruss_communities, TcpIndex};
 pub use topr::TopRCollector;
 pub use tsd::{TsdBuilder, TsdIndex};

@@ -14,8 +14,8 @@ use sd_graph::{CsrGraph, GraphBuilder, VertexId};
 
 /// Vertex indices of the fixture, in name order.
 pub const PAPER_FIGURE1_NAMES: [&str; 17] = [
-    "v", "x1", "x2", "x3", "x4", "y1", "y2", "y3", "y4", "r1", "r2", "r3", "r4", "r5", "r6",
-    "s1", "s2",
+    "v", "x1", "x2", "x3", "x4", "y1", "y2", "y3", "y4", "r1", "r2", "r3", "r4", "r5", "r6", "s1",
+    "s2",
 ];
 
 /// Edge list of Figure 1(a).
@@ -77,8 +77,7 @@ pub fn paper_figure1_graph() -> (CsrGraph, VertexId, &'static [&'static str; 17]
 }
 
 /// Vertex names of the Figure 18 fixture.
-pub const PAPER_FIGURE18_NAMES: [&str; 9] =
-    ["q1", "q2", "q3", "z1", "z2", "z3", "z4", "z5", "z6"];
+pub const PAPER_FIGURE18_NAMES: [&str; 9] = ["q1", "q2", "q3", "z1", "z2", "z3", "z4", "z5", "z6"];
 
 /// The paper's Figure 18 graph — the TSD-vs-TCP comparison witness.
 ///
@@ -92,11 +91,7 @@ pub fn paper_figure18_graph() -> (CsrGraph, VertexId, &'static [&'static str; 9]
     const Q2: u32 = 1;
     const Q3: u32 = 2;
     const Z: [u32; 6] = [3, 4, 5, 6, 7, 8]; // z1..z6
-    let cliques = [
-        [Q1, Q2, Z[0], Z[1]],
-        [Q1, Q3, Z[2], Z[3]],
-        [Q2, Q3, Z[4], Z[5]],
-    ];
+    let cliques = [[Q1, Q2, Z[0], Z[1]], [Q1, Q3, Z[2], Z[3]], [Q2, Q3, Z[4], Z[5]]];
     let mut edges = Vec::new();
     for clique in cliques {
         for i in 0..4 {

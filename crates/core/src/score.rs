@@ -2,8 +2,7 @@
 
 use sd_graph::{CsrGraph, VertexId};
 use sd_truss::{
-    bitmap_truss_decomposition, maximal_connected_ktrusses, truss_decomposition,
-    TrussDecomposition,
+    bitmap_truss_decomposition, maximal_connected_ktrusses, truss_decomposition, TrussDecomposition,
 };
 
 use crate::egonet::EgoNetwork;
@@ -68,10 +67,8 @@ mod tests {
         let (g, v, names) = paper_figure1_graph();
         let contexts = social_contexts(&g, v, 4);
         assert_eq!(contexts.len(), 3);
-        let mut labeled: Vec<Vec<&str>> = contexts
-            .iter()
-            .map(|ctx| ctx.iter().map(|&u| names[u as usize]).collect())
-            .collect();
+        let mut labeled: Vec<Vec<&str>> =
+            contexts.iter().map(|ctx| ctx.iter().map(|&u| names[u as usize]).collect()).collect();
         labeled.sort();
         assert_eq!(
             labeled,

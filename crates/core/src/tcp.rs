@@ -171,10 +171,8 @@ mod tests {
         assert_eq!(tcp.forest_weight(q1, q2, q3), Some(4), "TCP weight (global trussness)");
 
         let tsd = crate::tsd::TsdIndex::build(&g);
-        let tsd_weight = tsd
-            .forest(q1)
-            .find(|&(u, w, _)| (u, w) == (q2.min(q3), q2.max(q3)))
-            .map(|(_, _, t)| t);
+        let tsd_weight =
+            tsd.forest(q1).find(|&(u, w, _)| (u, w) == (q2.min(q3), q2.max(q3))).map(|(_, _, t)| t);
         assert_eq!(tsd_weight, Some(2), "TSD weight (ego-network trussness)");
     }
 

@@ -395,11 +395,7 @@ mod tests {
         for k in 2..=7 {
             let truth = all_scores(&g, k);
             for v in g.vertices() {
-                assert_eq!(
-                    index.score(v, k, &mut scratch),
-                    truth[v as usize],
-                    "v={v}, k={k}"
-                );
+                assert_eq!(index.score(v, k, &mut scratch), truth[v as usize], "v={v}, k={k}");
             }
         }
     }

@@ -108,10 +108,7 @@ pub fn community_graph(config: &CommunityConfig, rng: &mut impl Rng) -> CsrGraph
     }
 
     // 3. Calibrate the intra-community edge probability against the target.
-    let total_pairs: f64 = communities
-        .iter()
-        .map(|c| (c.len() * (c.len() - 1) / 2) as f64)
-        .sum();
+    let total_pairs: f64 = communities.iter().map(|c| (c.len() * (c.len() - 1) / 2) as f64).sum();
     let intra_target = target_m as f64 * (1.0 - background_frac);
     let p = (intra_target / total_pairs.max(1.0)).min(1.0);
 
@@ -191,8 +188,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "membership_mean")]
-    fn rejects_sub_one_mean()
-    {
+    fn rejects_sub_one_mean() {
         let mut rng = StdRng::seed_from_u64(1);
         let cfg = CommunityConfig { membership_mean: 0.5, ..CommunityConfig::social(100, 200) };
         community_graph(&cfg, &mut rng);

@@ -14,7 +14,7 @@
 //! * [`gnm`] — uniform G(n, m) (a low-clustering control).
 //! * [`collab`] — planted research-group collaboration network (the DBLP
 //!   case-study stand-in: overlapping near-cliques glued by hub authors).
-//! * [`registry`] — named datasets mirroring Table 1.
+//! * [`mod@registry`] — named datasets mirroring Table 1.
 
 pub mod collab;
 pub mod community;

@@ -104,7 +104,8 @@ mod tests {
     #[test]
     fn produces_requested_size() {
         let mut rng = StdRng::seed_from_u64(1);
-        let g = powerlaw_graph(&PowerLawConfig { n: 500, edges_per_vertex: 5, p_triad: 0.3 }, &mut rng);
+        let g =
+            powerlaw_graph(&PowerLawConfig { n: 500, edges_per_vertex: 5, p_triad: 0.3 }, &mut rng);
         assert_eq!(g.n(), 500);
         // m ≈ 5n (slightly less from the seed path).
         assert!(g.m() > 4 * 500 && g.m() <= 5 * 500, "m = {}", g.m());

@@ -58,11 +58,7 @@ impl BitSet {
     /// `popcount(self AND other)` — the bitmap support primitive. The two
     /// bitmaps may have different capacities; the shorter prefix is used.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Calls `f(i)` for every bit set in `self AND other`, in ascending order.

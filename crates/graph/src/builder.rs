@@ -79,9 +79,7 @@ mod tests {
 
     #[test]
     fn dedups_and_normalizes() {
-        let g = GraphBuilder::new()
-            .extend_edges([(1, 0), (0, 1), (0, 1), (2, 1)])
-            .build();
+        let g = GraphBuilder::new().extend_edges([(1, 0), (0, 1), (0, 1), (2, 1)]).build();
         assert_eq!(g.m(), 2);
         assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
     }

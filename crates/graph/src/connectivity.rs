@@ -60,9 +60,7 @@ mod tests {
 
     #[test]
     fn two_components_plus_isolated() {
-        let g = GraphBuilder::with_min_vertices(6)
-            .extend_edges([(0, 1), (1, 2), (3, 4)])
-            .build();
+        let g = GraphBuilder::with_min_vertices(6).extend_edges([(0, 1), (1, 2), (3, 4)]).build();
         let c = connected_components(&g);
         assert_eq!(c.count, 3);
         assert_eq!(c.label[0], c.label[2]);

@@ -18,6 +18,19 @@
 //! * [`connectivity`] — BFS connected components.
 //! * [`stats`] — graph statistics (n, m, d_max, triangle count, arboricity
 //!   bound) matching Table 1 of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use sd_graph::triangles::triangle_count;
+//! use sd_graph::GraphBuilder;
+//!
+//! // Duplicate edges, reversed pairs, and self-loops are canonicalized away.
+//! let g = GraphBuilder::new().extend_edges([(0, 1), (1, 0), (1, 2), (0, 2), (2, 2), (2, 3)]).build();
+//! assert_eq!((g.n(), g.m()), (4, 4));
+//! assert_eq!(triangle_count(&g), 1);
+//! assert!(g.has_edge(2, 3) && !g.has_edge(0, 3));
+//! ```
 
 pub mod bitset;
 pub mod buckets;

@@ -57,8 +57,7 @@ impl Orientation {
         let mut cursor: Vec<usize> = offsets[..n].to_vec();
         let mut out = vec![(0u32, 0 as VertexId, 0 as EdgeId); acc];
         for (eid, &(u, v)) in g.edges().iter().enumerate() {
-            let (lo, hi) =
-                if rank[u as usize] < rank[v as usize] { (u, v) } else { (v, u) };
+            let (lo, hi) = if rank[u as usize] < rank[v as usize] { (u, v) } else { (v, u) };
             let c = cursor[lo as usize];
             out[c] = (rank[hi as usize], hi, eid as EdgeId);
             cursor[lo as usize] += 1;
@@ -158,9 +157,7 @@ mod tests {
     use crate::builder::GraphBuilder;
 
     fn k4() -> CsrGraph {
-        GraphBuilder::new()
-            .extend_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build()
+        GraphBuilder::new().extend_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build()
     }
 
     #[test]

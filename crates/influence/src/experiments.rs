@@ -90,10 +90,9 @@ pub fn activated_counts(
     let mut total = 0u64;
     for _ in 0..samples {
         let outcome = simulate_cascade(g, seeds, model, rng);
-        total += targets
-            .iter()
-            .filter(|&&t| outcome.round[t as usize] != ROUND_NOT_ACTIVATED)
-            .count() as u64;
+        total +=
+            targets.iter().filter(|&&t| outcome.round[t as usize] != ROUND_NOT_ACTIVATED).count()
+                as u64;
     }
     total as f64 / samples as f64
 }
@@ -247,8 +246,7 @@ mod tests {
             b.add_edge(leaf % 10, leaf);
         }
         let g = b.extend_edges([]).build();
-        let scores: Vec<u32> =
-            g.vertices().map(|v| if v < 10 { 4 } else { 1 }).collect();
+        let scores: Vec<u32> = g.vertices().map(|v| if v < 10 { 4 } else { 1 }).collect();
         let mut rng = StdRng::seed_from_u64(5);
         let (_, rates) =
             activation_rates_by_group(&g, &scores, &[0, 1], IcModel { p: 0.3 }, 300, &mut rng);

@@ -7,7 +7,7 @@
 //!   (undirected edges treated as two directed arcs with uniform probability,
 //!   exactly as Section 7.2 describes).
 //! * [`seeds`] — influence-maximization seed selection: RIS (reverse
-//!   influence sampling, the IMM [37] stand-in) and the degree-discount
+//!   influence sampling, the IMM \[37\] stand-in) and the degree-discount
 //!   heuristic.
 //! * [`experiments`] — drivers for Figures 13–15 and Table 5: activation
 //!   rate per score group, activated counts among top-r sets, activation

@@ -1,7 +1,7 @@
 //! Influence-maximization seed selection.
 //!
 //! The paper seeds its contagion experiments with 50 vertices chosen by an
-//! influence-maximization algorithm [37] (IMM). We provide two substitutes
+//! influence-maximization algorithm \[37\] (IMM). We provide two substitutes
 //! (DESIGN.md §4):
 //!
 //! * [`ris_seeds`] — reverse influence sampling: sample random

@@ -81,9 +81,20 @@ mod tests {
     #[test]
     fn matches_peeling_on_figure2_h1() {
         let g = graph(&[
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
-            (1, 4), (3, 4),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7),
+            (1, 4),
+            (3, 4),
         ]);
         assert_eq!(bitmap_truss_decomposition(&g), truss_decomposition(&g));
     }

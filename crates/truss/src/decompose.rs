@@ -133,9 +133,20 @@ mod tests {
     fn paper_figure_2_h1() {
         // x1=0, x2=1, x3=2, x4=3, y1=4, y2=5, y3=6, y4=7.
         let (g, d) = decompose(&[
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // x-clique
-            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7), // y-clique
-            (1, 4), (3, 4), // bridges (x2,y1), (x4,y1)
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // x-clique
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7), // y-clique
+            (1, 4),
+            (3, 4), // bridges (x2,y1), (x4,y1)
         ]);
         for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
             assert_eq!(trussness_of(&g, &d, u, v), 4, "x-clique edge ({u},{v})");

@@ -1,4 +1,4 @@
-//! k-core decomposition — the substrate of the Core-Div baseline [20].
+//! k-core decomposition — the substrate of the Core-Div baseline \[20\].
 //!
 //! A k-core is the maximal subgraph in which every vertex has degree ≥ k;
 //! its connected components are the Core-Div model's social contexts.
@@ -87,9 +87,20 @@ mod tests {
     fn h1_is_one_3core() {
         let g = GraphBuilder::new()
             .extend_edges([
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-                (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
-                (1, 4), (3, 4),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+                (1, 4),
+                (3, 4),
             ])
             .build();
         let comps = maximal_connected_kcores(&g, 3);

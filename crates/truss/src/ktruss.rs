@@ -44,11 +44,7 @@ pub fn maximal_connected_ktrusses(
 
 /// Groups the marked vertices by their DSU root; shared by the k-truss and
 /// k-core component extractors.
-pub(crate) fn collect_components(
-    n: usize,
-    marked: &[bool],
-    dsu: &mut Dsu,
-) -> Vec<Vec<VertexId>> {
+pub(crate) fn collect_components(n: usize, marked: &[bool], dsu: &mut Dsu) -> Vec<Vec<VertexId>> {
     let mut root_to_group: Vec<i32> = vec![-1; n];
     let mut groups: Vec<Vec<VertexId>> = Vec::new();
     for (v, &is_marked) in marked.iter().enumerate() {
@@ -80,9 +76,20 @@ mod tests {
     fn h1() -> (CsrGraph, TrussDecomposition) {
         let g = GraphBuilder::new()
             .extend_edges([
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-                (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
-                (1, 4), (3, 4),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+                (1, 4),
+                (3, 4),
             ])
             .build();
         let d = truss_decomposition(&g);
@@ -122,9 +129,7 @@ mod tests {
 
     #[test]
     fn isolated_vertices_excluded() {
-        let g = GraphBuilder::with_min_vertices(5)
-            .extend_edges([(0, 1), (0, 2), (1, 2)])
-            .build();
+        let g = GraphBuilder::with_min_vertices(5).extend_edges([(0, 1), (0, 2), (1, 2)]).build();
         let d = truss_decomposition(&g);
         let comps = maximal_connected_ktrusses(&g, &d, 2);
         assert_eq!(comps.len(), 1);
@@ -135,10 +140,7 @@ mod tests {
     fn components_sorted_by_size_desc() {
         // One triangle and one K4, both 3-trusses at k=3.
         let g = GraphBuilder::new()
-            .extend_edges([
-                (0, 1), (0, 2), (1, 2),
-                (3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6),
-            ])
+            .extend_edges([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6)])
             .build();
         let d = truss_decomposition(&g);
         let comps = maximal_connected_ktrusses(&g, &d, 3);

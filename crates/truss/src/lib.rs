@@ -11,6 +11,24 @@
 //!   (the paper's *social contexts* when applied to an ego-network).
 //! * [`kcore`] — k-core decomposition, needed by the Core-Div baseline.
 //! * [`histogram`] — edge-trussness distributions (Figure 3).
+//!
+//! ## Example
+//!
+//! ```
+//! use sd_graph::GraphBuilder;
+//! use sd_truss::{ktruss_edges, truss_decomposition};
+//!
+//! // Two triangles sharing the edge (1, 2): every edge of the 4-clique-free
+//! // graph sits in at least one triangle, so the whole graph is a 3-truss,
+//! // but nothing survives at k = 4.
+//! let g = GraphBuilder::new()
+//!     .extend_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+//!     .build();
+//! let d = truss_decomposition(&g);
+//! assert_eq!(d.max_trussness, 3);
+//! assert_eq!(ktruss_edges(&d, 3).len(), g.m());
+//! assert!(ktruss_edges(&d, 4).is_empty());
+//! ```
 
 pub mod bitmap;
 pub mod decompose;

@@ -39,15 +39,11 @@ fn main() {
     let core = core_div_top_r(&g, &cfg);
     println!(
         "\nComp-Div top-1: a{} with {} context(s) — components ≥ {} vertices",
-        comp.entries[0].vertex,
-        comp.entries[0].score,
-        cfg.k
+        comp.entries[0].vertex, comp.entries[0].score, cfg.k
     );
     println!(
         "Core-Div top-1: a{} with {} context(s) — maximal connected {}-cores",
-        core.entries[0].vertex,
-        core.entries[0].score,
-        cfg.k
+        core.entries[0].vertex, core.entries[0].score, cfg.k
     );
     println!(
         "\nThe truss model separates research groups that the component/core \

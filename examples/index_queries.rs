@@ -46,9 +46,7 @@ fn main() {
             let gct_time = t.elapsed();
             assert_eq!(a.scores(), b.scores(), "engines must agree");
             let top = a.entries.first().map(|e| e.score).unwrap_or(0);
-            println!(
-                "k={k:<4} r={r:<4} {tsd_time:>12.2?} {gct_time:>12.2?}   (top score {top})"
-            );
+            println!("k={k:<4} r={r:<4} {tsd_time:>12.2?} {gct_time:>12.2?}   (top score {top})");
         }
     }
 }

@@ -7,8 +7,8 @@
 
 use structural_diversity::graph::GraphBuilder;
 use structural_diversity::search::{
-    bound_top_r, online_top_r, paper_figure1_edges, DiversityConfig, GctIndex, TsdIndex,
-    paper::PAPER_FIGURE1_NAMES,
+    bound_top_r, online_top_r, paper::PAPER_FIGURE1_NAMES, paper_figure1_edges, DiversityConfig,
+    GctIndex, TsdIndex,
 };
 
 fn main() {
@@ -25,7 +25,10 @@ fn main() {
 
     // 2. Bound search (Algorithm 4) — sparsification + upper-bound pruning.
     let bound = bound_top_r(&g, &config);
-    println!("[bound]  evaluated {} vertices (early termination)", bound.metrics.score_computations);
+    println!(
+        "[bound]  evaluated {} vertices (early termination)",
+        bound.metrics.score_computations
+    );
 
     // 3. TSD-index (Algorithms 5-6) — one index, any (k, r).
     let tsd = TsdIndex::build(&g);

@@ -33,8 +33,7 @@ fn main() {
 
     // Exp-7: activation rate by truss-diversity score interval (k = 4).
     let scores = all_scores(&g, 4);
-    let (ranges, rates) =
-        activation_rates_by_group(&g, &scores, &seeds, model, samples, &mut rng);
+    let (ranges, rates) = activation_rates_by_group(&g, &scores, &seeds, model, samples, &mut rng);
     println!("\nactivation rate by score interval (higher score => more contagion):");
     for (range, rate) in ranges.iter().zip(rates.iter()) {
         println!("  score [{:>2}, {:>2}]  ->  {:.4}", range.0, range.1, rate);

@@ -1,0 +1,148 @@
+//! Offline stand-in for `criterion 0.5` — see `shims/README.md`.
+//!
+//! Wall-clock measurement only: each `Bencher::iter` body is warmed up once
+//! and then timed `sample_size` times; the median and mean are printed to
+//! stdout in a fixed-width table. No statistical analysis, HTML reports, or
+//! command-line filtering.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall times recorded by the last `iter` call.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        black_box(body()); // warm-up (and forces lazy init out of the timing)
+        self.times.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// One named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: self.sample_size, times: Vec::new() };
+        routine(&mut bencher, input);
+        self.criterion.report(&self.name, &id.id, &bencher.times);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: self.sample_size, times: Vec::new() };
+        routine(&mut bencher);
+        self.criterion.report(&self.name, &id.id, &bencher.times);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { criterion: self, name, sample_size: 10 }
+    }
+
+    fn report(&mut self, _group: &str, id: &str, times: &[Duration]) {
+        if times.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let mut sorted: Vec<Duration> = times.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!("{id:<48} median {:>12?}  mean {:>12?}  ({} samples)", median, mean, sorted.len());
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            b.iter(|| x + 1);
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde 1` — see `shims/README.md`.
+//!
+//! Nothing in the workspace serializes through serde yet; the structs only
+//! carry `#[derive(Serialize)]` so they are ready for JSON/CSV export once a
+//! real registry is reachable. The trait here is a blanket-implemented
+//! marker and the derive is a no-op that accepts `#[serde(...)]` attributes.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+// The no-op derive (macro namespace; coexists with the trait above exactly
+// like real serde's re-export).
+pub use serde_derive::Serialize;

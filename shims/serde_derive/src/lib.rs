@@ -1,0 +1,10 @@
+//! No-op `#[derive(Serialize)]` for the serde shim. The companion `serde`
+//! crate blanket-implements its marker `Serialize` trait, so the derive only
+//! needs to exist (and swallow `#[serde(...)]` helper attributes).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -28,6 +28,12 @@
 //! * [`influence`] — independent-cascade contagion simulation.
 //! * [`datasets`] — synthetic dataset generators and registry.
 
+/// Runs the README's quickstart code block under `cargo test --doc` so the
+/// front-page example can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctest;
+
 pub use sd_core as search;
 pub use sd_datasets as datasets;
 pub use sd_graph as graph;

@@ -9,10 +9,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use structural_diversity::graph::connected_components;
+use structural_diversity::influence::ic::ROUND_NOT_ACTIVATED;
 use structural_diversity::influence::{
     degree_discount_seeds, ris_seeds, simulate_cascade, simulate_weighted_cascade, IcModel,
 };
-use structural_diversity::influence::ic::ROUND_NOT_ACTIVATED;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -111,8 +111,5 @@ fn sparsification_bites_on_community_graphs() {
     assert!(removed_frac > 0.3, "only {removed_frac:.2} of edges removed");
     // And the answers survive (spot check).
     let cfg = DiversityConfig::new(5, 10);
-    assert_eq!(
-        online_top_r(&g, &cfg).scores(),
-        online_top_r(&sp.graph, &cfg).scores()
-    );
+    assert_eq!(online_top_r(&g, &cfg).scores(), online_top_r(&sp.graph, &cfg).scores());
 }
