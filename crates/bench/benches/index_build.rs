@@ -1,21 +1,25 @@
 //! Table 3 micro-bench: TSD vs GCT index construction (including the
 //! parallel-construction ablation, a beyond-the-paper extension).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sd_core::parallel::build_gct_parallel;
-use sd_core::{GctIndex, TsdIndex};
+use sd_core::{GctEngine, TsdEngine};
 
 fn bench_index_build(c: &mut Criterion) {
     let dataset = sd_datasets::dataset("wiki-vote-syn").expect("registry");
-    let g = dataset.generate(0.08);
+    let g = Arc::new(dataset.generate(0.08));
 
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
-    group
-        .bench_with_input(BenchmarkId::new("tsd", g.m()), &g, |b, g| b.iter(|| TsdIndex::build(g)));
-    group
-        .bench_with_input(BenchmarkId::new("gct", g.m()), &g, |b, g| b.iter(|| GctIndex::build(g)));
+    group.bench_with_input(BenchmarkId::new("tsd", g.m()), &g, |b, g| {
+        b.iter(|| TsdEngine::build(g.clone()))
+    });
+    group.bench_with_input(BenchmarkId::new("gct", g.m()), &g, |b, g| {
+        b.iter(|| GctEngine::build(g.clone()))
+    });
     group.bench_with_input(BenchmarkId::new("gct_parallel", g.m()), &g, |b, g| {
         b.iter(|| build_gct_parallel(g))
     });

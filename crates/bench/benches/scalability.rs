@@ -1,11 +1,13 @@
 //! Figure 12 micro-bench: TSD-index build and query on growing power-law
 //! graphs with |E| = 5|V|.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sd_core::{DiversityConfig, TsdIndex};
+use sd_core::{DiversityEngine, QuerySpec, TsdEngine};
 use sd_datasets::{powerlaw_graph, PowerLawConfig};
 
 fn bench_scalability(c: &mut Criterion) {
@@ -13,14 +15,14 @@ fn bench_scalability(c: &mut Criterion) {
     group.sample_size(10);
     for n in [2_000usize, 4_000, 8_000] {
         let mut rng = StdRng::seed_from_u64(0xF12 + n as u64);
-        let g = powerlaw_graph(&PowerLawConfig::paper_scalability(n), &mut rng);
+        let g = Arc::new(powerlaw_graph(&PowerLawConfig::paper_scalability(n), &mut rng));
         group.bench_with_input(BenchmarkId::new("index_build", n), &g, |b, g| {
-            b.iter(|| TsdIndex::build(g))
+            b.iter(|| TsdEngine::build(g.clone()))
         });
-        let index = TsdIndex::build(&g);
-        let cfg = DiversityConfig::new(3, 100);
-        group.bench_with_input(BenchmarkId::new("tsd_query", n), &g, |b, g| {
-            b.iter(|| index.top_r(g, &cfg))
+        let index = TsdEngine::build(g.clone());
+        let spec = QuerySpec::new(3, 100).expect("valid query");
+        group.bench_with_input(BenchmarkId::new("tsd_query", n), &spec, |b, spec| {
+            b.iter(|| index.top_r(spec).expect("tsd"))
         });
     }
     group.finish();

@@ -1,30 +1,34 @@
 //! Table 2 micro-bench: baseline vs bound vs TSD vs GCT query time
 //! (k = 3, r = 100) — also the pruning ablation (bound vs baseline).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use sd_core::{bound_top_r, online_top_r, DiversityConfig, GctIndex, TsdIndex};
+use sd_core::{BoundEngine, DiversityEngine, GctEngine, OnlineEngine, QuerySpec, TsdEngine};
 
 fn bench_search_methods(c: &mut Criterion) {
     let dataset = sd_datasets::dataset("wiki-vote-syn").expect("registry");
-    let g = dataset.generate(0.08);
-    let cfg = DiversityConfig::new(3, 100);
-    let tsd = TsdIndex::build(&g);
-    let gct = GctIndex::build(&g);
+    let g = Arc::new(dataset.generate(0.08));
+    let spec = QuerySpec::new(3, 100.min(g.n())).expect("valid query");
+    let online = OnlineEngine::new(g.clone());
+    let bound = BoundEngine::new(g.clone());
+    let tsd = TsdEngine::build(g.clone());
+    let gct = GctEngine::build(g.clone());
 
     let mut group = c.benchmark_group("search_methods");
     group.sample_size(10);
-    group.bench_with_input(BenchmarkId::new("baseline", g.m()), &g, |b, g| {
-        b.iter(|| online_top_r(g, &cfg))
+    group.bench_with_input(BenchmarkId::new("baseline", g.m()), &spec, |b, spec| {
+        b.iter(|| online.top_r(spec).expect("online"))
     });
-    group.bench_with_input(BenchmarkId::new("bound", g.m()), &g, |b, g| {
-        b.iter(|| bound_top_r(g, &cfg))
+    group.bench_with_input(BenchmarkId::new("bound", g.m()), &spec, |b, spec| {
+        b.iter(|| bound.top_r(spec).expect("bound"))
     });
-    group.bench_with_input(BenchmarkId::new("tsd_query", g.m()), &g, |b, g| {
-        b.iter(|| tsd.top_r(g, &cfg))
+    group.bench_with_input(BenchmarkId::new("tsd_query", g.m()), &spec, |b, spec| {
+        b.iter(|| tsd.top_r(spec).expect("tsd"))
     });
-    group.bench_with_input(BenchmarkId::new("gct_query", g.m()), &g, |b, _| {
-        b.iter(|| gct.top_r(&cfg))
+    group.bench_with_input(BenchmarkId::new("gct_query", g.m()), &spec, |b, spec| {
+        b.iter(|| gct.top_r(spec).expect("gct"))
     });
     group.finish();
 }

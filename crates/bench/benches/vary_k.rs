@@ -1,25 +1,29 @@
 //! Figure 8 micro-bench: method running time as k varies (r = 100).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sd_core::baselines::{comp_div_top_r, core_div_top_r};
-use sd_core::{DiversityConfig, GctIndex, TsdIndex};
+use sd_core::{DiversityConfig, DiversityEngine, GctEngine, QuerySpec, TsdEngine};
 
 fn bench_vary_k(c: &mut Criterion) {
     let dataset = sd_datasets::dataset("gowalla-syn").expect("registry");
-    let g = dataset.generate(0.03);
-    let tsd = TsdIndex::build(&g);
-    let gct = GctIndex::build(&g);
+    let g = Arc::new(dataset.generate(0.03));
+    let tsd = TsdEngine::build(g.clone());
+    let gct = GctEngine::build(g.clone());
 
     let mut group = c.benchmark_group("vary_k");
     group.sample_size(10);
     for k in [2u32, 3, 4, 5, 6] {
-        let cfg = DiversityConfig::new(k, 100);
-        group.bench_with_input(BenchmarkId::new("tsd", k), &cfg, |b, cfg| {
-            b.iter(|| tsd.top_r(&g, cfg))
+        let spec = QuerySpec::new(k, 100.min(g.n())).expect("valid query");
+        group.bench_with_input(BenchmarkId::new("tsd", k), &spec, |b, spec| {
+            b.iter(|| tsd.top_r(spec).expect("tsd"))
         });
-        group
-            .bench_with_input(BenchmarkId::new("gct", k), &cfg, |b, cfg| b.iter(|| gct.top_r(cfg)));
+        group.bench_with_input(BenchmarkId::new("gct", k), &spec, |b, spec| {
+            b.iter(|| gct.top_r(spec).expect("gct"))
+        });
+        let cfg = DiversityConfig { k, r: spec.r() };
         group.bench_with_input(BenchmarkId::new("comp_div", k), &cfg, |b, cfg| {
             b.iter(|| comp_div_top_r(&g, cfg))
         });

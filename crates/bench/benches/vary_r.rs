@@ -1,27 +1,30 @@
 //! Figures 10–11 micro-bench: TSD / GCT / Hybrid query time as r varies.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use sd_core::{DiversityConfig, GctIndex, HybridIndex, TsdIndex};
+use sd_core::{DiversityEngine, GctEngine, HybridEngine, QuerySpec, TsdEngine};
 
 fn bench_vary_r(c: &mut Criterion) {
     let dataset = sd_datasets::dataset("gowalla-syn").expect("registry");
-    let g = dataset.generate(0.03);
-    let tsd = TsdIndex::build(&g);
-    let gct = GctIndex::build(&g);
-    let hybrid = HybridIndex::build_from_tsd(&tsd);
+    let g = Arc::new(dataset.generate(0.03));
+    let tsd = TsdEngine::build(g.clone());
+    let hybrid = HybridEngine::from_tsd(g.clone(), tsd.index());
+    let gct = GctEngine::build(g.clone());
 
     let mut group = c.benchmark_group("vary_r");
     group.sample_size(10);
     for r in [1usize, 100, 300] {
-        let cfg = DiversityConfig::new(3, r);
-        group.bench_with_input(BenchmarkId::new("tsd", r), &cfg, |b, cfg| {
-            b.iter(|| tsd.top_r(&g, cfg))
+        let spec = QuerySpec::new(3, r.min(g.n())).expect("valid query");
+        group.bench_with_input(BenchmarkId::new("tsd", r), &spec, |b, spec| {
+            b.iter(|| tsd.top_r(spec).expect("tsd"))
         });
-        group
-            .bench_with_input(BenchmarkId::new("gct", r), &cfg, |b, cfg| b.iter(|| gct.top_r(cfg)));
-        group.bench_with_input(BenchmarkId::new("hybrid", r), &cfg, |b, cfg| {
-            b.iter(|| hybrid.top_r(&g, cfg))
+        group.bench_with_input(BenchmarkId::new("gct", r), &spec, |b, spec| {
+            b.iter(|| gct.top_r(spec).expect("gct"))
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", r), &spec, |b, spec| {
+            b.iter(|| hybrid.top_r(spec).expect("hybrid"))
         });
     }
     group.finish();

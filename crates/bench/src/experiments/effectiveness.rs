@@ -5,13 +5,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sd_core::baselines::{comp_div_top_r, core_div_top_r, random_top_r};
-use sd_core::{all_scores, DiversityConfig, GctIndex};
+use sd_core::{all_scores, DiversityConfig, DiversityEngine, GctEngine, QuerySpec};
 use sd_datasets::dblp_like;
 use sd_graph::{CsrGraph, VertexId};
 use sd_influence::{
     activated_counts, activation_latency, activation_rates_by_group, center_activation_probability,
     ris_seeds, IcModel,
 };
+use std::sync::Arc;
 
 use crate::table::Table;
 
@@ -60,13 +61,14 @@ pub fn fig13(ctx: &ExpContext) {
 /// picks of Random / Comp-Div / Core-Div / Truss-Div, r ∈ {50..100}.
 pub fn fig14(ctx: &ExpContext) {
     for d in ctx.figure_datasets() {
-        let g = ctx.load(&d);
+        let g = Arc::new(ctx.load(&d));
         let seeds = contagion_seeds(&g, ctx);
-        let gct = GctIndex::build(&g);
+        let gct = GctEngine::build(g.clone());
         let mut t = Table::new(["r", "Truss-Div", "Core-Div", "Comp-Div", "Random"]);
         for r in [50usize, 60, 70, 80, 90, 100] {
-            let cfg = DiversityConfig::new(4, r);
-            let truss_set = gct.top_r(&cfg).vertices();
+            let q = QuerySpec::new(4, r.min(g.n())).expect("valid query");
+            let cfg = DiversityConfig { k: 4, r: q.r() };
+            let truss_set = gct.top_r(&q).expect("gct").vertices();
             let core_set = core_div_top_r(&g, &cfg).vertices();
             let comp_set = comp_div_top_r(&g, &cfg).vertices();
             let mut pick_rng = StdRng::seed_from_u64(ctx.seed ^ r as u64);
@@ -94,12 +96,13 @@ pub fn fig14(ctx: &ExpContext) {
 /// round at which the j-th pick activates.
 pub fn fig15(ctx: &ExpContext) {
     for d in ctx.figure_datasets() {
-        let g = ctx.load(&d);
+        let g = Arc::new(ctx.load(&d));
         let seeds = contagion_seeds(&g, ctx);
-        let cfg = DiversityConfig::new(4, 100);
-        let gct = GctIndex::build(&g);
+        let q = QuerySpec::new(4, 100.min(g.n())).expect("valid query");
+        let cfg = DiversityConfig { k: 4, r: q.r() };
+        let gct = GctEngine::build(g.clone());
         let models: [(&str, Vec<VertexId>); 3] = [
-            ("Truss-Div", gct.top_r(&cfg).vertices()),
+            ("Truss-Div", gct.top_r(&q).expect("gct").vertices()),
             ("Core-Div", core_div_top_r(&g, &cfg).vertices()),
             ("Comp-Div", comp_div_top_r(&g, &cfg).vertices()),
         ];
@@ -139,11 +142,11 @@ pub fn fig15(ctx: &ExpContext) {
 /// top-1 result of each model on the DBLP-like graph (k = 5, r = 1).
 pub fn table5(ctx: &ExpContext) {
     let d = dblp_like();
-    let g = ctx.load(&d);
-    let cfg = DiversityConfig::new(5, 1);
+    let g = Arc::new(ctx.load(&d));
+    let cfg = DiversityConfig { k: 5, r: 1 };
 
-    let gct = GctIndex::build(&g);
-    let truss = gct.top_r(&cfg);
+    let gct = GctEngine::build(g.clone());
+    let truss = gct.top_r(&QuerySpec::new(5, 1).expect("valid query")).expect("gct");
     let comp = comp_div_top_r(&g, &cfg);
     let core = core_div_top_r(&g, &cfg);
 
@@ -190,11 +193,11 @@ pub fn table5(ctx: &ExpContext) {
 /// model, demonstrating the truss model's decomposability.
 pub fn case_study(ctx: &ExpContext) {
     let d = dblp_like();
-    let g = ctx.load(&d);
-    let cfg = DiversityConfig::new(5, 1);
+    let g = Arc::new(ctx.load(&d));
+    let cfg = DiversityConfig { k: 5, r: 1 };
 
-    let gct = GctIndex::build(&g);
-    let truss = gct.top_r(&cfg);
+    let gct = GctEngine::build(g.clone());
+    let truss = gct.top_r(&QuerySpec::new(5, 1).expect("valid query")).expect("gct");
     let top = &truss.entries[0];
     println!(
         "\nCase study (dblp-syn, k=5, r=1): Truss-Div top-1 is author a{} with score {}",

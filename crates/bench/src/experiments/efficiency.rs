@@ -1,8 +1,12 @@
 //! Efficiency experiments: Tables 1–4, Figures 3 and 8–12.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use sd_core::{bound_top_r, online_top_r, DiversityConfig, GctIndex, HybridIndex, TsdIndex};
+use sd_core::{
+    BoundEngine, DiversityConfig, DiversityEngine, GctEngine, GctIndex, HybridEngine, OnlineEngine,
+    QuerySpec, TsdEngine, TsdIndex,
+};
 use sd_datasets::{registry, PowerLawConfig};
 use sd_graph::stats::GraphStats;
 use sd_truss::{truss_decomposition, trussness_histogram, vertex_trussness};
@@ -11,6 +15,12 @@ use crate::table::Table;
 use crate::timing::{fmt_bytes, fmt_duration, time_it};
 
 use super::ExpContext;
+
+/// A validated spec with `r` clamped to the generated graph's size (tiny
+/// `--scale` runs can undercut the paper's r = 100).
+fn spec(k: u32, r: usize, n: usize) -> QuerySpec {
+    QuerySpec::new(k, r.min(n)).expect("valid query")
+}
 
 /// Table 1: network statistics (n, m, d_max, τ*_G, τ*_ego, T) for every
 /// dataset, side by side with the paper's values.
@@ -85,7 +95,6 @@ pub fn fig3(ctx: &ExpContext) {
 /// Table 2: running time and search space of baseline / bound / TSD with
 /// the speed-up ratio `R_t` and pruning ratio `R_s` (k = 3, r = 100).
 pub fn table2(ctx: &ExpContext) {
-    let cfg = DiversityConfig::new(3, 100);
     let mut t = Table::new([
         "Network",
         "baseline",
@@ -98,11 +107,12 @@ pub fn table2(ctx: &ExpContext) {
         "Rs",
     ]);
     for d in registry() {
-        let g = ctx.load(&d);
-        let base = online_top_r(&g, &cfg);
-        let bound = bound_top_r(&g, &cfg);
-        let (index, _) = time_it(|| TsdIndex::build(&g));
-        let tsd = index.top_r(&g, &cfg);
+        let g = Arc::new(ctx.load(&d));
+        let q = spec(3, 100, g.n());
+        let base = OnlineEngine::new(g.clone()).top_r(&q).expect("online");
+        let bound = BoundEngine::new(g.clone()).top_r(&q).expect("bound");
+        let (engine, _) = time_it(|| TsdEngine::build(g.clone()));
+        let tsd = engine.top_r(&q).expect("tsd");
         assert_eq!(base.scores(), bound.scores(), "{}: bound mismatch", d.name);
         assert_eq!(base.scores(), tsd.scores(), "{}: tsd mismatch", d.name);
         let rt = base.metrics.elapsed.as_secs_f64() / tsd.metrics.elapsed.as_secs_f64().max(1e-9);
@@ -129,16 +139,19 @@ pub fn table2(ctx: &ExpContext) {
 /// Figure 8: running time of all six methods varied by k (r = 100).
 pub fn fig8(ctx: &ExpContext) {
     for d in ctx.figure_datasets() {
-        let g = ctx.load(&d);
-        let tsd = TsdIndex::build(&g);
-        let gct = GctIndex::build(&g);
+        let g = Arc::new(ctx.load(&d));
+        let online = OnlineEngine::new(g.clone());
+        let bound = BoundEngine::new(g.clone());
+        let tsd = TsdEngine::build(g.clone());
+        let gct = GctEngine::build(g.clone());
         let mut t = Table::new(["k", "baseline", "bound", "TSD", "GCT", "Comp-Div", "Core-Div"]);
         for k in 2..=6u32 {
-            let cfg = DiversityConfig::new(k, 100);
-            let base = online_top_r(&g, &cfg);
-            let bnd = bound_top_r(&g, &cfg);
-            let tq = tsd.top_r(&g, &cfg);
-            let gq = gct.top_r(&cfg);
+            let q = spec(k, 100, g.n());
+            let base = online.top_r(&q).expect("online");
+            let bnd = bound.top_r(&q).expect("bound");
+            let tq = tsd.top_r(&q).expect("tsd");
+            let gq = gct.top_r(&q).expect("gct");
+            let cfg = DiversityConfig { k, r: q.r() };
             let comp = sd_core::baselines::comp_div_top_r(&g, &cfg);
             let core = sd_core::baselines::core_div_top_r(&g, &cfg);
             t.row([
@@ -158,14 +171,16 @@ pub fn fig8(ctx: &ExpContext) {
 /// Figure 9: search space of baseline / bound / TSD varied by k (r = 100).
 pub fn fig9(ctx: &ExpContext) {
     for d in ctx.figure_datasets() {
-        let g = ctx.load(&d);
-        let tsd = TsdIndex::build(&g);
+        let g = Arc::new(ctx.load(&d));
+        let online = OnlineEngine::new(g.clone());
+        let bound = BoundEngine::new(g.clone());
+        let tsd = TsdEngine::build(g.clone());
         let mut t = Table::new(["k", "baseline", "bound", "TSD"]);
         for k in 2..=6u32 {
-            let cfg = DiversityConfig::new(k, 100);
-            let base = online_top_r(&g, &cfg);
-            let bnd = bound_top_r(&g, &cfg);
-            let tq = tsd.top_r(&g, &cfg);
+            let q = spec(k, 100, g.n());
+            let base = online.top_r(&q).expect("online");
+            let bnd = bound.top_r(&q).expect("bound");
+            let tq = tsd.top_r(&q).expect("tsd");
             t.row([
                 k.to_string(),
                 base.metrics.score_computations.to_string(),
@@ -180,13 +195,13 @@ pub fn fig9(ctx: &ExpContext) {
 /// Figure 10: TSD query time varied by r for k ∈ {3, 4, 5}.
 pub fn fig10(ctx: &ExpContext) {
     for d in ctx.figure_datasets() {
-        let g = ctx.load(&d);
-        let tsd = TsdIndex::build(&g);
+        let g = Arc::new(ctx.load(&d));
+        let tsd = TsdEngine::build(g.clone());
         let mut t = Table::new(["r", "k=3", "k=4", "k=5"]);
         for r in [50usize, 100, 150, 200, 250, 300] {
             let mut cells = vec![r.to_string()];
             for k in [3u32, 4, 5] {
-                let res = tsd.top_r(&g, &DiversityConfig::new(k, r));
+                let res = tsd.top_r(&spec(k, r, g.n())).expect("tsd");
                 cells.push(fmt_duration(res.metrics.elapsed));
             }
             t.row(cells);
@@ -197,7 +212,6 @@ pub fn fig10(ctx: &ExpContext) {
 
 /// Table 3: index size, construction time and query time — TSD vs GCT.
 pub fn table3(ctx: &ExpContext) {
-    let cfg = DiversityConfig::new(3, 100);
     let mut t = Table::new([
         "Network",
         "graph",
@@ -209,16 +223,17 @@ pub fn table3(ctx: &ExpContext) {
         "GCT query",
     ]);
     for d in registry() {
-        let g = ctx.load(&d);
-        let (tsd, tsd_build) = time_it(|| TsdIndex::build(&g));
-        let (gct, gct_build) = time_it(|| GctIndex::build(&g));
-        let tsd_query = tsd.top_r(&g, &cfg).metrics.elapsed;
-        let gct_query = gct.top_r(&cfg).metrics.elapsed;
+        let g = Arc::new(ctx.load(&d));
+        let q = spec(3, 100, g.n());
+        let (tsd, tsd_build) = time_it(|| TsdEngine::build(g.clone()));
+        let (gct, gct_build) = time_it(|| GctEngine::build(g.clone()));
+        let tsd_query = tsd.top_r(&q).expect("tsd").metrics.elapsed;
+        let gct_query = gct.top_r(&q).expect("gct").metrics.elapsed;
         t.row([
             d.name.to_string(),
             fmt_bytes(g.heap_bytes()),
-            fmt_bytes(tsd.index_size_bytes()),
-            fmt_bytes(gct.index_size_bytes()),
+            fmt_bytes(tsd.index().index_size_bytes()),
+            fmt_bytes(gct.index().index_size_bytes()),
             fmt_duration(tsd_build),
             fmt_duration(gct_build),
             fmt_duration(tsd_query),
@@ -251,15 +266,15 @@ pub fn table4(ctx: &ExpContext) {
 /// Figure 11: Hybrid vs GCT query time varied by r (k = 3).
 pub fn fig11(ctx: &ExpContext) {
     for d in ctx.figure_datasets() {
-        let g = ctx.load(&d);
-        let tsd = TsdIndex::build(&g);
-        let hybrid = HybridIndex::build_from_tsd(&tsd);
-        let gct = GctIndex::build(&g);
+        let g = Arc::new(ctx.load(&d));
+        let tsd = TsdEngine::build(g.clone());
+        let hybrid = HybridEngine::from_tsd(g.clone(), tsd.index());
+        let gct = GctEngine::build(g.clone());
         let mut t = Table::new(["r", "Hybrid", "GCT"]);
         for r in [1usize, 60, 120, 180, 240, 300] {
-            let cfg = DiversityConfig::new(3, r);
-            let h = hybrid.top_r(&g, &cfg);
-            let q = gct.top_r(&cfg);
+            let qs = spec(3, r, g.n());
+            let h = hybrid.top_r(&qs).expect("hybrid");
+            let q = gct.top_r(&qs).expect("gct");
             assert_eq!(h.scores(), q.scores(), "{} r={r}", d.name);
             t.row([
                 r.to_string(),
@@ -282,9 +297,10 @@ pub fn fig12(ctx: &ExpContext) {
         let n = ((base as f64) * (ctx.scale / 0.25).max(0.05)) as usize;
         let n = n.max(2_000);
         let mut rng = StdRng::seed_from_u64(0xF12 + n as u64);
-        let g = sd_datasets::powerlaw_graph(&PowerLawConfig::paper_scalability(n), &mut rng);
-        let (index, build) = time_it(|| TsdIndex::build(&g));
-        let q = index.top_r(&g, &DiversityConfig::new(3, 100));
+        let g =
+            Arc::new(sd_datasets::powerlaw_graph(&PowerLawConfig::paper_scalability(n), &mut rng));
+        let (index, build) = time_it(|| TsdEngine::build(g.clone()));
+        let q = index.top_r(&spec(3, 100, g.n())).expect("tsd");
         t.row([
             g.n().to_string(),
             g.m().to_string(),

@@ -74,7 +74,11 @@ pub fn comp_div_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
     });
     TopRResult {
         entries,
-        metrics: SearchMetrics { score_computations: computations, elapsed: start.elapsed() },
+        metrics: SearchMetrics {
+            score_computations: computations,
+            elapsed: start.elapsed(),
+            engine: "",
+        },
     }
 }
 
@@ -116,7 +120,7 @@ mod tests {
     #[test]
     fn top_r_orders_by_score() {
         let (g, v, _) = paper_figure1_graph();
-        let result = comp_div_top_r(&g, &DiversityConfig::new(4, 3));
+        let result = comp_div_top_r(&g, &DiversityConfig { k: 4, r: 3 });
         assert_eq!(result.entries[0].vertex, v);
         assert_eq!(result.entries[0].score, 2);
         assert_eq!(result.entries[0].contexts.len(), 2);

@@ -53,7 +53,11 @@ pub fn core_div_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
     let entries = finish_entries(collector, |v| core_div_contexts(g, v, config.k));
     TopRResult {
         entries,
-        metrics: SearchMetrics { score_computations: computations, elapsed: start.elapsed() },
+        metrics: SearchMetrics {
+            score_computations: computations,
+            elapsed: start.elapsed(),
+            engine: "",
+        },
     }
 }
 
@@ -87,7 +91,7 @@ mod tests {
     #[test]
     fn top_r_returns_v_first() {
         let (g, v, _) = paper_figure1_graph();
-        let result = core_div_top_r(&g, &DiversityConfig::new(3, 1));
+        let result = core_div_top_r(&g, &DiversityConfig { k: 3, r: 1 });
         assert_eq!(result.entries[0].vertex, v);
         assert_eq!(result.entries[0].score, 2);
     }

@@ -79,13 +79,11 @@ impl Default for BoundOptions {
 }
 
 /// Algorithm 4: sparsify, sort by upper bound descending, and stop as soon
-/// as the best remaining bound cannot beat the current top-r floor.
-pub fn bound_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
-    bound_top_r_with(g, config, BoundOptions::default())
-}
-
-/// As [`bound_top_r`] with pruning techniques individually toggleable.
-pub fn bound_top_r_with(
+/// as the best remaining bound cannot beat the current top-r floor, with
+/// the pruning techniques individually toggleable. Crate-internal:
+/// reachable through `BoundEngine` (or, for one release, the `compat`
+/// wrappers).
+pub(crate) fn bound_top_r_with(
     g: &CsrGraph,
     config: &DiversityConfig,
     options: BoundOptions,
@@ -138,7 +136,11 @@ pub fn bound_top_r_with(
     });
     TopRResult {
         entries,
-        metrics: SearchMetrics { score_computations: computations, elapsed: start.elapsed() },
+        metrics: SearchMetrics {
+            score_computations: computations,
+            elapsed: start.elapsed(),
+            engine: "",
+        },
     }
 }
 
@@ -159,6 +161,10 @@ mod tests {
     use super::*;
     use crate::online::{all_scores, online_top_r};
     use crate::paper::paper_figure1_graph;
+
+    fn bound_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
+        bound_top_r_with(g, config, BoundOptions::default())
+    }
 
     #[test]
     fn bounds_dominate_scores() {
@@ -202,7 +208,7 @@ mod tests {
     #[test]
     fn paper_example_3_prunes_to_one_computation() {
         let (g, v, _) = paper_figure1_graph();
-        let result = bound_top_r(&g, &DiversityConfig::new(4, 1));
+        let result = bound_top_r(&g, &DiversityConfig { k: 4, r: 1 });
         assert_eq!(result.entries[0].vertex, v);
         assert_eq!(result.entries[0].score, 3);
         assert_eq!(result.metrics.score_computations, 1, "only v itself should be evaluated");
@@ -213,7 +219,7 @@ mod tests {
         let (g, _, _) = paper_figure1_graph();
         for k in 2..=5 {
             for r in [1usize, 3, 17] {
-                let cfg = DiversityConfig::new(k, r);
+                let cfg = DiversityConfig { k, r };
                 let a = online_top_r(&g, &cfg);
                 let b = bound_top_r(&g, &cfg);
                 assert_eq!(a.scores(), b.scores(), "k={k} r={r}");
@@ -226,7 +232,7 @@ mod tests {
     #[test]
     fn ablation_combinations_agree() {
         let (g, _, _) = paper_figure1_graph();
-        let cfg = DiversityConfig::new(4, 2);
+        let cfg = DiversityConfig { k: 4, r: 2 };
         let reference = online_top_r(&g, &cfg);
         let mut search_spaces = Vec::new();
         for sparsify in [false, true] {
@@ -246,7 +252,7 @@ mod tests {
     #[test]
     fn bound_contexts_match_online() {
         let (g, _, _) = paper_figure1_graph();
-        let cfg = DiversityConfig::new(4, 1);
+        let cfg = DiversityConfig { k: 4, r: 1 };
         let a = online_top_r(&g, &cfg);
         let b = bound_top_r(&g, &cfg);
         assert_eq!(a.entries[0].contexts, b.entries[0].contexts);

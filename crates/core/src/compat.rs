@@ -1,0 +1,82 @@
+//! Pre-`Searcher` entry points, kept as thin deprecated wrappers for one
+//! release.
+//!
+//! Everything here forwards to the same algorithms the
+//! [`crate::DiversityEngine`] surface runs; only the shape of the call
+//! changed. Migration table:
+//!
+//! | old entry point | new call |
+//! |---|---|
+//! | `online_top_r(&g, &cfg)` | `Searcher::new(g).top_r(&spec.with_engine(EngineKind::Online))` |
+//! | `bound_top_r(&g, &cfg)` | `… EngineKind::Bound …` |
+//! | `bound_top_r_with(&g, &cfg, opts)` | `BoundEngine::with_options(g, opts).top_r(&spec)` |
+//! | `TsdIndex::build(&g).top_r(&g, &cfg)` | `… EngineKind::Tsd …` |
+//! | `GctIndex::build(&g).top_r(&cfg)` | `… EngineKind::Gct …` |
+//! | `HybridIndex::build(&g).top_r(&g, &cfg)` | `… EngineKind::Hybrid …` |
+//! | `TsdDecodeError` / `GctDecodeError` | [`crate::DecodeError`] (via [`crate::SearchError`]) |
+
+#![allow(deprecated)]
+
+use sd_graph::CsrGraph;
+
+use crate::bound::BoundOptions;
+use crate::config::{DiversityConfig, TopRResult};
+
+/// Algorithm 3, pre-trait shape.
+#[deprecated(
+    since = "0.2.0",
+    note = "query through `Searcher` or `build_engine(EngineKind::Online, …)` instead"
+)]
+pub fn online_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
+    crate::online::online_top_r(g, config)
+}
+
+/// Algorithm 4, pre-trait shape.
+#[deprecated(
+    since = "0.2.0",
+    note = "query through `Searcher` or `build_engine(EngineKind::Bound, …)` instead"
+)]
+pub fn bound_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
+    crate::bound::bound_top_r_with(g, config, BoundOptions::default())
+}
+
+/// Algorithm 4 with toggleable pruning, pre-trait shape.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BoundEngine::with_options` through the `DiversityEngine` trait instead"
+)]
+pub fn bound_top_r_with(
+    g: &CsrGraph,
+    config: &DiversityConfig,
+    options: BoundOptions,
+) -> TopRResult {
+    crate::bound::bound_top_r_with(g, config, options)
+}
+
+/// TSD decode failures, pre-unification name.
+#[deprecated(since = "0.2.0", note = "use `sd_core::DecodeError`")]
+pub type TsdDecodeError = crate::error::DecodeError;
+
+/// GCT decode failures, pre-unification name.
+#[deprecated(since = "0.2.0", note = "use `sd_core::DecodeError`")]
+pub type GctDecodeError = crate::error::DecodeError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_figure1_graph;
+
+    /// The wrappers stay byte-for-byte faithful to the engines they wrap.
+    #[test]
+    fn wrappers_forward_to_the_same_algorithms() {
+        let (g, v, _) = paper_figure1_graph();
+        let cfg = DiversityConfig { k: 4, r: 1 };
+        let online = online_top_r(&g, &cfg);
+        let bound = bound_top_r(&g, &cfg);
+        assert_eq!(online.entries[0].vertex, v);
+        assert_eq!(online.scores(), bound.scores());
+        let ablated =
+            bound_top_r_with(&g, &cfg, BoundOptions { sparsify: false, upper_bound: false });
+        assert_eq!(online.scores(), ablated.scores());
+    }
+}

@@ -6,8 +6,16 @@ use serde::Serialize;
 
 use sd_graph::VertexId;
 
+use crate::error::SearchError;
+
 /// Parameters of a top-r truss-based structural diversity query
 /// (Section 2.3): trussness threshold `k ≥ 2` and result size `r ≥ 1`.
+///
+/// This is the *raw* parameter pair consumed by the low-level algorithm
+/// functions, which clamp `r` to the vertex count. The engine surface wraps
+/// it in a [`crate::QuerySpec`], which additionally rejects `r > n` at query
+/// time. Constructing via a struct literal bypasses validation; prefer
+/// [`DiversityConfig::new`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub struct DiversityConfig {
     /// Trussness threshold; the paper requires `k ≥ 2`.
@@ -17,14 +25,26 @@ pub struct DiversityConfig {
 }
 
 impl DiversityConfig {
-    /// Creates a validated configuration.
-    ///
-    /// # Panics
-    /// If `k < 2` or `r == 0` — both are outside the problem definition.
-    pub fn new(k: u32, r: usize) -> Self {
-        assert!(k >= 2, "trussness threshold k must be >= 2 (got {k})");
-        assert!(r >= 1, "result size r must be >= 1");
-        DiversityConfig { k, r }
+    /// Creates a validated configuration, rejecting parameters outside the
+    /// problem definition (`k < 2` or `r == 0`) instead of producing
+    /// silently meaningless results.
+    pub fn new(k: u32, r: usize) -> Result<Self, SearchError> {
+        if k < 2 {
+            return Err(SearchError::InvalidK { k });
+        }
+        if r == 0 {
+            return Err(SearchError::InvalidR);
+        }
+        Ok(DiversityConfig { k, r })
+    }
+
+    /// Validates this configuration against a concrete graph size: the
+    /// engine surface treats `r > n` as an error rather than clamping.
+    pub fn check_against(&self, n: usize) -> Result<(), SearchError> {
+        if self.r > n {
+            return Err(SearchError::ResultSizeExceedsGraph { r: self.r, n });
+        }
+        Ok(())
     }
 }
 
@@ -51,6 +71,10 @@ pub struct SearchMetrics {
     /// Wall-clock time of the whole query.
     #[serde(skip)]
     pub elapsed: Duration,
+    /// Name of the engine that answered (stamped by the
+    /// [`crate::DiversityEngine`] surface; empty for direct algorithm
+    /// calls).
+    pub engine: &'static str,
 }
 
 /// Result of a top-r query: entries sorted by (score desc, vertex asc) plus
@@ -84,20 +108,26 @@ mod tests {
     use super::*;
 
     #[test]
-    #[should_panic(expected = "k must be >= 2")]
     fn rejects_k_below_2() {
-        DiversityConfig::new(1, 5);
+        assert_eq!(DiversityConfig::new(1, 5), Err(SearchError::InvalidK { k: 1 }));
+        assert_eq!(DiversityConfig::new(0, 5), Err(SearchError::InvalidK { k: 0 }));
     }
 
     #[test]
-    #[should_panic(expected = "r must be >= 1")]
     fn rejects_zero_r() {
-        DiversityConfig::new(3, 0);
+        assert_eq!(DiversityConfig::new(3, 0), Err(SearchError::InvalidR));
     }
 
     #[test]
     fn valid_config() {
-        let c = DiversityConfig::new(4, 10);
+        let c = DiversityConfig::new(4, 10).unwrap();
         assert_eq!((c.k, c.r), (4, 10));
+    }
+
+    #[test]
+    fn check_against_rejects_oversized_r() {
+        let c = DiversityConfig::new(3, 10).unwrap();
+        assert_eq!(c.check_against(9), Err(SearchError::ResultSizeExceedsGraph { r: 10, n: 9 }));
+        assert_eq!(c.check_against(10), Ok(()));
     }
 }

@@ -1,0 +1,125 @@
+//! The unified error hierarchy of the search surface.
+//!
+//! Before the [`crate::engine::DiversityEngine`] redesign every failure mode
+//! had its own shape: invalid query parameters panicked inside
+//! `DiversityConfig::new`, and each serializable index carried a private
+//! decode enum (`TsdDecodeError` / `GctDecodeError`). A production query
+//! surface needs one `Result` type end to end, so everything folds into
+//! [`SearchError`].
+
+use std::fmt;
+
+/// Decode failures shared by every serializable index format (TSD and GCT
+/// blobs use the same framing discipline: magic word, length-checked body).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic number — the blob is not this index format.
+    BadMagic,
+    /// Input shorter than its own header promises.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a recognized index blob (bad magic)"),
+            DecodeError::Truncated => write!(f, "truncated index blob"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Everything that can go wrong answering a structural diversity query
+/// through the [`crate::engine::DiversityEngine`] / [`crate::Searcher`]
+/// surface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchError {
+    /// Trussness threshold below the problem definition's minimum of 2.
+    InvalidK {
+        /// The offending threshold.
+        k: u32,
+    },
+    /// Result size of zero — the problem requires `r ≥ 1`.
+    InvalidR,
+    /// Result size exceeds the graph's vertex count. (The low-level
+    /// algorithm functions clamp instead; the engine surface reports it so
+    /// callers notice a mis-sized query before serving truncated answers.)
+    ResultSizeExceedsGraph {
+        /// Requested result size.
+        r: usize,
+        /// Vertices in the queried graph.
+        n: usize,
+    },
+    /// A serialized index failed to decode.
+    Decode(DecodeError),
+    /// A decoded index covers a different vertex count than the graph it
+    /// was attached to.
+    GraphMismatch {
+        /// Vertices in the attached graph.
+        graph_n: usize,
+        /// Vertices covered by the index.
+        index_n: usize,
+    },
+    /// The engine has no serialized form (only TSD and GCT do).
+    SerializationUnsupported {
+        /// Name of the engine that was asked to (de)serialize.
+        engine: &'static str,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::InvalidK { k } => {
+                write!(f, "trussness threshold k must be >= 2 (got {k})")
+            }
+            SearchError::InvalidR => write!(f, "result size r must be >= 1"),
+            SearchError::ResultSizeExceedsGraph { r, n } => {
+                write!(f, "result size r = {r} exceeds the graph's {n} vertices")
+            }
+            SearchError::Decode(e) => write!(f, "index decode failed: {e}"),
+            SearchError::GraphMismatch { graph_n, index_n } => {
+                write!(f, "index covers {index_n} vertices but the graph has {graph_n}")
+            }
+            SearchError::SerializationUnsupported { engine } => {
+                write!(f, "the `{engine}` engine has no serialized form")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for SearchError {
+    fn from(e: DecodeError) -> Self {
+        SearchError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SearchError::InvalidK { k: 1 }.to_string().contains("k must be >= 2"));
+        assert!(SearchError::ResultSizeExceedsGraph { r: 10, n: 3 }.to_string().contains("10"));
+        assert!(SearchError::from(DecodeError::BadMagic).to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn decode_error_folds_in() {
+        let e: SearchError = DecodeError::Truncated.into();
+        assert_eq!(e, SearchError::Decode(DecodeError::Truncated));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

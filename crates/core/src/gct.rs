@@ -19,6 +19,7 @@ use sd_truss::{truss_decomposition, vertex_trussness, TrussDecomposition};
 use crate::bound::finish_entries;
 use crate::config::{DiversityConfig, SearchMetrics, TopRResult};
 use crate::egonet::{AllEgoNetworks, EgoNetwork};
+use crate::error::DecodeError;
 use crate::score::EgoDecomposition;
 use crate::topr::TopRCollector;
 
@@ -298,7 +299,11 @@ impl GctIndex {
         let entries = finish_entries(collector, |v| self.social_contexts(v, config.k));
         TopRResult {
             entries,
-            metrics: SearchMetrics { score_computations: computations, elapsed: start.elapsed() },
+            metrics: SearchMetrics {
+                score_computations: computations,
+                elapsed: start.elapsed(),
+                engine: "",
+            },
         }
     }
 
@@ -330,25 +335,38 @@ impl GctIndex {
     }
 
     /// Deserializes a blob produced by [`Self::to_bytes`].
-    pub fn from_bytes(mut data: Bytes) -> Result<Self, GctDecodeError> {
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, DecodeError> {
         if data.remaining() < 12 {
-            return Err(GctDecodeError::Truncated);
+            return Err(DecodeError::Truncated);
         }
         if data.get_u32_le() != MAGIC {
-            return Err(GctDecodeError::BadMagic);
+            return Err(DecodeError::BadMagic);
         }
         let n = data.get_u64_le() as usize;
+        // Every entry consumes at least its 12-byte count header, so a
+        // hostile vertex count must not drive a huge allocation (or a
+        // capacity overflow) before the per-entry length checks run.
+        if n > data.remaining() / 12 {
+            return Err(DecodeError::Truncated);
+        }
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             if data.remaining() < 12 {
-                return Err(GctDecodeError::Truncated);
+                return Err(DecodeError::Truncated);
             }
             let sn = data.get_u32_le() as usize;
             let members = data.get_u32_le() as usize;
             let ses = data.get_u32_le() as usize;
-            let need = sn * 8 + members * 4 + ses * 12;
+            // Checked arithmetic: hostile per-entry counts must not wrap
+            // the length check on 32-bit targets (same discipline as
+            // `TsdIndex::from_bytes`).
+            let need = sn
+                .checked_mul(8)
+                .and_then(|a| a.checked_add(members.checked_mul(4)?))
+                .and_then(|a| a.checked_add(ses.checked_mul(12)?))
+                .ok_or(DecodeError::Truncated)?;
             if data.remaining() < need {
-                return Err(GctDecodeError::Truncated);
+                return Err(DecodeError::Truncated);
             }
             let sn_tau: Vec<u32> = (0..sn).map(|_| data.get_u32_le()).collect();
             let mut sn_offsets = Vec::with_capacity(sn + 1);
@@ -374,26 +392,6 @@ impl GctIndex {
             .sum::<usize>()
     }
 }
-
-/// Decode failures for [`GctIndex::from_bytes`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum GctDecodeError {
-    /// Wrong magic number.
-    BadMagic,
-    /// Input shorter than its own header promises.
-    Truncated,
-}
-
-impl std::fmt::Display for GctDecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            GctDecodeError::BadMagic => write!(f, "not a GCT-index blob (bad magic)"),
-            GctDecodeError::Truncated => write!(f, "truncated GCT-index blob"),
-        }
-    }
-}
-
-impl std::error::Error for GctDecodeError {}
 
 /// Builds one GCT entry straight from a graph (testing/diagnostics helper).
 pub fn gct_entry_for(g: &CsrGraph, v: VertexId) -> GctEntry {
@@ -455,7 +453,7 @@ mod tests {
         let index = GctIndex::build(&g);
         for k in 2..=5 {
             for r in [1usize, 3, 17] {
-                let cfg = DiversityConfig::new(k, r);
+                let cfg = DiversityConfig { k, r };
                 assert_eq!(
                     index.top_r(&cfg).scores(),
                     online_top_r(&g, &cfg).scores(),
@@ -490,11 +488,37 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(GctIndex::from_bytes(Bytes::from_static(b"xx")), Err(GctDecodeError::Truncated));
+        assert_eq!(GctIndex::from_bytes(Bytes::from_static(b"xx")), Err(DecodeError::Truncated));
         let mut buf = BytesMut::new();
         buf.put_u32_le(123);
         buf.put_u64_le(0);
-        assert_eq!(GctIndex::from_bytes(buf.freeze()), Err(GctDecodeError::BadMagic));
+        assert_eq!(GctIndex::from_bytes(buf.freeze()), Err(DecodeError::BadMagic));
+    }
+
+    /// A valid magic followed by a hostile vertex count must fail cleanly,
+    /// not overflow `Vec::with_capacity`.
+    #[test]
+    fn decode_rejects_hostile_entry_count() {
+        for n in [u64::MAX, u64::MAX / 8, 1 << 40] {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(MAGIC);
+            buf.put_u64_le(n);
+            assert_eq!(GctIndex::from_bytes(buf.freeze()), Err(DecodeError::Truncated), "n={n}");
+        }
+    }
+
+    /// Hostile per-entry counts chosen to wrap 32-bit size arithmetic must
+    /// be rejected by the checked length computation, not read past the
+    /// buffer.
+    #[test]
+    fn decode_rejects_hostile_per_entry_counts() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0x2000_0000); // sn * 8 wraps to 0 on 32-bit usize
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        assert_eq!(GctIndex::from_bytes(buf.freeze()), Err(DecodeError::Truncated));
     }
 
     #[test]

@@ -107,7 +107,11 @@ impl HybridIndex {
             .collect();
         TopRResult {
             entries,
-            metrics: SearchMetrics { score_computations: computations, elapsed: start.elapsed() },
+            metrics: SearchMetrics {
+                score_computations: computations,
+                elapsed: start.elapsed(),
+                engine: "",
+            },
         }
     }
 }
@@ -136,7 +140,7 @@ mod tests {
         let hybrid = HybridIndex::build(&g);
         for k in 2..=5 {
             for r in [1usize, 3, 17] {
-                let cfg = DiversityConfig::new(k, r);
+                let cfg = DiversityConfig { k, r };
                 assert_eq!(
                     hybrid.top_r(&g, &cfg).scores(),
                     online_top_r(&g, &cfg).scores(),
@@ -150,7 +154,7 @@ mod tests {
     fn contexts_match_online_for_top1() {
         let (g, _, _) = paper_figure1_graph();
         let hybrid = HybridIndex::build(&g);
-        let cfg = DiversityConfig::new(4, 1);
+        let cfg = DiversityConfig { k: 4, r: 1 };
         let a = hybrid.top_r(&g, &cfg);
         let b = online_top_r(&g, &cfg);
         assert_eq!(a.entries[0].contexts, b.entries[0].contexts);

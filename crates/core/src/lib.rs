@@ -5,46 +5,81 @@
 //! whose ego-networks decompose into the most maximal connected k-trusses
 //! (*social contexts*), and return those contexts.
 //!
-//! Five interchangeable engines, matching the paper's experimental lineup:
+//! ## The engine surface
 //!
-//! | engine | paper | entry point |
-//! |---|---|---|
-//! | `baseline` | Algorithm 3 | [`online_top_r`] |
-//! | `bound` | Algorithm 4 (sparsify + Lemma 2) | [`bound_top_r`] |
-//! | `TSD` | Algorithms 5–6 | [`TsdIndex`] |
-//! | `GCT` | Algorithms 7–8 + Lemma 3 | [`GctIndex`] |
-//! | `Hybrid` | Exp-4 competitor | [`HybridIndex`] |
+//! Five interchangeable engines, matching the paper's experimental lineup,
+//! all behind the object-safe [`DiversityEngine`] trait:
 //!
-//! plus the competitor diversity models under [`baselines`] (Comp-Div,
-//! Core-Div, Random).
+//! | engine | paper | [`EngineKind`] | preprocessing | serializable |
+//! |---|---|---|---|---|
+//! | online baseline | Algorithm 3 | `Online` | none | no |
+//! | bound-pruned | Algorithm 4 (sparsify + Lemma 2) | `Bound` | none | no |
+//! | TSD-index | Algorithms 5–6 | `Tsd` | max spanning forests | yes |
+//! | GCT-index | Algorithms 7–8 + Lemma 3 | `Gct` | compressed forests | yes |
+//! | Hybrid | Exp-4 competitor | `Hybrid` | per-k rankings | no |
+//!
+//! Build one engine with [`build_engine`] (or revive a serialized index
+//! with [`decode_engine`]), or let a [`Searcher`] own the graph, build
+//! engines lazily, and resolve [`EngineKind::Auto`] by graph size and query
+//! rate:
+//!
+//! ```
+//! use sd_core::{paper_figure1_edges, QuerySpec, Searcher};
+//! use sd_graph::GraphBuilder;
+//!
+//! let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
+//! let mut searcher = Searcher::new(g);
+//! let result = searcher.top_r(&QuerySpec::new(4, 1)?)?;
+//! assert_eq!(result.entries[0].score, 3);
+//! # Ok::<(), sd_core::SearchError>(())
+//! ```
+//!
+//! Queries are validated ([`QuerySpec::new`] rejects `k < 2` / `r == 0`;
+//! the engine rejects `r > n`) and every failure is a [`SearchError`].
+//! The pre-trait free functions survive as deprecated wrappers in
+//! [`compat`] for one release; its module docs carry the migration table.
 //!
 //! All engines return [`TopRResult`]s whose score multisets agree; this is
-//! enforced by cross-engine tests and property tests (see `tests/`).
+//! enforced by cross-engine tests and property tests driving the engines
+//! through `Box<dyn DiversityEngine>` (see `tests/`). The competitor
+//! diversity models live under [`baselines`].
 
 pub mod baselines;
 pub mod bound;
+pub mod compat;
 pub mod config;
 pub mod dynamic;
 pub mod egonet;
+pub mod engine;
+pub mod error;
 pub mod gct;
 pub mod hybrid;
 pub mod online;
 pub mod paper;
 pub mod parallel;
 pub mod score;
+pub mod searcher;
 pub mod tcp;
 pub mod topr;
 pub mod tsd;
 
-pub use bound::{bound_top_r, bound_top_r_with, sparsify, upper_bounds, BoundOptions, Sparsified};
+pub use bound::{sparsify, upper_bounds, BoundOptions, Sparsified};
+#[allow(deprecated)]
+pub use compat::{bound_top_r, bound_top_r_with, online_top_r, GctDecodeError, TsdDecodeError};
 pub use config::{DiversityConfig, SearchMetrics, TopREntry, TopRResult};
 pub use dynamic::DynamicTsd;
 pub use egonet::{AllEgoNetworks, EgoNetwork};
+pub use engine::{
+    build_engine, decode_engine, BoundEngine, DiversityEngine, EngineKind, GctEngine, HybridEngine,
+    OnlineEngine, QuerySpec, TsdEngine,
+};
+pub use error::{DecodeError, SearchError};
 pub use gct::{GctIndex, BITMAP_FALLBACK_THRESHOLD};
 pub use hybrid::HybridIndex;
-pub use online::{all_scores, online_top_r};
+pub use online::all_scores;
 pub use paper::{paper_figure18_graph, paper_figure1_edges, paper_figure1_graph};
 pub use score::{score, social_contexts, EgoDecomposition};
+pub use searcher::Searcher;
 pub use tcp::{ktruss_communities, TcpIndex};
 pub use topr::TopRCollector;
 pub use tsd::{TsdBuilder, TsdIndex};

@@ -13,8 +13,9 @@ use crate::egonet::EgoNetwork;
 use crate::score::{social_contexts, social_contexts_of_ego, EgoDecomposition};
 use crate::topr::TopRCollector;
 
-/// Algorithm 3: full scan of all vertices.
-pub fn online_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
+/// Algorithm 3: full scan of all vertices. Crate-internal: reachable
+/// through `OnlineEngine` (or, for one release, `compat::online_top_r`).
+pub(crate) fn online_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
     let start = Instant::now();
     let mut collector = TopRCollector::new(config.r);
     let mut computations = 0usize;
@@ -35,7 +36,11 @@ pub fn online_top_r(g: &CsrGraph, config: &DiversityConfig) -> TopRResult {
         .collect();
     TopRResult {
         entries,
-        metrics: SearchMetrics { score_computations: computations, elapsed: start.elapsed() },
+        metrics: SearchMetrics {
+            score_computations: computations,
+            elapsed: start.elapsed(),
+            engine: "",
+        },
     }
 }
 
@@ -60,7 +65,7 @@ mod tests {
     #[test]
     fn paper_example_2() {
         let (g, v, _) = paper_figure1_graph();
-        let result = online_top_r(&g, &DiversityConfig::new(4, 1));
+        let result = online_top_r(&g, &DiversityConfig { k: 4, r: 1 });
         assert_eq!(result.entries.len(), 1);
         assert_eq!(result.entries[0].vertex, v);
         assert_eq!(result.entries[0].score, 3);
@@ -71,7 +76,7 @@ mod tests {
     #[test]
     fn r_larger_than_n_returns_all() {
         let (g, _, _) = paper_figure1_graph();
-        let result = online_top_r(&g, &DiversityConfig::new(4, 100));
+        let result = online_top_r(&g, &DiversityConfig { k: 4, r: 100 });
         assert_eq!(result.entries.len(), g.n());
         // Sorted by score desc.
         let scores = result.scores();
@@ -82,7 +87,7 @@ mod tests {
     fn all_scores_matches_entries() {
         let (g, _, _) = paper_figure1_graph();
         let scores = all_scores(&g, 4);
-        let result = online_top_r(&g, &DiversityConfig::new(4, g.n()));
+        let result = online_top_r(&g, &DiversityConfig { k: 4, r: g.n() });
         for e in &result.entries {
             assert_eq!(scores[e.vertex as usize], e.score);
         }

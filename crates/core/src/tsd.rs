@@ -22,6 +22,7 @@ use sd_truss::truss_decomposition;
 use crate::bound::finish_entries;
 use crate::config::{DiversityConfig, SearchMetrics, TopRResult};
 use crate::egonet::EgoNetwork;
+use crate::error::DecodeError;
 use crate::topr::TopRCollector;
 
 /// Serialized-format magic ("TSD1").
@@ -37,9 +38,10 @@ const MAGIC: u32 = 0x5453_4431;
 /// let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
 /// let index = TsdIndex::build(&g);          // index once …
 /// for k in 2..=4 {
-///     let top = index.top_r(&g, &DiversityConfig::new(k, 1)); // … query any (k, r)
+///     let top = index.top_r(&g, &DiversityConfig::new(k, 1)?); // … query any (k, r)
 ///     assert_eq!(top.entries[0].vertex, 0);
 /// }
+/// # Ok::<(), sd_core::SearchError>(())
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TsdIndex {
@@ -194,7 +196,11 @@ impl TsdIndex {
         let entries = finish_entries(collector, |v| self.social_contexts(g, v, config.k));
         TopRResult {
             entries,
-            metrics: SearchMetrics { score_computations: computations, elapsed: start.elapsed() },
+            metrics: SearchMetrics {
+                score_computations: computations,
+                elapsed: start.elapsed(),
+                engine: "",
+            },
         }
     }
 
@@ -246,20 +252,20 @@ impl TsdIndex {
     }
 
     /// Deserializes a blob produced by [`Self::to_bytes`].
-    pub fn from_bytes(mut data: Bytes) -> Result<Self, TsdDecodeError> {
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, DecodeError> {
         if data.remaining() < 20 {
-            return Err(TsdDecodeError::Truncated);
+            return Err(DecodeError::Truncated);
         }
         if data.get_u32_le() != MAGIC {
-            return Err(TsdDecodeError::BadMagic);
+            return Err(DecodeError::BadMagic);
         }
         let n = data.get_u64_le() as usize;
         let total = data.get_u64_le() as usize;
         // Checked arithmetic: a hostile header must not wrap the length
         // checks and trigger a huge allocation.
-        let need_counts = n.checked_mul(4).ok_or(TsdDecodeError::Truncated)?;
+        let need_counts = n.checked_mul(4).ok_or(DecodeError::Truncated)?;
         if data.remaining() < need_counts {
-            return Err(TsdDecodeError::Truncated);
+            return Err(DecodeError::Truncated);
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
@@ -268,9 +274,9 @@ impl TsdIndex {
             acc += data.get_u32_le() as usize;
             offsets.push(acc);
         }
-        let need_edges = total.checked_mul(12).ok_or(TsdDecodeError::Truncated)?;
+        let need_edges = total.checked_mul(12).ok_or(DecodeError::Truncated)?;
         if acc != total || data.remaining() < need_edges {
-            return Err(TsdDecodeError::Truncated);
+            return Err(DecodeError::Truncated);
         }
         let (mut eu, mut ew, mut weight) =
             (Vec::with_capacity(total), Vec::with_capacity(total), Vec::with_capacity(total));
@@ -314,26 +320,6 @@ pub fn max_spanning_forest(
     }
     forest
 }
-
-/// Decode failures for [`TsdIndex::from_bytes`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TsdDecodeError {
-    /// Wrong magic number.
-    BadMagic,
-    /// Input shorter than its own header promises.
-    Truncated,
-}
-
-impl std::fmt::Display for TsdDecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TsdDecodeError::BadMagic => write!(f, "not a TSD-index blob (bad magic)"),
-            TsdDecodeError::Truncated => write!(f, "truncated TSD-index blob"),
-        }
-    }
-}
-
-impl std::error::Error for TsdDecodeError {}
 
 /// Incremental TSD-index construction; also reused by the GCT builder's
 /// benchmarking harness to time the forest phase separately.
@@ -433,7 +419,7 @@ mod tests {
         let index = TsdIndex::build(&g);
         for k in 2..=5 {
             for r in [1usize, 2, 5, 17] {
-                let cfg = DiversityConfig::new(k, r);
+                let cfg = DiversityConfig { k, r };
                 assert_eq!(
                     index.top_r(&g, &cfg).scores(),
                     online_top_r(&g, &cfg).scores(),
@@ -466,15 +452,12 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(
-            TsdIndex::from_bytes(Bytes::from_static(b"nope")),
-            Err(TsdDecodeError::Truncated)
-        );
+        assert_eq!(TsdIndex::from_bytes(Bytes::from_static(b"nope")), Err(DecodeError::Truncated));
         let mut buf = BytesMut::new();
         buf.put_u32_le(0xdead_beef);
         buf.put_u64_le(0);
         buf.put_u64_le(0);
-        assert_eq!(TsdIndex::from_bytes(buf.freeze()), Err(TsdDecodeError::BadMagic));
+        assert_eq!(TsdIndex::from_bytes(buf.freeze()), Err(DecodeError::BadMagic));
     }
 
     #[test]

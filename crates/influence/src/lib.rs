@@ -12,6 +12,12 @@
 //! * [`experiments`] — drivers for Figures 13–15 and Table 5: activation
 //!   rate per score group, activated counts among top-r sets, activation
 //!   latency curves, and center-vertex activation probability.
+//!
+//! This crate is deliberately engine-agnostic: every driver consumes plain
+//! score slices or vertex sets, so callers feed it from whichever `sd-core`
+//! engine they queried — typically `Searcher::top_r(..).vertices()` or
+//! `DiversityEngine::score` through the unified trait surface (see the
+//! `sd-core` crate docs and the `social_contagion` example).
 
 pub mod experiments;
 pub mod ic;

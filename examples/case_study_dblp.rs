@@ -9,21 +9,20 @@
 
 use structural_diversity::datasets::dblp_like;
 use structural_diversity::search::baselines::{comp_div_top_r, core_div_top_r};
-use structural_diversity::search::{DiversityConfig, GctIndex};
+use structural_diversity::search::{DiversityConfig, QuerySpec, Searcher};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = dblp_like().generate(0.5);
     println!("collaboration network: n={} m={}", g.n(), g.m());
 
-    // k = 5, r = 1 — the paper's case-study query.
-    let cfg = DiversityConfig::new(5, 1);
-    let gct = GctIndex::build(&g);
-
-    let truss = gct.top_r(&cfg);
+    // k = 5, r = 1 — the paper's case-study query, routed by `Auto`.
+    let mut searcher = Searcher::new(g);
+    let truss = searcher.top_r(&QuerySpec::new(5, 1)?)?;
     let top = &truss.entries[0];
     println!(
-        "\nTruss-Div top-1: author a{} with {} research groups (maximal connected 5-trusses):",
-        top.vertex, top.score
+        "\nTruss-Div top-1 (via `{}`): author a{} with {} research groups \
+         (maximal connected 5-trusses):",
+        truss.metrics.engine, top.vertex, top.score
     );
     for (i, group) in top.contexts.iter().enumerate() {
         println!(
@@ -35,8 +34,9 @@ fn main() {
     }
 
     // The same query under the competitor models (Exp-11).
-    let comp = comp_div_top_r(&g, &cfg);
-    let core = core_div_top_r(&g, &cfg);
+    let cfg = DiversityConfig::new(5, 1)?;
+    let comp = comp_div_top_r(searcher.graph(), &cfg);
+    let core = core_div_top_r(searcher.graph(), &cfg);
     println!(
         "\nComp-Div top-1: a{} with {} context(s) — components ≥ {} vertices",
         comp.entries[0].vertex, comp.entries[0].score, cfg.k
@@ -49,4 +49,5 @@ fn main() {
         "\nThe truss model separates research groups that the component/core \
          models fuse through weak bridges (Observation of Exp-10/11)."
     );
+    Ok(())
 }

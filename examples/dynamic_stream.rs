@@ -10,9 +10,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use std::sync::Arc;
+
 use structural_diversity::datasets;
 use structural_diversity::search::dynamic::DynamicTsd;
-use structural_diversity::search::TsdIndex;
+use structural_diversity::search::{build_engine, EngineKind};
 
 fn main() {
     let g = datasets::dataset("email-enron-syn").expect("registry").generate(0.1);
@@ -51,12 +53,12 @@ fn main() {
         );
     }
 
-    // Prove the maintained index equals a from-scratch rebuild.
-    let snapshot = index.graph().to_csr();
-    let fresh = TsdIndex::build(&snapshot);
-    let mut scratch = Vec::new();
+    // Prove the maintained index equals a from-scratch rebuild (the fresh
+    // engine comes from the same factory every static consumer uses).
+    let snapshot = Arc::new(index.graph().to_csr());
+    let fresh = build_engine(EngineKind::Tsd, snapshot.clone());
     for v in snapshot.vertices() {
-        assert_eq!(index.score(v, k), fresh.score(v, k, &mut scratch));
+        assert_eq!(index.score(v, k), fresh.score(v, k));
     }
     println!(
         "\nverified: incrementally-maintained index == full rebuild on all {} vertices",

@@ -1,6 +1,7 @@
-//! Index lifecycle: build a TSD-index and a GCT-index once, serialize them
-//! to disk, reload, and answer many (k, r) queries — the "index once, query
-//! forever" workflow the paper designs Section 5/6 around.
+//! Index lifecycle: build the TSD and GCT engines once, serialize the GCT
+//! index to disk, reload it into a fresh `Searcher`, and answer many (k, r)
+//! queries — the "index once, query forever" workflow the paper designs
+//! Section 5/6 around.
 //!
 //! ```sh
 //! cargo run --release --example index_queries
@@ -9,44 +10,49 @@
 use std::time::Instant;
 
 use structural_diversity::datasets;
-use structural_diversity::search::{DiversityConfig, GctIndex, TsdIndex};
+use structural_diversity::search::{EngineKind, QuerySpec, Searcher};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = datasets::dataset("email-enron-syn").expect("registry dataset");
     let g = dataset.generate(0.2);
     println!("graph: {} (n={} m={})", dataset.name, g.n(), g.m());
 
-    // Build both indexes.
+    // Build both index engines through the facade.
+    let mut searcher = Searcher::new(g);
     let t0 = Instant::now();
-    let tsd = TsdIndex::build(&g);
-    println!("TSD-index: built in {:?}, {} bytes", t0.elapsed(), tsd.index_size_bytes());
+    let tsd_bytes = searcher.engine(EngineKind::Tsd).to_bytes()?;
+    println!("TSD-index: built in {:?}, {} bytes", t0.elapsed(), tsd_bytes.len());
     let t1 = Instant::now();
-    let gct = GctIndex::build(&g);
-    println!("GCT-index: built in {:?}, {} bytes", t1.elapsed(), gct.index_size_bytes());
+    let gct_bytes = searcher.engine(EngineKind::Gct).to_bytes()?;
+    println!("GCT-index: built in {:?}, {} bytes", t1.elapsed(), gct_bytes.len());
 
-    // Serialize / reload round-trip (e.g. to ship the index next to the data).
+    // Serialize / reload round-trip (e.g. to ship the index next to the
+    // data): a fresh searcher revives the engine from the blob instead of
+    // rebuilding it.
     let dir = std::env::temp_dir().join("sd_index_example");
-    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join("graph.gct");
-    std::fs::write(&path, gct.to_bytes()).expect("write index");
-    let blob = std::fs::read(&path).expect("read index");
-    let gct = GctIndex::from_bytes(blob.into()).expect("decode index");
-    println!("reloaded GCT-index from {}", path.display());
+    std::fs::write(&path, &gct_bytes)?;
+    let blob = std::fs::read(&path)?;
+    let mut reloaded = Searcher::from_arc(searcher.graph_arc());
+    reloaded.install_from_bytes(EngineKind::Gct, blob.into())?;
+    println!("reloaded GCT engine from {}", path.display());
 
     // One index, many queries: the same structures answer every (k, r).
     println!("\n{:<6} {:<4} {:>14} {:>14}", "k", "r", "TSD query", "GCT query");
     for k in [3u32, 4, 5, 6] {
         for r in [10usize, 100] {
-            let cfg = DiversityConfig::new(k, r);
-            let t = Instant::now();
-            let a = tsd.top_r(&g, &cfg);
-            let tsd_time = t.elapsed();
-            let t = Instant::now();
-            let b = gct.top_r(&cfg);
-            let gct_time = t.elapsed();
+            let tsd_spec = QuerySpec::new(k, r)?.with_engine(EngineKind::Tsd);
+            let a = searcher.top_r(&tsd_spec)?;
+            let gct_spec = tsd_spec.with_engine(EngineKind::Gct);
+            let b = reloaded.top_r(&gct_spec)?;
             assert_eq!(a.scores(), b.scores(), "engines must agree");
             let top = a.entries.first().map(|e| e.score).unwrap_or(0);
-            println!("k={k:<4} r={r:<4} {tsd_time:>12.2?} {gct_time:>12.2?}   (top score {top})");
+            println!(
+                "k={k:<4} r={r:<4} {:>12.2?} {:>12.2?}   (top score {top})",
+                a.metrics.elapsed, b.metrics.elapsed
+            );
         }
     }
+    Ok(())
 }

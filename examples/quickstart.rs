@@ -1,5 +1,6 @@
 //! Quickstart: build a graph, run a top-r truss-based structural diversity
-//! query with each engine, and inspect the social contexts.
+//! query through every engine behind the `Searcher` facade, and inspect the
+//! social contexts.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,46 +8,41 @@
 
 use structural_diversity::graph::GraphBuilder;
 use structural_diversity::search::{
-    bound_top_r, online_top_r, paper::PAPER_FIGURE1_NAMES, paper_figure1_edges, DiversityConfig,
-    GctIndex, TsdIndex,
+    paper::PAPER_FIGURE1_NAMES, paper_figure1_edges, EngineKind, QuerySpec, SearchError, Searcher,
 };
 
-fn main() {
+fn main() -> Result<(), SearchError> {
     // The paper's running example (Figure 1): vertex v with three social
     // contexts at k = 4.
     let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
     println!("graph: n={} m={}", g.n(), g.m());
 
-    let config = DiversityConfig::new(4, 3);
+    // One facade owns the graph and lazily builds each engine on first use.
+    let mut searcher = Searcher::new(g);
+    let spec = QuerySpec::new(4, 3)?;
 
-    // 1. Online search (Algorithm 3) — no index, full scan.
-    let online = online_top_r(&g, &config);
-    println!("\n[online] evaluated {} vertices", online.metrics.score_computations);
+    // The five engines answer the same validated spec; only preprocessing
+    // and per-query work differ (metrics carry the search-space column).
+    let mut last: Option<Vec<u32>> = None;
+    for kind in EngineKind::ALL {
+        let result = searcher.top_r(&spec.with_engine(kind))?;
+        println!(
+            "[{:>6}] evaluated {:>2} vertices in {:?}",
+            result.metrics.engine, result.metrics.score_computations, result.metrics.elapsed
+        );
+        if let Some(previous) = &last {
+            assert_eq!(previous, &result.scores(), "engines must agree");
+        }
+        last = Some(result.scores());
+    }
 
-    // 2. Bound search (Algorithm 4) — sparsification + upper-bound pruning.
-    let bound = bound_top_r(&g, &config);
-    println!(
-        "[bound]  evaluated {} vertices (early termination)",
-        bound.metrics.score_computations
-    );
+    // `Auto` routes by graph size / query rate — on this tiny graph it
+    // reuses the GCT-index built above.
+    let auto = searcher.top_r(&spec)?;
+    println!("[  auto] routed to `{}`", auto.metrics.engine);
 
-    // 3. TSD-index (Algorithms 5-6) — one index, any (k, r).
-    let tsd = TsdIndex::build(&g);
-    let tsd_result = tsd.top_r(&g, &config);
-    println!("[tsd]    index size {} bytes", tsd.index_size_bytes());
-
-    // 4. GCT-index (Algorithms 7-8) — compressed, O(log) scores.
-    let gct = GctIndex::build(&g);
-    let gct_result = gct.top_r(&config);
-    println!("[gct]    index size {} bytes", gct.index_size_bytes());
-
-    // All engines agree.
-    assert_eq!(online.scores(), bound.scores());
-    assert_eq!(online.scores(), tsd_result.scores());
-    assert_eq!(online.scores(), gct_result.scores());
-
-    println!("\ntop-{} vertices at k = {}:", config.r, config.k);
-    for entry in &gct_result.entries {
+    println!("\ntop-{} vertices at k = {}:", spec.r(), spec.k());
+    for entry in &auto.entries {
         let name = PAPER_FIGURE1_NAMES[entry.vertex as usize];
         println!("  {name}: score {}", entry.score);
         for (i, context) in entry.contexts.iter().enumerate() {
@@ -55,4 +51,5 @@ fn main() {
             println!("    context {}: {{{}}}", i + 1, members.join(", "));
         }
     }
+    Ok(())
 }

@@ -16,9 +16,9 @@ use structural_diversity::influence::{
     activated_counts, activation_rates_by_group, ris_seeds, IcModel,
 };
 use structural_diversity::search::baselines::{comp_div_top_r, core_div_top_r, random_top_r};
-use structural_diversity::search::{all_scores, DiversityConfig, GctIndex};
+use structural_diversity::search::{all_scores, DiversityConfig, QuerySpec, Searcher};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = datasets::dataset("gowalla-syn").expect("registry dataset");
     let g = dataset.generate(0.05);
     println!("graph: {} (n={} m={})", dataset.name, g.n(), g.m());
@@ -39,13 +39,17 @@ fn main() {
         println!("  score [{:>2}, {:>2}]  ->  {:.4}", range.0, range.1, rate);
     }
 
-    // Exp-8: activated count among top-100 picks of each model.
-    let cfg = DiversityConfig::new(4, 100);
-    let gct = GctIndex::build(&g);
-    let truss_set = gct.top_r(&cfg).vertices();
-    let core_set = core_div_top_r(&g, &cfg).vertices();
-    let comp_set = comp_div_top_r(&g, &cfg).vertices();
-    let random_set = random_top_r(&g, 100, &mut rng);
+    // Exp-8: activated count among top-100 picks of each model. `Auto` on a
+    // repeatedly-queried graph settles on the GCT engine.
+    let mut searcher = Searcher::new(g);
+    let spec = QuerySpec::new(4, 100)?;
+    let truss = searcher.top_r(&spec)?;
+    println!("\n(truss picks served by the `{}` engine)", truss.metrics.engine);
+    let truss_set = truss.vertices();
+    let cfg = DiversityConfig::new(4, 100)?;
+    let core_set = core_div_top_r(searcher.graph(), &cfg).vertices();
+    let comp_set = comp_div_top_r(searcher.graph(), &cfg).vertices();
+    let random_set = random_top_r(searcher.graph(), 100, &mut rng);
 
     println!("\nexpected #activated among each model's top-100:");
     for (name, set) in [
@@ -55,7 +59,8 @@ fn main() {
         ("Random", &random_set),
     ] {
         let mut mc_rng = StdRng::seed_from_u64(7);
-        let count = activated_counts(&g, set, &seeds, model, samples, &mut mc_rng);
+        let count = activated_counts(searcher.graph(), set, &seeds, model, samples, &mut mc_rng);
         println!("  {name:>9}: {count:.2}");
     }
+    Ok(())
 }

@@ -40,7 +40,7 @@ where
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = std::sync::atomic::AtomicU64::new(0);
         super::scope(|scope| {
             for chunk in data.chunks(2) {

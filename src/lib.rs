@@ -8,16 +8,20 @@
 //!
 //! ```
 //! use structural_diversity::graph::GraphBuilder;
-//! use structural_diversity::search::{DiversityConfig, TsdIndex};
+//! use structural_diversity::search::{EngineKind, QuerySpec, Searcher};
 //!
 //! // The paper's running example (Figure 1): vertex v's neighborhood
 //! // decomposes into three social contexts at k = 4.
 //! let g = GraphBuilder::new()
 //!     .extend_edges(structural_diversity::search::paper_figure1_edges())
 //!     .build();
-//! let index = TsdIndex::build(&g);
-//! let result = index.top_r(&g, &DiversityConfig { k: 4, r: 1 });
+//! let mut searcher = Searcher::new(g);
+//! // `EngineKind::Auto` picks an engine by graph size and query rate;
+//! // `.with_engine(EngineKind::Tsd)` (or any of the five) routes explicitly.
+//! let result = searcher.top_r(&QuerySpec::new(4, 1)?)?;
 //! assert_eq!(result.entries[0].score, 3);
+//! assert_eq!(result.metrics.engine, EngineKind::Gct.name());
+//! # Ok::<(), structural_diversity::search::SearchError>(())
 //! ```
 //!
 //! See the crate-level docs of the members for details:

@@ -3,58 +3,89 @@
 //! context partitions on arbitrary graphs — the paper's correctness claims
 //! for Algorithm 4 (Property 1 + Lemma 2), the TSD-index (Observations 2–3),
 //! and the GCT-index (Lemma 3), all at once.
+//!
+//! The engines are driven exclusively through the unified surface:
+//! `Box<dyn DiversityEngine>` trait objects from the `build_engine` factory
+//! and the `Searcher` facade (including `EngineKind::Auto` routing).
 
 mod common;
+
+use std::sync::Arc;
 
 use common::arb_graph;
 use proptest::prelude::*;
 
 use structural_diversity::search::{
-    all_scores, bound_top_r, online_top_r, social_contexts, upper_bounds, DiversityConfig,
-    GctIndex, HybridIndex, TsdIndex,
+    all_scores, build_engine, social_contexts, sparsify, upper_bounds, DiversityEngine, EngineKind,
+    QuerySpec, Searcher,
 };
+
+/// All five engines over the same shared graph, as trait objects.
+fn all_engines(g: &Arc<structural_diversity::graph::CsrGraph>) -> Vec<Box<dyn DiversityEngine>> {
+    EngineKind::ALL.iter().map(|&kind| build_engine(kind, g.clone())).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// The headline property: identical score multisets through trait
+    /// objects, with `EngineKind::Auto` (via the `Searcher`) agreeing too.
     #[test]
     fn all_engines_agree_on_scores(g in arb_graph(18, 70), k in 2u32..6, r in 1usize..8) {
-        let cfg = DiversityConfig::new(k, r);
-        let online = online_top_r(&g, &cfg);
-        let bound = bound_top_r(&g, &cfg);
-        let tsd = TsdIndex::build(&g);
-        let tsd_result = tsd.top_r(&g, &cfg);
-        let gct = GctIndex::build(&g);
-        let gct_result = gct.top_r(&cfg);
-        let hybrid = HybridIndex::build_from_tsd(&tsd);
-        let hybrid_result = hybrid.top_r(&g, &cfg);
+        let g = Arc::new(g);
+        let r = r.min(g.n()); // the trait surface rejects r > n by design
+        let spec = QuerySpec::new(k, r).expect("valid spec");
 
-        prop_assert_eq!(online.scores(), bound.scores());
-        prop_assert_eq!(online.scores(), tsd_result.scores());
-        prop_assert_eq!(online.scores(), gct_result.scores());
-        prop_assert_eq!(online.scores(), hybrid_result.scores());
+        let engines = all_engines(&g);
+        let reference = engines[0].top_r(&spec).expect("online query");
+        prop_assert_eq!(reference.metrics.engine, "online");
+        for engine in &engines[1..] {
+            let result = engine.top_r(&spec).expect("engine query");
+            prop_assert_eq!(
+                &reference.scores(),
+                &result.scores(),
+                "{} disagrees with online",
+                engine.name()
+            );
+            prop_assert_eq!(result.metrics.engine, engine.name());
+        }
+
+        // Auto routing through the facade returns the same multiset no
+        // matter which engine the heuristic picks.
+        let mut searcher = Searcher::from_arc(g);
+        let auto = searcher.top_r(&spec).expect("auto query");
+        prop_assert_eq!(reference.scores(), auto.scores());
     }
 
+    /// Per-vertex scores through the trait's `score` accessor.
     #[test]
-    fn index_scores_equal_online_for_every_vertex(g in arb_graph(18, 70), k in 2u32..7) {
+    fn engine_scores_equal_online_for_every_vertex(g in arb_graph(18, 70), k in 2u32..7) {
         let truth = all_scores(&g, k);
-        let tsd = TsdIndex::build(&g);
-        let gct = GctIndex::build(&g);
-        let mut scratch = Vec::new();
-        for v in g.vertices() {
-            prop_assert_eq!(tsd.score(v, k, &mut scratch), truth[v as usize], "tsd v={}", v);
-            prop_assert_eq!(gct.score(v, k), truth[v as usize], "gct v={}", v);
+        let g = Arc::new(g);
+        for kind in [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid] {
+            let engine = build_engine(kind, g.clone());
+            for v in g.vertices() {
+                prop_assert_eq!(engine.score(v, k), truth[v as usize], "{} v={}", engine.name(), v);
+            }
         }
     }
 
+    /// Context partitions through the trait's `social_contexts` accessor.
     #[test]
     fn contexts_identical_across_engines(g in arb_graph(14, 50), k in 2u32..5) {
-        let tsd = TsdIndex::build(&g);
-        let gct = GctIndex::build(&g);
+        let g = Arc::new(g);
+        let engines = all_engines(&g);
         for v in g.vertices() {
             let reference = social_contexts(&g, v, k);
-            prop_assert_eq!(&tsd.social_contexts(&g, v, k), &reference, "tsd v={}", v);
-            prop_assert_eq!(&gct.social_contexts(v, k), &reference, "gct v={}", v);
+            for engine in &engines {
+                prop_assert_eq!(
+                    &engine.social_contexts(v, k),
+                    &reference,
+                    "{} v={}",
+                    engine.name(),
+                    v
+                );
+            }
         }
     }
 
@@ -62,7 +93,7 @@ proptest! {
     fn bounds_dominate_scores(g in arb_graph(18, 70), k in 2u32..6) {
         let truth = all_scores(&g, k);
         let lemma2 = upper_bounds(&g, k);
-        let tsd = TsdIndex::build(&g);
+        let tsd = structural_diversity::search::TsdIndex::build(&g);
         for v in g.vertices() {
             prop_assert!(lemma2[v as usize] >= truth[v as usize], "lemma2 v={}", v);
             prop_assert!(tsd.score_upper_bound(v, k) >= truth[v as usize], "tsd-bound v={}", v);
@@ -71,7 +102,7 @@ proptest! {
 
     #[test]
     fn sparsification_preserves_all_scores(g in arb_graph(16, 60), k in 2u32..5) {
-        let sp = structural_diversity::search::sparsify(&g, k);
+        let sp = sparsify(&g, k);
         prop_assert_eq!(all_scores(&sp.graph, k), all_scores(&g, k));
     }
 
@@ -96,17 +127,18 @@ proptest! {
 
 #[test]
 fn engines_agree_on_registry_sample() {
-    // One mid-sized generated dataset as a deterministic smoke test.
+    // One mid-sized generated dataset as a deterministic smoke test, served
+    // through the facade (Auto plus every explicit engine).
     let g = structural_diversity::datasets::dataset("email-enron-syn")
         .expect("registry")
         .generate(0.05);
+    let mut searcher = Searcher::new(g);
     for k in [3u32, 5] {
-        let cfg = DiversityConfig::new(k, 25);
-        let online = online_top_r(&g, &cfg);
-        let tsd = TsdIndex::build(&g);
-        let gct = GctIndex::build(&g);
-        assert_eq!(online.scores(), tsd.top_r(&g, &cfg).scores(), "tsd k={k}");
-        assert_eq!(online.scores(), gct.top_r(&cfg).scores(), "gct k={k}");
-        assert_eq!(online.scores(), bound_top_r(&g, &cfg).scores(), "bound k={k}");
+        let spec = QuerySpec::new(k, 25).expect("valid spec");
+        let reference = searcher.top_r(&spec).expect("auto query");
+        for kind in EngineKind::ALL {
+            let result = searcher.top_r(&spec.with_engine(kind)).expect("query");
+            assert_eq!(reference.scores(), result.scores(), "{kind} k={k}");
+        }
     }
 }

@@ -1,12 +1,20 @@
 //! Index serialization: round-trips must be lossless on arbitrary graphs,
-//! and decoding must reject corrupted blobs instead of panicking.
+//! and decoding must reject corrupted blobs instead of panicking — at both
+//! the index layer (`TsdIndex`/`GctIndex`) and the engine surface
+//! (`DiversityEngine::to_bytes` / `decode_engine`), whose failures unify
+//! into `SearchError`/`DecodeError`.
 
 mod common;
+
+use std::sync::Arc;
 
 use common::arb_graph;
 use proptest::prelude::*;
 
-use structural_diversity::search::{GctIndex, TsdIndex};
+use structural_diversity::search::{
+    build_engine, decode_engine, DecodeError, EngineKind, GctIndex, QuerySpec, SearchError,
+    TsdIndex,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -60,4 +68,62 @@ proptest! {
         let _ = TsdIndex::from_bytes(bytes::Bytes::from(data.clone()));
         let _ = GctIndex::from_bytes(bytes::Bytes::from(data));
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The trait-level capability path: serialize through
+    /// `DiversityEngine::to_bytes`, revive through `decode_engine`, and the
+    /// revived engine answers queries identically.
+    #[test]
+    fn engine_roundtrip_preserves_answers(g in arb_graph(16, 60), k in 2u32..5) {
+        let g = Arc::new(g);
+        let spec = QuerySpec::new(k, 3.min(g.n())).expect("valid spec");
+        for kind in [EngineKind::Tsd, EngineKind::Gct] {
+            let engine = build_engine(kind, g.clone());
+            let blob = engine.to_bytes().expect("index engines serialize");
+            let revived = decode_engine(kind, g.clone(), blob).expect("decode");
+            prop_assert_eq!(
+                engine.top_r(&spec).expect("query").scores(),
+                revived.top_r(&spec).expect("query").scores(),
+                "{} roundtrip changed answers", kind
+            );
+        }
+    }
+}
+
+/// Non-index engines report the missing capability as a typed error.
+#[test]
+fn index_free_engines_refuse_serialization() {
+    let g = Arc::new(
+        structural_diversity::graph::GraphBuilder::new()
+            .extend_edges([(0, 1), (1, 2), (0, 2)])
+            .build(),
+    );
+    for kind in [EngineKind::Online, EngineKind::Bound, EngineKind::Hybrid] {
+        let engine = build_engine(kind, g.clone());
+        assert_eq!(
+            engine.to_bytes().unwrap_err(),
+            SearchError::SerializationUnsupported { engine: kind.name() },
+            "{kind}"
+        );
+        assert_eq!(
+            decode_engine(kind, g.clone(), bytes::Bytes::new()).unwrap_err(),
+            SearchError::SerializationUnsupported { engine: kind.name() },
+            "{kind}"
+        );
+    }
+}
+
+/// Both index formats fail with the same unified error type.
+#[test]
+fn decode_errors_are_unified() {
+    assert_eq!(TsdIndex::from_bytes(bytes::Bytes::from_static(b"xx")), Err(DecodeError::Truncated));
+    assert_eq!(GctIndex::from_bytes(bytes::Bytes::from_static(b"xx")), Err(DecodeError::Truncated));
+    // And they fold into SearchError at the engine surface.
+    let g =
+        Arc::new(structural_diversity::graph::GraphBuilder::new().extend_edges([(0, 1)]).build());
+    let err = decode_engine(EngineKind::Tsd, g, bytes::Bytes::from_static(b"xx")).unwrap_err();
+    assert_eq!(err, SearchError::Decode(DecodeError::Truncated));
 }

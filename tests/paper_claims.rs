@@ -2,10 +2,12 @@
 //! number the paper states about its running figures must come out of our
 //! implementation identically.
 
+use std::sync::Arc;
 use structural_diversity::graph::triangles::edge_support;
+
 use structural_diversity::search::{
-    online_top_r, paper_figure1_graph, social_contexts, DiversityConfig, EgoNetwork, GctIndex,
-    TsdIndex,
+    build_engine, paper_figure1_graph, social_contexts, EgoNetwork, EngineKind, GctIndex,
+    QuerySpec, Searcher, TsdIndex,
 };
 use structural_diversity::truss::truss_decomposition;
 
@@ -43,7 +45,8 @@ fn example_1_trussness_of_bridge() {
 #[test]
 fn problem_statement_answer() {
     let (g, v, names) = paper_figure1_graph();
-    let result = online_top_r(&g, &DiversityConfig::new(4, 1));
+    let engine = build_engine(EngineKind::Online, Arc::new(g));
+    let result = engine.top_r(&QuerySpec::new(4, 1).expect("valid spec")).expect("query");
     assert_eq!(result.entries[0].vertex, v);
     assert_eq!(result.entries[0].score, 3);
 
@@ -110,6 +113,11 @@ fn sparsification_bites_on_community_graphs() {
     let removed_frac = sp.edges_removed as f64 / g.m() as f64;
     assert!(removed_frac > 0.3, "only {removed_frac:.2} of edges removed");
     // And the answers survive (spot check).
-    let cfg = DiversityConfig::new(5, 10);
-    assert_eq!(online_top_r(&g, &cfg).scores(), online_top_r(&sp.graph, &cfg).scores());
+    let spec = QuerySpec::new(5, 10).expect("valid spec").with_engine(EngineKind::Online);
+    let mut full = Searcher::new(g);
+    let mut sparse = Searcher::new(sp.graph);
+    assert_eq!(
+        full.top_r(&spec).expect("query").scores(),
+        sparse.top_r(&spec).expect("query").scores()
+    );
 }

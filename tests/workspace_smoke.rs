@@ -1,13 +1,10 @@
 //! Workspace smoke test: the umbrella crate's re-exports resolve and the
 //! paper's Figure-1 running example yields a top-1 diversity score of 3
 //! (vertex v's ego-network splits into three social contexts at k = 4)
-//! through every one of the five engines.
+//! through every one of the five engines behind the `Searcher` facade.
 
 use structural_diversity::graph::GraphBuilder;
-use structural_diversity::search::{
-    bound_top_r, online_top_r, paper_figure1_edges, DiversityConfig, GctIndex, HybridIndex,
-    TsdIndex,
-};
+use structural_diversity::search::{paper_figure1_edges, EngineKind, QuerySpec, Searcher};
 use structural_diversity::{datasets, influence, truss};
 
 #[test]
@@ -29,20 +26,16 @@ fn umbrella_reexports_resolve() {
 #[test]
 fn figure1_top1_score_is_3_via_all_five_engines() {
     let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
-    let cfg = DiversityConfig::new(4, 1);
+    let mut searcher = Searcher::new(g);
+    let spec = QuerySpec::new(4, 1).expect("valid query");
 
-    let tsd = TsdIndex::build(&g);
-    let gct = GctIndex::build(&g);
-    let hybrid = HybridIndex::build_from_tsd(&tsd);
-
-    let results = [
-        ("online", online_top_r(&g, &cfg)),
-        ("bound", bound_top_r(&g, &cfg)),
-        ("tsd", tsd.top_r(&g, &cfg)),
-        ("gct", gct.top_r(&cfg)),
-        ("hybrid", hybrid.top_r(&g, &cfg)),
-    ];
-    for (engine, result) in results {
-        assert_eq!(result.entries[0].score, 3, "engine {engine} disagrees with Figure 1");
+    for kind in EngineKind::ALL {
+        let result = searcher.top_r(&spec.with_engine(kind)).expect("query");
+        assert_eq!(result.entries[0].score, 3, "engine {kind} disagrees with Figure 1");
+        assert_eq!(result.metrics.engine, kind.name());
     }
+
+    // And `Auto` (the spec's default routing) agrees too.
+    let auto = searcher.top_r(&spec).expect("auto query");
+    assert_eq!(auto.entries[0].score, 3, "Auto routing disagrees with Figure 1");
 }
