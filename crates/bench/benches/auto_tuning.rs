@@ -1,0 +1,75 @@
+//! The sweep behind the `EngineKind::Auto` heuristic constants
+//! (`AUTO_SMALL_GRAPH_EDGES`, `AUTO_WARMUP_QUERIES`): on power-law graphs
+//! (`|E| = 5|V|`, the paper's Figure-12 family) spanning the small-graph
+//! threshold, measure
+//!
+//! * one index-free bound query (what a cold Auto query costs),
+//! * one GCT-index build (what switching to the index path costs up front),
+//! * one GCT query (what every query costs after the build),
+//!
+//! and report the implied **break-even query count**
+//! `build / (bound_query − gct_query)` — the number of queries after which
+//! the index has paid for itself. `AUTO_WARMUP_QUERIES` should sit at or
+//! below that count for graphs just above `AUTO_SMALL_GRAPH_EDGES`; the
+//! chosen values and a recorded run live in `crates/core/README.md`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sd_core::{build_engine, EngineKind, QuerySpec};
+use sd_datasets::PowerLawConfig;
+
+fn bench_auto_tuning(c: &mut Criterion) {
+    // |E| = 5|V|: vertex counts straddling AUTO_SMALL_GRAPH_EDGES = 20_000
+    // edges (n = 4_000).
+    let sizes = [1_000usize, 2_000, 4_000, 8_000, 16_000];
+    let mut group = c.benchmark_group("auto_tuning");
+    group.sample_size(5);
+    for &n in &sizes {
+        let mut rng = StdRng::seed_from_u64(0xA070 + n as u64);
+        let g =
+            Arc::new(sd_datasets::powerlaw_graph(&PowerLawConfig::paper_scalability(n), &mut rng));
+        let spec = QuerySpec::new(3, 100.min(g.n())).expect("valid query");
+        let label = format!("m={}", g.m());
+
+        let bound = build_engine(EngineKind::Bound, g.clone());
+        group.bench_with_input(BenchmarkId::new("bound_query", &label), &spec, |b, spec| {
+            b.iter(|| black_box(bound.top_r(spec).expect("bound")))
+        });
+        group.bench_with_input(BenchmarkId::new("gct_build", &label), &g, |b, g| {
+            b.iter(|| black_box(build_engine(EngineKind::Gct, g.clone())))
+        });
+        let gct = build_engine(EngineKind::Gct, g.clone());
+        group.bench_with_input(BenchmarkId::new("gct_query", &label), &spec, |b, spec| {
+            b.iter(|| black_box(gct.top_r(spec).expect("gct")))
+        });
+
+        // One-shot break-even estimate from single timed runs (the
+        // criterion rows above carry the distribution).
+        let t = Instant::now();
+        black_box(bound.top_r(&spec).expect("bound"));
+        let bound_q = t.elapsed();
+        let t = Instant::now();
+        black_box(build_engine(EngineKind::Gct, g.clone()));
+        let build = t.elapsed();
+        let t = Instant::now();
+        black_box(gct.top_r(&spec).expect("gct"));
+        let gct_q = t.elapsed();
+        let saved = bound_q.saturating_sub(gct_q);
+        let break_even =
+            if saved.is_zero() { f64::INFINITY } else { build.as_secs_f64() / saved.as_secs_f64() };
+        println!(
+            "auto_tuning/{label}: bound_query={bound_q:?} gct_build={build:?} \
+             gct_query={gct_q:?} => break-even after {break_even:.2} queries"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_auto_tuning);
+criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! Dispatch-overhead micro-bench: the cost of querying through a
-//! `Box<dyn DiversityEngine>` trait object versus calling the index
-//! structures directly, on the paper's Figure-1 graph (small enough that
-//! per-query fixed costs — virtual dispatch, spec validation, metric
-//! stamping — are visible against the algorithmic work).
+//! `Box<dyn DiversityEngine>` trait object — and through the shared
+//! `SearchService` (slot read-lock + atomic counters on top of the trait
+//! object) — versus calling the index structures directly, on the paper's
+//! Figure-1 graph (small enough that per-query fixed costs — virtual
+//! dispatch, spec validation, metric stamping — are visible against the
+//! algorithmic work).
 
 use std::sync::Arc;
 
@@ -10,7 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use sd_core::{
     build_engine, paper_figure1_graph, DiversityConfig, DiversityEngine, EngineKind, GctIndex,
-    QuerySpec, TsdIndex,
+    QuerySpec, SearchService, TsdIndex,
 };
 
 fn bench_dispatch(c: &mut Criterion) {
@@ -23,6 +25,9 @@ fn bench_dispatch(c: &mut Criterion) {
     let gct_index = GctIndex::build(&g);
     let tsd_obj: Box<dyn DiversityEngine> = build_engine(EngineKind::Tsd, g.clone());
     let gct_obj: Box<dyn DiversityEngine> = build_engine(EngineKind::Gct, g.clone());
+    let service = SearchService::from_arc(g.clone());
+    service.warmup([EngineKind::Gct]);
+    let gct_spec = spec.with_engine(EngineKind::Gct);
 
     let mut group = c.benchmark_group("dispatch");
     group.bench_with_input(BenchmarkId::new("tsd_direct", "fig1"), &cfg, |b, cfg| {
@@ -36,6 +41,11 @@ fn bench_dispatch(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("gct_trait_object", "fig1"), &spec, |b, spec| {
         b.iter(|| black_box(gct_obj.top_r(spec).expect("gct")))
+    });
+    // The full serving path: slot read-lock, Arc clone, atomic metric
+    // bumps — what a warm `SearchService` adds over the bare trait object.
+    group.bench_with_input(BenchmarkId::new("gct_service", "fig1"), &gct_spec, |b, spec| {
+        b.iter(|| black_box(service.top_r(spec).expect("gct")))
     });
 
     // Per-vertex score calls, where fixed costs dominate most.

@@ -7,7 +7,7 @@
 //! every engine is built from a graph via [`build_engine`] (or revived from
 //! a serialized index via [`decode_engine`]), answers the same
 //! [`QuerySpec`], and reports per-query [`crate::SearchMetrics`]. The
-//! [`crate::Searcher`] facade sits on top, adding lazy index construction,
+//! [`crate::SearchService`] facade sits on top, adding lazy index construction,
 //! heuristic [`EngineKind::Auto`] selection, and batched queries.
 //!
 //! ```
@@ -43,7 +43,7 @@ use crate::tsd::TsdIndex;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize)]
 pub enum EngineKind {
     /// Heuristic selection (graph size / query rate) — resolved by the
-    /// [`crate::Searcher`], or by graph size alone in [`build_engine`].
+    /// [`crate::SearchService`], or by graph size alone in [`build_engine`].
     #[default]
     Auto,
     /// Algorithm 3: full online scan.
@@ -85,6 +85,33 @@ impl EngineKind {
     /// ([`DiversityEngine::to_bytes`] / [`decode_engine`]).
     pub fn serializable(self) -> bool {
         matches!(self, EngineKind::Tsd | EngineKind::Gct)
+    }
+
+    /// Stable on-disk tag used by the [`crate::envelope::IndexEnvelope`]
+    /// header. [`EngineKind::Auto`] has no tag (it never names a concrete
+    /// index); tags are append-only across format revisions.
+    pub fn tag(self) -> u8 {
+        match self {
+            EngineKind::Auto => 0,
+            EngineKind::Online => 1,
+            EngineKind::Bound => 2,
+            EngineKind::Tsd => 3,
+            EngineKind::Gct => 4,
+            EngineKind::Hybrid => 5,
+        }
+    }
+
+    /// Inverse of [`Self::tag`] for *concrete* kinds; `0` (Auto) and unknown
+    /// tags return `None`.
+    pub fn from_tag(tag: u8) -> Option<EngineKind> {
+        match tag {
+            1 => Some(EngineKind::Online),
+            2 => Some(EngineKind::Bound),
+            3 => Some(EngineKind::Tsd),
+            4 => Some(EngineKind::Gct),
+            5 => Some(EngineKind::Hybrid),
+            _ => None,
+        }
     }
 }
 
@@ -441,7 +468,7 @@ pub const AUTO_SMALL_GRAPH_EDGES: usize = 20_000;
 ///
 /// [`EngineKind::Auto`] resolves by graph size alone — GCT for graphs up to
 /// [`AUTO_SMALL_GRAPH_EDGES`] edges, the index-free bound search above it.
-/// (The [`crate::Searcher`] refines this with query-rate awareness.)
+/// (The [`crate::SearchService`] refines this with query-rate awareness.)
 pub fn build_engine(kind: EngineKind, g: Arc<CsrGraph>) -> Box<dyn DiversityEngine> {
     match kind {
         EngineKind::Auto => {
@@ -457,14 +484,17 @@ pub fn build_engine(kind: EngineKind, g: Arc<CsrGraph>) -> Box<dyn DiversityEngi
     }
 }
 
-/// Revives a serialized index (produced by [`DiversityEngine::to_bytes`])
-/// as an engine over `g`. Only TSD and GCT have serialized forms.
+/// Revives a *raw* serialized index (produced by
+/// [`DiversityEngine::to_bytes`]) as an engine over `g`. Only TSD and GCT
+/// have serialized forms.
 ///
-/// The attachment check is by vertex count only: a blob serialized from a
-/// *different* graph that happens to have the same `n` (e.g. an older
+/// The attachment check is by vertex count only: a raw blob serialized from
+/// a *different* graph that happens to have the same `n` (e.g. an older
 /// snapshot after edge churn) is accepted and will serve that graph's
-/// answers. Callers persisting indexes across graph versions must pair the
-/// blob with its graph themselves (a fingerprinted envelope is planned).
+/// answers. For persistence across graph versions use the fingerprinted
+/// envelope path instead — [`crate::SearchService::export_index`] /
+/// [`crate::SearchService::import_index`] — which rejects wrong-graph blobs
+/// with [`SearchError::FingerprintMismatch`].
 pub fn decode_engine(
     kind: EngineKind,
     g: Arc<CsrGraph>,

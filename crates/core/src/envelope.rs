@@ -1,0 +1,257 @@
+//! Fingerprinted index envelopes: durable index blobs that can prove which
+//! graph they belong to.
+//!
+//! The raw `TsdIndex`/`GctIndex` wire formats carry no information about the
+//! graph they were built from, so attaching a persisted blob used to be
+//! validated by vertex count only — a snapshot taken before edge churn (same
+//! `n`, different edges) was accepted and silently served the *old* graph's
+//! answers. [`IndexEnvelope`] closes that hole: every exported index is
+//! framed with a magic word, a format version, the engine kind, and the
+//! source graph's [`GraphFingerprint`] (`n`, `m`, and a checksum of the
+//! canonical edge list — edge order is deterministic, so equal edge sets
+//! hash equal).
+//! [`crate::SearchService::import_index`] refuses a blob whose fingerprint
+//! disagrees with the graph it serves, as
+//! [`crate::SearchError::FingerprintMismatch`].
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 4 | magic `"SDIE"` ([`ENVELOPE_MAGIC`]) |
+//! | 4 | 2 | format version ([`ENVELOPE_VERSION`]) |
+//! | 6 | 1 | engine tag ([`crate::EngineKind::tag`]) |
+//! | 7 | 1 | reserved (zero) |
+//! | 8 | 8 | fingerprint: vertex count `n` |
+//! | 16 | 8 | fingerprint: edge count `m` |
+//! | 24 | 8 | fingerprint: FNV-1a edge checksum |
+//! | 32 | 8 | payload length |
+//! | 40 | … | payload (the engine's own serialized form) |
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::Serialize;
+
+use sd_graph::CsrGraph;
+
+use crate::engine::EngineKind;
+use crate::error::DecodeError;
+
+/// Envelope magic ("SDIE" — Structural Diversity Index Envelope).
+pub const ENVELOPE_MAGIC: u32 = 0x5344_4945;
+
+/// Current envelope format version. Decoding rejects any other value with
+/// [`DecodeError::UnsupportedVersion`].
+pub const ENVELOPE_VERSION: u16 = 1;
+
+/// Fixed size of the envelope header preceding the payload.
+pub const ENVELOPE_HEADER_BYTES: usize = 40;
+
+/// Identity of a graph for index-attachment purposes: vertex count, edge
+/// count, and an FNV-1a checksum over the canonical (sorted, deduplicated)
+/// edge list. Two [`CsrGraph`]s compare equal under this fingerprint iff
+/// they have identical edge sets over identical vertex ranges — exactly the
+/// condition under which an index answers for both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub struct GraphFingerprint {
+    /// Vertex count of the fingerprinted graph.
+    pub n: u64,
+    /// Undirected edge count.
+    pub m: u64,
+    /// FNV-1a hash of the canonical edge list, little-endian endpoint pairs.
+    pub edge_checksum: u64,
+}
+
+impl GraphFingerprint {
+    /// Computes the fingerprint of `g` in one `O(m)` pass over its canonical
+    /// edge table.
+    pub fn of(g: &CsrGraph) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &(u, v) in g.edges() {
+            for byte in u.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        GraphFingerprint { n: g.n() as u64, m: g.m() as u64, edge_checksum: h }
+    }
+}
+
+impl fmt::Display for GraphFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(n={}, m={}, checksum={:#018x})", self.n, self.m, self.edge_checksum)
+    }
+}
+
+/// A versioned, fingerprinted frame around one engine's serialized index.
+///
+/// Produced by [`crate::SearchService::export_index`] and consumed by
+/// [`crate::SearchService::import_index`]; [`Self::encode`]/[`Self::decode`]
+/// are public so blobs can be inspected (or produced) without a service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexEnvelope {
+    /// Which engine's index the payload holds.
+    pub kind: EngineKind,
+    /// Fingerprint of the graph the index was built from.
+    pub fingerprint: GraphFingerprint,
+    /// The engine's own serialized form ([`crate::DiversityEngine::to_bytes`]).
+    pub payload: Bytes,
+}
+
+impl IndexEnvelope {
+    /// Frames `payload` as an envelope for `kind` over the graph identified
+    /// by `fingerprint`. `kind` must be concrete — [`EngineKind::Auto`]
+    /// names no index and has no envelope tag.
+    ///
+    /// # Panics
+    /// In debug builds, panics on [`EngineKind::Auto`].
+    pub fn new(kind: EngineKind, fingerprint: GraphFingerprint, payload: Bytes) -> Self {
+        debug_assert!(kind != EngineKind::Auto, "Auto names no concrete index to envelope");
+        IndexEnvelope { kind, fingerprint, payload }
+    }
+
+    /// Serializes the envelope (header + payload) to one blob.
+    ///
+    /// # Panics
+    /// In debug builds, panics on [`EngineKind::Auto`] (whose tag no
+    /// [`Self::decode`] accepts — the asymmetry must fail at write time,
+    /// not on a later read).
+    pub fn encode(&self) -> Bytes {
+        debug_assert!(self.kind != EngineKind::Auto, "Auto names no concrete index to envelope");
+        let payload = self.payload.as_ref();
+        let mut buf = BytesMut::with_capacity(ENVELOPE_HEADER_BYTES + payload.len());
+        buf.put_u32_le(ENVELOPE_MAGIC);
+        buf.put_u16_le(ENVELOPE_VERSION);
+        buf.put_u8(self.kind.tag());
+        buf.put_u8(0); // reserved
+        buf.put_u64_le(self.fingerprint.n);
+        buf.put_u64_le(self.fingerprint.m);
+        buf.put_u64_le(self.fingerprint.edge_checksum);
+        buf.put_u64_le(payload.len() as u64);
+        buf.extend_from_slice(payload);
+        buf.freeze()
+    }
+
+    /// Parses a blob produced by [`Self::encode`], validating magic,
+    /// version, engine tag, and payload length. Graph-identity validation is
+    /// the *caller's* job (compare [`Self::fingerprint`] against the target
+    /// graph — [`crate::SearchService::import_index`] does this).
+    pub fn decode(mut data: Bytes) -> Result<Self, DecodeError> {
+        if data.remaining() < ENVELOPE_HEADER_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        if data.get_u32_le() != ENVELOPE_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = data.get_u16_le();
+        if version != ENVELOPE_VERSION {
+            return Err(DecodeError::UnsupportedVersion { version });
+        }
+        let tag = data.get_u8();
+        let kind = EngineKind::from_tag(tag).ok_or(DecodeError::UnknownEngine { tag })?;
+        let _reserved = data.get_u8();
+        let fingerprint = GraphFingerprint {
+            n: data.get_u64_le(),
+            m: data.get_u64_le(),
+            edge_checksum: data.get_u64_le(),
+        };
+        let payload_len = data.get_u64_le();
+        if payload_len != data.remaining() as u64 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(IndexEnvelope { kind, fingerprint, payload: data.slice(0..payload_len as usize) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_figure1_graph;
+    use sd_graph::GraphBuilder;
+
+    fn fig1_fingerprint() -> GraphFingerprint {
+        let (g, _, _) = paper_figure1_graph();
+        GraphFingerprint::of(&g)
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_edge_sensitive() {
+        let (g, _, _) = paper_figure1_graph();
+        let a = GraphFingerprint::of(&g);
+        assert_eq!(a, GraphFingerprint::of(&g.clone()));
+        assert_eq!((a.n, a.m), (g.n() as u64, g.m() as u64));
+
+        // Same n and m, one edge swapped: checksum must differ.
+        let g1 = GraphBuilder::new().extend_edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g2 = GraphBuilder::new().extend_edges([(0, 1), (1, 2), (1, 3)]).build();
+        let (f1, f2) = (GraphFingerprint::of(&g1), GraphFingerprint::of(&g2));
+        assert_eq!((f1.n, f1.m), (f2.n, f2.m));
+        assert_ne!(f1.edge_checksum, f2.edge_checksum);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = IndexEnvelope::new(
+            EngineKind::Gct,
+            fig1_fingerprint(),
+            Bytes::from_static(b"payload-bytes"),
+        );
+        let blob = env.encode();
+        assert_eq!(blob.len(), ENVELOPE_HEADER_BYTES + 13);
+        assert_eq!(IndexEnvelope::decode(blob).unwrap(), env);
+    }
+
+    #[test]
+    fn decode_rejects_bad_frames() {
+        let env = IndexEnvelope::new(EngineKind::Tsd, fig1_fingerprint(), Bytes::new());
+        let good = env.encode();
+
+        // Truncated header.
+        let short = good.slice(0..ENVELOPE_HEADER_BYTES - 1);
+        assert_eq!(IndexEnvelope::decode(short), Err(DecodeError::Truncated));
+
+        // Bad magic.
+        let mut wrong = good.as_ref().to_vec();
+        wrong[0] ^= 0xFF;
+        assert_eq!(IndexEnvelope::decode(wrong.into()), Err(DecodeError::BadMagic));
+
+        // Unknown future version.
+        let mut vers = good.as_ref().to_vec();
+        vers[4] = 0x63;
+        assert_eq!(
+            IndexEnvelope::decode(vers.into()),
+            Err(DecodeError::UnsupportedVersion { version: 0x63 })
+        );
+
+        // Unknown engine tag.
+        let mut tag = good.as_ref().to_vec();
+        tag[6] = 0xAB;
+        assert_eq!(
+            IndexEnvelope::decode(tag.into()),
+            Err(DecodeError::UnknownEngine { tag: 0xAB })
+        );
+
+        // Payload length disagreeing with the actual body.
+        let mut env2 =
+            IndexEnvelope::new(EngineKind::Tsd, fig1_fingerprint(), Bytes::from_static(b"abcd"));
+        let mut cut = env2.encode().as_ref().to_vec();
+        cut.pop();
+        assert_eq!(IndexEnvelope::decode(cut.into()), Err(DecodeError::Truncated));
+        env2.payload = Bytes::new();
+        let mut extra = env2.encode().as_ref().to_vec();
+        extra.push(0);
+        assert_eq!(IndexEnvelope::decode(extra.into()), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn every_concrete_kind_tags_roundtrip_through_the_header() {
+        for kind in EngineKind::ALL {
+            let env = IndexEnvelope::new(kind, fig1_fingerprint(), Bytes::new());
+            assert_eq!(IndexEnvelope::decode(env.encode()).unwrap().kind, kind);
+        }
+    }
+}

@@ -9,14 +9,27 @@
 
 use std::fmt;
 
+use crate::envelope::GraphFingerprint;
+
 /// Decode failures shared by every serializable index format (TSD and GCT
-/// blobs use the same framing discipline: magic word, length-checked body).
+/// blobs and the [`crate::envelope::IndexEnvelope`] around them use the same
+/// framing discipline: magic word, length-checked body).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DecodeError {
     /// Wrong magic number — the blob is not this index format.
     BadMagic,
     /// Input shorter than its own header promises.
     Truncated,
+    /// An envelope written by a future (or corrupted) format revision.
+    UnsupportedVersion {
+        /// The version the blob claims.
+        version: u16,
+    },
+    /// An envelope naming an engine tag this build does not know.
+    UnknownEngine {
+        /// The raw engine tag from the envelope header.
+        tag: u8,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -24,6 +37,12 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::BadMagic => write!(f, "not a recognized index blob (bad magic)"),
             DecodeError::Truncated => write!(f, "truncated index blob"),
+            DecodeError::UnsupportedVersion { version } => {
+                write!(f, "unsupported index envelope format version {version}")
+            }
+            DecodeError::UnknownEngine { tag } => {
+                write!(f, "index envelope names unknown engine tag {tag}")
+            }
         }
     }
 }
@@ -31,7 +50,7 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Everything that can go wrong answering a structural diversity query
-/// through the [`crate::engine::DiversityEngine`] / [`crate::Searcher`]
+/// through the [`crate::engine::DiversityEngine`] / [`crate::SearchService`]
 /// surface.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SearchError {
@@ -61,6 +80,16 @@ pub enum SearchError {
         /// Vertices covered by the index.
         index_n: usize,
     },
+    /// An index envelope was serialized from a different graph than the one
+    /// it is being attached to (the fingerprints — vertex count, edge count,
+    /// edge checksum — disagree). Unlike [`SearchError::GraphMismatch`],
+    /// this catches same-`n` graphs that differ in their edges.
+    FingerprintMismatch {
+        /// Fingerprint of the graph the service serves.
+        expected: GraphFingerprint,
+        /// Fingerprint recorded in the envelope.
+        found: GraphFingerprint,
+    },
     /// The engine has no serialized form (only TSD and GCT do).
     SerializationUnsupported {
         /// Name of the engine that was asked to (de)serialize.
@@ -81,6 +110,13 @@ impl fmt::Display for SearchError {
             SearchError::Decode(e) => write!(f, "index decode failed: {e}"),
             SearchError::GraphMismatch { graph_n, index_n } => {
                 write!(f, "index covers {index_n} vertices but the graph has {graph_n}")
+            }
+            SearchError::FingerprintMismatch { expected, found } => {
+                write!(
+                    f,
+                    "index envelope was built from a different graph: \
+                     expected {expected}, envelope carries {found}"
+                )
             }
             SearchError::SerializationUnsupported { engine } => {
                 write!(f, "the `{engine}` engine has no serialized form")

@@ -19,25 +19,30 @@
 //! | Hybrid | Exp-4 competitor | `Hybrid` | per-k rankings | no |
 //!
 //! Build one engine with [`build_engine`] (or revive a serialized index
-//! with [`decode_engine`]), or let a [`Searcher`] own the graph, build
-//! engines lazily, and resolve [`EngineKind::Auto`] by graph size and query
-//! rate:
+//! with [`decode_engine`]), or let a [`SearchService`] own the graph, build
+//! engines lazily behind per-kind locks, and resolve [`EngineKind::Auto`]
+//! by graph size and query rate — all through `&self`, so one service
+//! shared via `Arc` serves any number of threads:
 //!
 //! ```
-//! use sd_core::{paper_figure1_edges, QuerySpec, Searcher};
+//! use sd_core::{paper_figure1_edges, QuerySpec, SearchService};
 //! use sd_graph::GraphBuilder;
 //!
 //! let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
-//! let mut searcher = Searcher::new(g);
-//! let result = searcher.top_r(&QuerySpec::new(4, 1)?)?;
+//! let service = SearchService::new(g);
+//! let result = service.top_r(&QuerySpec::new(4, 1)?)?;
 //! assert_eq!(result.entries[0].score, 3);
 //! # Ok::<(), sd_core::SearchError>(())
 //! ```
 //!
 //! Queries are validated ([`QuerySpec::new`] rejects `k < 2` / `r == 0`;
 //! the engine rejects `r > n`) and every failure is a [`SearchError`].
-//! The pre-trait free functions survive as deprecated wrappers in
-//! [`compat`] for one release; its module docs carry the migration table.
+//! Index persistence goes through fingerprinted [`IndexEnvelope`]s
+//! ([`SearchService::export_index`] / [`SearchService::import_index`]),
+//! which refuse blobs built from a different graph. The 0.2
+//! single-threaded [`Searcher`] facade survives one release as a deprecated
+//! wrapper over [`SearchService`]; its module docs carry the migration
+//! table.
 //!
 //! All engines return [`TopRResult`]s whose score multisets agree; this is
 //! enforced by cross-engine tests and property tests driving the engines
@@ -46,11 +51,11 @@
 
 pub mod baselines;
 pub mod bound;
-pub mod compat;
 pub mod config;
 pub mod dynamic;
 pub mod egonet;
 pub mod engine;
+pub mod envelope;
 pub mod error;
 pub mod gct;
 pub mod hybrid;
@@ -59,13 +64,12 @@ pub mod paper;
 pub mod parallel;
 pub mod score;
 pub mod searcher;
+pub mod service;
 pub mod tcp;
 pub mod topr;
 pub mod tsd;
 
 pub use bound::{sparsify, upper_bounds, BoundOptions, Sparsified};
-#[allow(deprecated)]
-pub use compat::{bound_top_r, bound_top_r_with, online_top_r, GctDecodeError, TsdDecodeError};
 pub use config::{DiversityConfig, SearchMetrics, TopREntry, TopRResult};
 pub use dynamic::DynamicTsd;
 pub use egonet::{AllEgoNetworks, EgoNetwork};
@@ -73,13 +77,16 @@ pub use engine::{
     build_engine, decode_engine, BoundEngine, DiversityEngine, EngineKind, GctEngine, HybridEngine,
     OnlineEngine, QuerySpec, TsdEngine,
 };
+pub use envelope::{GraphFingerprint, IndexEnvelope, ENVELOPE_MAGIC, ENVELOPE_VERSION};
 pub use error::{DecodeError, SearchError};
 pub use gct::{GctIndex, BITMAP_FALLBACK_THRESHOLD};
 pub use hybrid::HybridIndex;
 pub use online::all_scores;
 pub use paper::{paper_figure18_graph, paper_figure1_edges, paper_figure1_graph};
 pub use score::{score, social_contexts, EgoDecomposition};
+#[allow(deprecated)]
 pub use searcher::Searcher;
+pub use service::{SearchService, ServiceStats, AUTO_SMALL_GRAPH_EDGES, AUTO_WARMUP_QUERIES};
 pub use tcp::{ktruss_communities, TcpIndex};
 pub use topr::TopRCollector;
 pub use tsd::{TsdBuilder, TsdIndex};

@@ -1,27 +1,25 @@
-//! The [`Searcher`] facade: one graph, five lazily-built engines, one
-//! query surface.
+//! The pre-[`SearchService`] facade, kept as a thin deprecated wrapper for
+//! one release.
 //!
-//! A production deployment serves many `(k, r)` queries against the same
-//! graph. `Searcher` owns the graph (behind an `Arc`, so engines share it
-//! without copying), builds each engine the first time it is asked for,
-//! reuses it afterwards, and resolves [`EngineKind::Auto`] with a
-//! query-rate-aware heuristic: the first queries on a large graph run the
-//! index-free bound search, and once the query stream proves itself the
-//! GCT-index is built and amortized over everything that follows.
+//! [`Searcher`] was the 0.2 single-threaded query surface: `&mut self`
+//! methods over a lazily built per-kind engine cache. 0.3 replaces it with
+//! [`SearchService`] — the same routing and `Auto` heuristic behind `&self`
+//! methods, shareable across threads via `Arc`, with fingerprinted index
+//! envelopes for persistence. Everything here forwards to an owned
+//! `SearchService`; only the shape of the call changed. Migration table:
 //!
-//! ```
-//! use sd_core::{paper_figure1_edges, EngineKind, QuerySpec, Searcher};
-//! use sd_graph::GraphBuilder;
-//!
-//! let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
-//! let mut searcher = Searcher::new(g);
-//! // Route explicitly …
-//! let tsd = searcher.top_r(&QuerySpec::new(4, 1)?.with_engine(EngineKind::Tsd))?;
-//! // … or let the Auto heuristic pick.
-//! let auto = searcher.top_r(&QuerySpec::new(4, 1)?)?;
-//! assert_eq!(tsd.scores(), auto.scores());
-//! # Ok::<(), sd_core::SearchError>(())
-//! ```
+//! | old (`Searcher`, `&mut self`) | new (`SearchService`, `&self`) |
+//! |---|---|
+//! | `Searcher::new(g)` / `from_arc(g)` | `SearchService::new(g)` / `from_arc(g)` |
+//! | `searcher.top_r(&spec)` | `service.top_r(&spec)` |
+//! | `searcher.top_r_many(&specs)` | `service.top_r_many(&specs)` |
+//! | `searcher.engine(kind)` (`&dyn` borrow) | `service.engine(kind)` (owned `Arc<dyn …>`) |
+//! | pre-building via `searcher.engine(kind)` | `service.warmup([kinds…])` |
+//! | `searcher.install_from_bytes(kind, raw_blob)` | `service.import_index(envelope_blob)` |
+//! | `searcher.engine(kind).to_bytes()` | `service.export_index(kind)` |
+//! | `searcher.queries_served()` | `service.stats().queries_served` |
+
+#![allow(deprecated)]
 
 use std::sync::Arc;
 
@@ -30,156 +28,101 @@ use bytes::Bytes;
 use sd_graph::CsrGraph;
 
 use crate::config::TopRResult;
-use crate::engine::{build_engine, decode_engine, DiversityEngine, EngineKind, QuerySpec};
+use crate::engine::{DiversityEngine, EngineKind, QuerySpec};
 use crate::error::SearchError;
+use crate::service::SearchService;
 
-/// Number of [`EngineKind::Auto`] queries served with the index-free bound
-/// engine before the [`Searcher`] decides the query stream is worth an
-/// index build.
-pub const AUTO_WARMUP_QUERIES: usize = 2;
+pub use crate::service::{AUTO_SMALL_GRAPH_EDGES, AUTO_WARMUP_QUERIES};
 
-/// Graphs at or below this edge count skip the warmup and index
-/// immediately — building the GCT-index is cheaper than mis-routing even a
-/// single query.
-pub const AUTO_SMALL_GRAPH_EDGES: usize = crate::engine::AUTO_SMALL_GRAPH_EDGES;
-
-/// Facade over the five engines: owns the graph, lazily builds and caches
-/// engines, routes [`QuerySpec`]s (including [`EngineKind::Auto`]), and
-/// serves batches.
+/// Single-threaded facade over the five engines, deprecated in favour of
+/// the thread-safe [`SearchService`] (see the [module docs](self) for the
+/// migration table).
+#[deprecated(
+    since = "0.3.0",
+    note = "use `SearchService`: `&self` queries shareable via `Arc`, `warmup`, and \
+            fingerprinted `export_index`/`import_index`"
+)]
+#[derive(Debug)]
 pub struct Searcher {
-    graph: Arc<CsrGraph>,
-    /// One slot per concrete engine, in [`EngineKind::ALL`] order.
-    slots: [Option<Box<dyn DiversityEngine>>; 5],
-    queries_served: usize,
-}
-
-impl std::fmt::Debug for Searcher {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Searcher")
-            .field("n", &self.graph.n())
-            .field("m", &self.graph.m())
-            .field("built", &self.built_engines())
-            .field("queries_served", &self.queries_served)
-            .finish()
-    }
+    service: SearchService,
 }
 
 impl Searcher {
     /// A searcher over `graph`. No engine is built yet.
     pub fn new(graph: CsrGraph) -> Self {
-        Self::from_arc(Arc::new(graph))
+        Searcher { service: SearchService::new(graph) }
     }
 
     /// As [`Self::new`] over an already-shared graph.
     pub fn from_arc(graph: Arc<CsrGraph>) -> Self {
-        Searcher { graph, slots: Default::default(), queries_served: 0 }
+        Searcher { service: SearchService::from_arc(graph) }
+    }
+
+    /// The [`SearchService`] this wrapper forwards to (an escape hatch for
+    /// incremental migration: hand out `&self.as_service()` where a shared
+    /// query surface is needed).
+    pub fn as_service(&self) -> &SearchService {
+        &self.service
+    }
+
+    /// Unwraps into the underlying [`SearchService`].
+    pub fn into_service(self) -> SearchService {
+        self.service
     }
 
     /// The graph every engine answers queries about.
     pub fn graph(&self) -> &CsrGraph {
-        &self.graph
+        self.service.graph()
     }
 
     /// A shared handle to the graph (for building engines elsewhere).
     pub fn graph_arc(&self) -> Arc<CsrGraph> {
-        self.graph.clone()
+        self.service.graph_arc()
     }
 
     /// Queries served so far (feeds the [`EngineKind::Auto`] heuristic).
     pub fn queries_served(&self) -> usize {
-        self.queries_served
+        self.service.queries_served()
     }
 
     /// The kinds of engines built so far.
     pub fn built_engines(&self) -> Vec<EngineKind> {
-        EngineKind::ALL.into_iter().filter(|&k| self.slots[Self::slot(k)].is_some()).collect()
+        self.service.built_engines()
     }
 
-    fn slot(kind: EngineKind) -> usize {
-        match kind {
-            EngineKind::Online => 0,
-            EngineKind::Bound => 1,
-            EngineKind::Tsd => 2,
-            EngineKind::Gct => 3,
-            EngineKind::Hybrid => 4,
-            EngineKind::Auto => unreachable!("Auto is resolved before slot lookup"),
-        }
-    }
-
-    /// Resolves [`EngineKind::Auto`] against the current state:
-    ///
-    /// 1. an already-built index engine (GCT, then TSD) always wins;
-    /// 2. small graphs ([`AUTO_SMALL_GRAPH_EDGES`]) index immediately;
-    /// 3. otherwise the first [`AUTO_WARMUP_QUERIES`] queries use the
-    ///    index-free bound search, after which GCT is built and kept.
-    ///
-    /// Concrete kinds resolve to themselves.
+    /// Resolves [`EngineKind::Auto`] against the current state (see
+    /// [`SearchService::resolve`]).
     pub fn resolve(&self, kind: EngineKind) -> EngineKind {
-        if kind != EngineKind::Auto {
-            return kind;
-        }
-        if self.slots[Self::slot(EngineKind::Gct)].is_some() {
-            EngineKind::Gct
-        } else if self.slots[Self::slot(EngineKind::Tsd)].is_some() {
-            EngineKind::Tsd
-        } else if self.graph.m() <= AUTO_SMALL_GRAPH_EDGES
-            || self.queries_served >= AUTO_WARMUP_QUERIES
-        {
-            EngineKind::Gct
-        } else {
-            EngineKind::Bound
-        }
+        self.service.resolve(kind)
     }
 
     /// The engine of the given kind, built on first use ([`EngineKind::Auto`]
     /// resolves first).
-    pub fn engine(&mut self, kind: EngineKind) -> &dyn DiversityEngine {
-        let kind = self.resolve(kind);
-        let slot = Self::slot(kind);
-        if self.slots[slot].is_none() {
-            self.slots[slot] = Some(build_engine(kind, self.graph.clone()));
-        }
-        self.slots[slot].as_deref().expect("engine just built")
+    pub fn engine(&mut self, kind: EngineKind) -> Arc<dyn DiversityEngine> {
+        self.service.engine(kind)
     }
 
-    /// Installs an engine decoded from a serialized index blob (produced by
-    /// [`DiversityEngine::to_bytes`]), replacing any engine of that kind.
+    /// Installs an engine decoded from a *raw* serialized index blob
+    /// (produced by [`DiversityEngine::to_bytes`]), replacing any engine of
+    /// that kind. Validates by vertex count only — the fingerprint-checked
+    /// replacement is [`SearchService::import_index`].
     pub fn install_from_bytes(
         &mut self,
         kind: EngineKind,
         bytes: Bytes,
-    ) -> Result<&dyn DiversityEngine, SearchError> {
-        let engine = decode_engine(kind, self.graph.clone(), bytes)?;
-        let slot = Self::slot(kind);
-        self.slots[slot] = Some(engine);
-        Ok(self.slots[slot].as_deref().expect("engine just installed"))
+    ) -> Result<Arc<dyn DiversityEngine>, SearchError> {
+        self.service.install_unfingerprinted(kind, bytes)
     }
 
     /// Answers one top-r query, routing by the spec's engine kind.
     pub fn top_r(&mut self, spec: &QuerySpec) -> Result<TopRResult, SearchError> {
-        // Validate before building anything: a bad spec must not cost an
-        // index construction.
-        spec.config().check_against(self.graph.n())?;
-        let result = self.engine(spec.engine()).top_r(spec)?;
-        self.queries_served += 1;
-        Ok(result)
+        self.service.top_r(spec)
     }
 
-    /// Answers a batch of queries. The whole batch is validated up front
-    /// (all-or-nothing: the first invalid spec fails the call before any
-    /// query runs), and the batch size feeds the [`EngineKind::Auto`]
-    /// heuristic, so a large batch indexes immediately instead of wasting
-    /// its head on unindexed scans.
+    /// Answers a batch of queries (all-or-nothing validation; the batch
+    /// size feeds the [`EngineKind::Auto`] heuristic).
     pub fn top_r_many(&mut self, specs: &[QuerySpec]) -> Result<Vec<TopRResult>, SearchError> {
-        for spec in specs {
-            spec.config().check_against(self.graph.n())?;
-        }
-        // Account for the batch up front: if it alone crosses the warmup
-        // threshold, Auto resolves to the index path from its first query.
-        if specs.len() > AUTO_WARMUP_QUERIES {
-            self.queries_served = self.queries_served.max(AUTO_WARMUP_QUERIES);
-        }
-        specs.iter().map(|spec| self.top_r(spec)).collect()
+        self.service.top_r_many(specs)
     }
 }
 
@@ -188,126 +131,40 @@ mod tests {
     use super::*;
     use crate::paper::paper_figure1_graph;
 
-    fn searcher() -> Searcher {
-        let (g, _, _) = paper_figure1_graph();
-        Searcher::new(g)
-    }
-
+    /// The wrapper stays behaviour-identical to the service it forwards to.
     #[test]
-    fn explicit_routing_reaches_all_five_engines() {
-        let mut s = searcher();
-        let mut scores = Vec::new();
+    fn wrapper_forwards_to_the_service() {
+        let (g, v, _) = paper_figure1_graph();
+        let mut s = Searcher::new(g);
         for kind in EngineKind::ALL {
-            let spec = QuerySpec::new(4, 3).unwrap().with_engine(kind);
+            let spec = QuerySpec::new(4, 1).unwrap().with_engine(kind);
             let result = s.top_r(&spec).unwrap();
+            assert_eq!(result.entries[0].vertex, v, "{kind}");
             assert_eq!(result.metrics.engine, kind.name());
-            scores.push(result.scores());
         }
-        assert!(scores.windows(2).all(|w| w[0] == w[1]), "engines disagree: {scores:?}");
-        assert_eq!(s.built_engines().len(), 5);
         assert_eq!(s.queries_served(), 5);
+        assert_eq!(s.built_engines().len(), 5);
+        assert_eq!(s.as_service().stats().engines_built, 5);
     }
 
     #[test]
-    fn engines_are_cached_not_rebuilt() {
-        let mut s = searcher();
-        let spec = QuerySpec::new(4, 1).unwrap().with_engine(EngineKind::Gct);
-        s.top_r(&spec).unwrap();
-        let first = std::ptr::from_ref(s.engine(EngineKind::Gct)).cast::<u8>() as usize;
-        s.top_r(&spec).unwrap();
-        let second = std::ptr::from_ref(s.engine(EngineKind::Gct)).cast::<u8>() as usize;
-        assert_eq!(first, second, "engine was rebuilt");
-    }
-
-    #[test]
-    fn auto_on_small_graph_goes_straight_to_gct() {
-        let mut s = searcher();
-        assert_eq!(s.resolve(EngineKind::Auto), EngineKind::Gct);
-        let result = s.top_r(&QuerySpec::new(4, 1).unwrap()).unwrap();
-        assert_eq!(result.metrics.engine, "gct");
-        assert_eq!(result.entries[0].score, 3);
-    }
-
-    #[test]
-    fn auto_prefers_an_existing_tsd_index() {
-        let mut s = searcher();
-        s.engine(EngineKind::Tsd);
-        // GCT is not built; TSD is — Auto must reuse it rather than build.
-        assert_eq!(s.resolve(EngineKind::Auto), EngineKind::Tsd);
-    }
-
-    #[test]
-    fn invalid_specs_fail_before_building_engines() {
-        let mut s = searcher();
-        let n = s.graph().n();
-        let err = s.top_r(&QuerySpec::new(4, n + 1).unwrap()).unwrap_err();
-        assert_eq!(err, SearchError::ResultSizeExceedsGraph { r: n + 1, n });
-        assert!(s.built_engines().is_empty(), "engine built for an invalid query");
-        assert_eq!(s.queries_served(), 0);
-    }
-
-    #[test]
-    fn batch_queries_agree_with_singles() {
-        let mut s = searcher();
-        let specs: Vec<QuerySpec> = (2..=5).map(|k| QuerySpec::new(k, 2).unwrap()).collect();
-        let batch = s.top_r_many(&specs).unwrap();
-        assert_eq!(batch.len(), specs.len());
-        let mut fresh = searcher();
-        for (spec, result) in specs.iter().zip(&batch) {
-            let single = fresh.top_r(spec).unwrap();
-            assert_eq!(single.scores(), result.scores());
-        }
-    }
-
-    #[test]
-    fn batch_validation_is_all_or_nothing() {
-        let mut s = searcher();
-        let n = s.graph().n();
-        let specs = [QuerySpec::new(4, 1).unwrap(), QuerySpec::new(4, n + 1).unwrap()];
-        assert!(s.top_r_many(&specs).is_err());
-        assert_eq!(s.queries_served(), 0, "no query may run when the batch is invalid");
-    }
-
-    #[test]
-    fn auto_warmup_on_large_graphs_starts_unindexed() {
-        // A path graph above the small-graph threshold: Auto must serve the
-        // first queries with the index-free bound engine, then switch to GCT
-        // once the query stream crosses the warmup threshold.
-        let mut b = sd_graph::GraphBuilder::new();
-        for v in 0..(AUTO_SMALL_GRAPH_EDGES as u32 + 2) {
-            b.add_edge(v, v + 1);
-        }
-        let mut s = Searcher::new(b.extend_edges([]).build());
-        let spec = QuerySpec::new(2, 1).unwrap();
-        for _ in 0..AUTO_WARMUP_QUERIES {
-            assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "bound");
-        }
-        assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "gct");
-    }
-
-    #[test]
-    fn large_batch_indexes_immediately() {
-        let mut b = sd_graph::GraphBuilder::new();
-        for v in 0..(AUTO_SMALL_GRAPH_EDGES as u32 + 2) {
-            b.add_edge(v, v + 1);
-        }
-        let mut s = Searcher::new(b.extend_edges([]).build());
-        let specs = vec![QuerySpec::new(2, 1).unwrap(); AUTO_WARMUP_QUERIES + 1];
-        let results = s.top_r_many(&specs).unwrap();
-        assert!(
-            results.iter().all(|r| r.metrics.engine == "gct"),
-            "a batch larger than the warmup must amortize an index from its first query"
-        );
-    }
-
-    #[test]
-    fn install_from_bytes_roundtrip() {
-        let mut s = searcher();
-        let blob = s.engine(EngineKind::Gct).to_bytes().unwrap();
-        let mut fresh = searcher();
-        fresh.install_from_bytes(EngineKind::Gct, blob).unwrap();
+    fn raw_install_keeps_its_vertex_count_only_semantics() {
+        let (g, _, _) = paper_figure1_graph();
+        let mut s = Searcher::new(g.clone());
+        let raw = s.engine(EngineKind::Gct).to_bytes().unwrap();
+        let mut fresh = Searcher::new(g);
+        fresh.install_from_bytes(EngineKind::Gct, raw).unwrap();
         assert_eq!(fresh.built_engines(), vec![EngineKind::Gct]);
         let spec = QuerySpec::new(4, 1).unwrap().with_engine(EngineKind::Gct);
         assert_eq!(fresh.top_r(&spec).unwrap().entries[0].score, 3);
+    }
+
+    #[test]
+    fn into_service_carries_the_warm_cache_over() {
+        let (g, _, _) = paper_figure1_graph();
+        let mut s = Searcher::new(g);
+        s.engine(EngineKind::Tsd);
+        let service = s.into_service();
+        assert_eq!(service.built_engines(), vec![EngineKind::Tsd]);
     }
 }

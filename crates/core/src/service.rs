@@ -1,0 +1,540 @@
+//! [`SearchService`]: the concurrent serving layer — one shared graph, five
+//! lazily built engines, `&self` queries from any number of threads.
+//!
+//! The paper frames structural diversity search as an *online service* over
+//! a large social graph; a production deployment answers many `(k, r)`
+//! queries concurrently against the same immutable graph. `SearchService`
+//! is built for exactly that shape:
+//!
+//! * the graph lives behind an `Arc<CsrGraph>` and is never mutated;
+//! * each engine slot is an interior-mutable cache (`RwLock` per
+//!   [`EngineKind`]) holding an `Arc<dyn DiversityEngine>`, so the first
+//!   query of a kind builds the engine once — under the slot's write lock,
+//!   double-checked, without blocking queries on *other* engines — and every
+//!   later query clones the `Arc` out of a read lock;
+//! * all query entry points take `&self`; share the service itself via
+//!   `Arc<SearchService>` and call [`SearchService::top_r`] from as many
+//!   threads as you like ([`DiversityEngine`] is `Send + Sync` by
+//!   definition);
+//! * query and build counters are atomics, so the [`EngineKind::Auto`]
+//!   heuristic needs no mutable warm-state, and [`SearchService::warmup`]
+//!   prebuilds any set of engines before traffic arrives;
+//! * persistence goes through fingerprinted [`IndexEnvelope`]s:
+//!   [`SearchService::export_index`] stamps the blob with the graph's
+//!   [`GraphFingerprint`], and [`SearchService::import_index`] refuses a
+//!   blob from any other graph.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sd_core::{paper_figure1_edges, EngineKind, QuerySpec, SearchService};
+//! use sd_graph::GraphBuilder;
+//!
+//! let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
+//! let service = Arc::new(SearchService::new(g));
+//! service.warmup([EngineKind::Tsd, EngineKind::Gct]);
+//!
+//! // `&self` queries — clone the Arc into any number of worker threads.
+//! let spec = QuerySpec::new(4, 1)?;
+//! let handle = {
+//!     let service = service.clone();
+//!     std::thread::spawn(move || service.top_r(&spec).map(|r| r.entries[0].score))
+//! };
+//! assert_eq!(service.top_r(&spec)?.entries[0].score, 3);
+//! assert_eq!(handle.join().unwrap()?, 3);
+//! # Ok::<(), sd_core::SearchError>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use sd_graph::CsrGraph;
+
+use crate::config::TopRResult;
+use crate::engine::{build_engine, decode_engine, DiversityEngine, EngineKind, QuerySpec};
+use crate::envelope::{GraphFingerprint, IndexEnvelope};
+use crate::error::SearchError;
+
+/// Number of [`EngineKind::Auto`] queries served with the index-free bound
+/// engine before the service decides the query stream is worth an index
+/// build. See `crates/core/README.md` for the criterion sweep behind the
+/// value: one GCT build costs roughly 2–3 bound queries across the sweep's
+/// graph sizes, so two observed queries are enough evidence that a third is
+/// coming and the build amortizes.
+pub const AUTO_WARMUP_QUERIES: usize = 2;
+
+/// Graphs at or below this edge count skip the warmup and index
+/// immediately — building the GCT-index is cheaper than mis-routing even a
+/// single query. Re-exported from [`crate::engine`], where the factory-level
+/// `Auto` resolution uses it too.
+pub const AUTO_SMALL_GRAPH_EDGES: usize = crate::engine::AUTO_SMALL_GRAPH_EDGES;
+
+/// One engine slot: a lazily initialized, concurrently readable cache.
+type EngineSlot = RwLock<Option<Arc<dyn DiversityEngine>>>;
+
+/// Snapshot of a service's atomic counters ([`SearchService::stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Successful queries served over the service's lifetime.
+    pub queries_served: usize,
+    /// Engines constructed (cache misses; never exceeds 5 unless indexes
+    /// are re-imported).
+    pub engines_built: usize,
+    /// Successful queries answered per concrete engine, in
+    /// [`EngineKind::ALL`] order.
+    pub queries_by_engine: [usize; 5],
+}
+
+impl ServiceStats {
+    /// Queries answered by `kind` ([`EngineKind::Auto`] returns 0 — it is
+    /// always resolved to a concrete engine before serving).
+    pub fn queries_for(&self, kind: EngineKind) -> usize {
+        match kind {
+            EngineKind::Auto => 0,
+            concrete => self.queries_by_engine[SearchService::slot(concrete)],
+        }
+    }
+}
+
+/// Thread-safe facade over the five engines: owns the graph, lazily builds
+/// and caches engines behind per-kind locks, routes [`QuerySpec`]s
+/// (including [`EngineKind::Auto`]) through `&self` methods, and
+/// imports/exports indexes as fingerprinted envelopes.
+///
+/// Share it as `Arc<SearchService>`; every method takes `&self`.
+pub struct SearchService {
+    graph: Arc<CsrGraph>,
+    fingerprint: GraphFingerprint,
+    /// One slot per concrete engine, in [`EngineKind::ALL`] order.
+    slots: [EngineSlot; 5],
+    queries_served: AtomicUsize,
+    engines_built: AtomicUsize,
+    queries_by_slot: [AtomicUsize; 5],
+}
+
+impl std::fmt::Debug for SearchService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchService")
+            .field("n", &self.graph.n())
+            .field("m", &self.graph.m())
+            .field("built", &self.built_engines())
+            .field("queries_served", &self.queries_served())
+            .finish()
+    }
+}
+
+impl SearchService {
+    /// A service over `graph`. No engine is built yet; the graph's
+    /// fingerprint is computed once, up front (`O(m)`).
+    pub fn new(graph: CsrGraph) -> Self {
+        Self::from_arc(Arc::new(graph))
+    }
+
+    /// As [`Self::new`] over an already-shared graph.
+    pub fn from_arc(graph: Arc<CsrGraph>) -> Self {
+        let fingerprint = GraphFingerprint::of(&graph);
+        SearchService {
+            graph,
+            fingerprint,
+            slots: std::array::from_fn(|_| RwLock::new(None)),
+            queries_served: AtomicUsize::new(0),
+            engines_built: AtomicUsize::new(0),
+            queries_by_slot: std::array::from_fn(|_| AtomicUsize::new(0)),
+        }
+    }
+
+    /// The graph every engine answers queries about.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// A shared handle to the graph (for building engines elsewhere).
+    pub fn graph_arc(&self) -> Arc<CsrGraph> {
+        self.graph.clone()
+    }
+
+    /// The graph's identity as recorded in exported envelopes.
+    pub fn fingerprint(&self) -> GraphFingerprint {
+        self.fingerprint
+    }
+
+    /// Queries served so far (feeds the [`EngineKind::Auto`] heuristic).
+    pub fn queries_served(&self) -> usize {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot of the service counters. Individual
+    /// counters are exact; mutual consistency is best-effort under
+    /// concurrent traffic (they are independent relaxed atomics).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            engines_built: self.engines_built.load(Ordering::Relaxed),
+            queries_by_engine: std::array::from_fn(|i| {
+                self.queries_by_slot[i].load(Ordering::Relaxed)
+            }),
+        }
+    }
+
+    /// The kinds of engines built so far.
+    pub fn built_engines(&self) -> Vec<EngineKind> {
+        EngineKind::ALL.into_iter().filter(|&k| self.is_built(k)).collect()
+    }
+
+    pub(crate) fn slot(kind: EngineKind) -> usize {
+        match kind {
+            EngineKind::Online => 0,
+            EngineKind::Bound => 1,
+            EngineKind::Tsd => 2,
+            EngineKind::Gct => 3,
+            EngineKind::Hybrid => 4,
+            EngineKind::Auto => unreachable!("Auto is resolved before slot lookup"),
+        }
+    }
+
+    fn is_built(&self, kind: EngineKind) -> bool {
+        self.slots[Self::slot(kind)].read().is_some()
+    }
+
+    /// Resolves [`EngineKind::Auto`] against the current state:
+    ///
+    /// 1. an already-built index engine (GCT, then TSD) always wins;
+    /// 2. small graphs ([`AUTO_SMALL_GRAPH_EDGES`]) index immediately;
+    /// 3. otherwise the first [`AUTO_WARMUP_QUERIES`] queries use the
+    ///    index-free bound search, after which GCT is built and kept.
+    ///
+    /// Concrete kinds resolve to themselves.
+    pub fn resolve(&self, kind: EngineKind) -> EngineKind {
+        if kind != EngineKind::Auto {
+            return kind;
+        }
+        if self.is_built(EngineKind::Gct) {
+            EngineKind::Gct
+        } else if self.is_built(EngineKind::Tsd) {
+            EngineKind::Tsd
+        } else if self.graph.m() <= AUTO_SMALL_GRAPH_EDGES
+            || self.queries_served() >= AUTO_WARMUP_QUERIES
+        {
+            EngineKind::Gct
+        } else {
+            EngineKind::Bound
+        }
+    }
+
+    /// The engine of the given kind, built on first use ([`EngineKind::Auto`]
+    /// resolves first). Concurrent callers of an unbuilt kind serialize on
+    /// that slot's write lock and exactly one of them builds; queries on
+    /// other kinds are unaffected.
+    pub fn engine(&self, kind: EngineKind) -> Arc<dyn DiversityEngine> {
+        let kind = self.resolve(kind);
+        let slot = &self.slots[Self::slot(kind)];
+        if let Some(engine) = slot.read().as_ref() {
+            return engine.clone();
+        }
+        let mut guard = slot.write();
+        // Double-check: another thread may have built while we waited.
+        if let Some(engine) = guard.as_ref() {
+            return engine.clone();
+        }
+        let engine: Arc<dyn DiversityEngine> = Arc::from(build_engine(kind, self.graph.clone()));
+        self.engines_built.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(engine.clone());
+        engine
+    }
+
+    /// Prebuilds the given engines before traffic arrives, so no request
+    /// pays an index-construction latency spike. [`EngineKind::Auto`]
+    /// resolves first (so `warmup([EngineKind::Auto])` builds whatever the
+    /// heuristic would route cold traffic to). Returns the concrete kinds
+    /// warmed, deduplicated, in [`EngineKind::ALL`] order.
+    pub fn warmup(&self, kinds: impl IntoIterator<Item = EngineKind>) -> Vec<EngineKind> {
+        let mut warmed = [false; 5];
+        for kind in kinds {
+            warmed[Self::slot(self.engine(kind).kind())] = true;
+        }
+        EngineKind::ALL.into_iter().filter(|&k| warmed[Self::slot(k)]).collect()
+    }
+
+    /// Answers one top-r query, routing by the spec's engine kind.
+    pub fn top_r(&self, spec: &QuerySpec) -> Result<TopRResult, SearchError> {
+        // Validate before building anything: a bad spec must not cost an
+        // index construction.
+        spec.config().check_against(self.graph.n())?;
+        let engine = self.engine(spec.engine());
+        let result = engine.top_r(spec)?;
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.queries_by_slot[Self::slot(engine.kind())].fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Answers a batch of queries. The whole batch is validated up front
+    /// (all-or-nothing: the first invalid spec fails the call before any
+    /// query runs), and the batch size feeds the [`EngineKind::Auto`]
+    /// heuristic, so a large batch indexes immediately instead of wasting
+    /// its head on unindexed scans.
+    pub fn top_r_many(&self, specs: &[QuerySpec]) -> Result<Vec<TopRResult>, SearchError> {
+        for spec in specs {
+            spec.config().check_against(self.graph.n())?;
+        }
+        // Account for the batch up front: if it alone crosses the warmup
+        // threshold, Auto resolves to the index path from its first query.
+        if specs.len() > AUTO_WARMUP_QUERIES {
+            self.queries_served.fetch_max(AUTO_WARMUP_QUERIES, Ordering::Relaxed);
+        }
+        specs.iter().map(|spec| self.top_r(spec)).collect()
+    }
+
+    /// Serializes the engine of `kind` (building it first if needed) into a
+    /// fingerprinted [`IndexEnvelope`] blob that [`Self::import_index`] — on
+    /// a service over the *same* graph — accepts. Engines without a
+    /// serialized form return [`SearchError::SerializationUnsupported`]
+    /// *before* any engine is built ([`EngineKind::Auto`] resolves first,
+    /// so it exports whatever index the heuristic currently routes to, or
+    /// fails cheaply if that engine is index-free).
+    pub fn export_index(&self, kind: EngineKind) -> Result<Bytes, SearchError> {
+        let kind = self.resolve(kind);
+        if !kind.serializable() {
+            return Err(SearchError::SerializationUnsupported { engine: kind.name() });
+        }
+        let engine = self.engine(kind);
+        let payload = engine.to_bytes()?;
+        Ok(IndexEnvelope::new(kind, self.fingerprint, payload).encode())
+    }
+
+    /// Installs an engine from an envelope blob produced by
+    /// [`Self::export_index`], replacing any cached engine of that kind, and
+    /// returns the installed kind.
+    ///
+    /// Rejects blobs whose graph fingerprint (`n`, `m`, edge checksum)
+    /// differs from this service's graph with
+    /// [`SearchError::FingerprintMismatch`] — a same-`n` snapshot from
+    /// before edge churn no longer slips through (the hole the raw
+    /// [`decode_engine`] path documents).
+    pub fn import_index(&self, blob: Bytes) -> Result<EngineKind, SearchError> {
+        let envelope = IndexEnvelope::decode(blob)?;
+        if envelope.fingerprint != self.fingerprint {
+            return Err(SearchError::FingerprintMismatch {
+                expected: self.fingerprint,
+                found: envelope.fingerprint,
+            });
+        }
+        let engine = decode_engine(envelope.kind, self.graph.clone(), envelope.payload)?;
+        self.engines_built.fetch_add(1, Ordering::Relaxed);
+        *self.slots[Self::slot(envelope.kind)].write() = Some(Arc::from(engine));
+        Ok(envelope.kind)
+    }
+
+    /// Raw, fingerprint-less install of an index blob (vertex-count check
+    /// only) — the legacy semantics the deprecated [`crate::Searcher`]
+    /// wrapper still offers for one release. New code goes through
+    /// [`Self::import_index`].
+    pub(crate) fn install_unfingerprinted(
+        &self,
+        kind: EngineKind,
+        bytes: Bytes,
+    ) -> Result<Arc<dyn DiversityEngine>, SearchError> {
+        let engine: Arc<dyn DiversityEngine> =
+            Arc::from(decode_engine(kind, self.graph.clone(), bytes)?);
+        self.engines_built.fetch_add(1, Ordering::Relaxed);
+        *self.slots[Self::slot(kind)].write() = Some(engine.clone());
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DecodeError;
+    use crate::paper::paper_figure1_graph;
+
+    fn service() -> SearchService {
+        let (g, _, _) = paper_figure1_graph();
+        SearchService::new(g)
+    }
+
+    #[test]
+    fn explicit_routing_reaches_all_five_engines() {
+        let s = service();
+        let mut scores = Vec::new();
+        for kind in EngineKind::ALL {
+            let spec = QuerySpec::new(4, 3).unwrap().with_engine(kind);
+            let result = s.top_r(&spec).unwrap();
+            assert_eq!(result.metrics.engine, kind.name());
+            scores.push(result.scores());
+        }
+        assert!(scores.windows(2).all(|w| w[0] == w[1]), "engines disagree: {scores:?}");
+        assert_eq!(s.built_engines().len(), 5);
+        let stats = s.stats();
+        assert_eq!(stats.queries_served, 5);
+        assert_eq!(stats.engines_built, 5);
+        assert!(EngineKind::ALL.into_iter().all(|k| stats.queries_for(k) == 1), "{stats:?}");
+    }
+
+    #[test]
+    fn engines_are_cached_not_rebuilt() {
+        let s = service();
+        let spec = QuerySpec::new(4, 1).unwrap().with_engine(EngineKind::Gct);
+        s.top_r(&spec).unwrap();
+        let first = s.engine(EngineKind::Gct);
+        s.top_r(&spec).unwrap();
+        let second = s.engine(EngineKind::Gct);
+        assert!(Arc::ptr_eq(&first, &second), "engine was rebuilt");
+        assert_eq!(s.stats().engines_built, 1);
+    }
+
+    #[test]
+    fn auto_on_small_graph_goes_straight_to_gct() {
+        let s = service();
+        assert_eq!(s.resolve(EngineKind::Auto), EngineKind::Gct);
+        let result = s.top_r(&QuerySpec::new(4, 1).unwrap()).unwrap();
+        assert_eq!(result.metrics.engine, "gct");
+        assert_eq!(result.entries[0].score, 3);
+    }
+
+    #[test]
+    fn auto_prefers_an_existing_tsd_index() {
+        let s = service();
+        s.engine(EngineKind::Tsd);
+        // GCT is not built; TSD is — Auto must reuse it rather than build.
+        assert_eq!(s.resolve(EngineKind::Auto), EngineKind::Tsd);
+    }
+
+    #[test]
+    fn warmup_builds_and_reports_resolved_kinds() {
+        let s = service();
+        // Duplicates and Auto (→ GCT on this small graph) collapse.
+        let warmed = s.warmup([EngineKind::Auto, EngineKind::Tsd, EngineKind::Tsd]);
+        assert_eq!(warmed, vec![EngineKind::Tsd, EngineKind::Gct]);
+        assert_eq!(s.built_engines(), vec![EngineKind::Tsd, EngineKind::Gct]);
+        assert_eq!(s.stats().engines_built, 2);
+        assert_eq!(s.queries_served(), 0, "warmup must not count as traffic");
+    }
+
+    #[test]
+    fn invalid_specs_fail_before_building_engines() {
+        let s = service();
+        let n = s.graph().n();
+        let err = s.top_r(&QuerySpec::new(4, n + 1).unwrap()).unwrap_err();
+        assert_eq!(err, SearchError::ResultSizeExceedsGraph { r: n + 1, n });
+        assert!(s.built_engines().is_empty(), "engine built for an invalid query");
+        assert_eq!(s.queries_served(), 0);
+    }
+
+    #[test]
+    fn batch_queries_agree_with_singles() {
+        let s = service();
+        let specs: Vec<QuerySpec> = (2..=5).map(|k| QuerySpec::new(k, 2).unwrap()).collect();
+        let batch = s.top_r_many(&specs).unwrap();
+        assert_eq!(batch.len(), specs.len());
+        let fresh = service();
+        for (spec, result) in specs.iter().zip(&batch) {
+            let single = fresh.top_r(spec).unwrap();
+            assert_eq!(single.scores(), result.scores());
+        }
+    }
+
+    #[test]
+    fn batch_validation_is_all_or_nothing() {
+        let s = service();
+        let n = s.graph().n();
+        let specs = [QuerySpec::new(4, 1).unwrap(), QuerySpec::new(4, n + 1).unwrap()];
+        assert!(s.top_r_many(&specs).is_err());
+        assert_eq!(s.queries_served(), 0, "no query may run when the batch is invalid");
+    }
+
+    #[test]
+    fn auto_warmup_on_large_graphs_starts_unindexed() {
+        // A path graph above the small-graph threshold: Auto must serve the
+        // first queries with the index-free bound engine, then switch to GCT
+        // once the query stream crosses the warmup threshold.
+        let mut b = sd_graph::GraphBuilder::new();
+        for v in 0..(AUTO_SMALL_GRAPH_EDGES as u32 + 2) {
+            b.add_edge(v, v + 1);
+        }
+        let s = SearchService::new(b.extend_edges([]).build());
+        let spec = QuerySpec::new(2, 1).unwrap();
+        for _ in 0..AUTO_WARMUP_QUERIES {
+            assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "bound");
+        }
+        assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "gct");
+    }
+
+    #[test]
+    fn large_batch_indexes_immediately() {
+        let mut b = sd_graph::GraphBuilder::new();
+        for v in 0..(AUTO_SMALL_GRAPH_EDGES as u32 + 2) {
+            b.add_edge(v, v + 1);
+        }
+        let s = SearchService::new(b.extend_edges([]).build());
+        let specs = vec![QuerySpec::new(2, 1).unwrap(); AUTO_WARMUP_QUERIES + 1];
+        let results = s.top_r_many(&specs).unwrap();
+        assert!(
+            results.iter().all(|r| r.metrics.engine == "gct"),
+            "a batch larger than the warmup must amortize an index from its first query"
+        );
+    }
+
+    #[test]
+    fn envelope_roundtrip_through_the_service() {
+        let s = service();
+        let blob = s.export_index(EngineKind::Gct).unwrap();
+        let fresh = service();
+        assert_eq!(fresh.import_index(blob).unwrap(), EngineKind::Gct);
+        assert_eq!(fresh.built_engines(), vec![EngineKind::Gct]);
+        let spec = QuerySpec::new(4, 1).unwrap().with_engine(EngineKind::Gct);
+        assert_eq!(fresh.top_r(&spec).unwrap().entries[0].score, 3);
+    }
+
+    #[test]
+    fn import_rejects_wrong_graph_and_garbage() {
+        let s = service();
+        let blob = s.export_index(EngineKind::Gct).unwrap();
+        let other = SearchService::new(
+            sd_graph::GraphBuilder::new().extend_edges([(0, 1), (1, 2)]).build(),
+        );
+        assert_eq!(
+            other.import_index(blob).unwrap_err(),
+            SearchError::FingerprintMismatch {
+                expected: other.fingerprint(),
+                found: s.fingerprint()
+            }
+        );
+        assert_eq!(
+            s.import_index(Bytes::from_static(b"garbage")).unwrap_err(),
+            SearchError::Decode(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn export_unsupported_kinds_fails_before_building_anything() {
+        let s = service();
+        for kind in [EngineKind::Online, EngineKind::Bound, EngineKind::Hybrid] {
+            assert_eq!(
+                s.export_index(kind).unwrap_err(),
+                SearchError::SerializationUnsupported { engine: kind.name() }
+            );
+        }
+        assert!(s.built_engines().is_empty(), "a failed export must not cost an engine build");
+    }
+
+    #[test]
+    fn concurrent_cold_start_builds_each_engine_once() {
+        let s = service();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for kind in EngineKind::ALL {
+                        let spec = QuerySpec::new(4, 2).unwrap().with_engine(kind);
+                        let result = s.top_r(&spec).unwrap();
+                        assert_eq!(result.metrics.engine, kind.name());
+                    }
+                });
+            }
+        });
+        let stats = s.stats();
+        assert_eq!(stats.engines_built, 5, "racing threads must not duplicate builds");
+        assert_eq!(stats.queries_served, 8 * 5);
+    }
+}

@@ -15,7 +15,7 @@
 //!
 //! This crate is deliberately engine-agnostic: every driver consumes plain
 //! score slices or vertex sets, so callers feed it from whichever `sd-core`
-//! engine they queried — typically `Searcher::top_r(..).vertices()` or
+//! engine they queried — typically `SearchService::top_r(..).vertices()` or
 //! `DiversityEngine::score` through the unified trait surface (see the
 //! `sd-core` crate docs and the `social_contagion` example).
 

@@ -9,15 +9,15 @@
 
 use structural_diversity::datasets::dblp_like;
 use structural_diversity::search::baselines::{comp_div_top_r, core_div_top_r};
-use structural_diversity::search::{DiversityConfig, QuerySpec, Searcher};
+use structural_diversity::search::{DiversityConfig, QuerySpec, SearchService};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = dblp_like().generate(0.5);
     println!("collaboration network: n={} m={}", g.n(), g.m());
 
     // k = 5, r = 1 — the paper's case-study query, routed by `Auto`.
-    let mut searcher = Searcher::new(g);
-    let truss = searcher.top_r(&QuerySpec::new(5, 1)?)?;
+    let service = SearchService::new(g);
+    let truss = service.top_r(&QuerySpec::new(5, 1)?)?;
     let top = &truss.entries[0];
     println!(
         "\nTruss-Div top-1 (via `{}`): author a{} with {} research groups \
@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same query under the competitor models (Exp-11).
     let cfg = DiversityConfig::new(5, 1)?;
-    let comp = comp_div_top_r(searcher.graph(), &cfg);
-    let core = core_div_top_r(searcher.graph(), &cfg);
+    let comp = comp_div_top_r(service.graph(), &cfg);
+    let core = core_div_top_r(service.graph(), &cfg);
     println!(
         "\nComp-Div top-1: a{} with {} context(s) — components ≥ {} vertices",
         comp.entries[0].vertex, comp.entries[0].score, cfg.k

@@ -1,7 +1,9 @@
-//! Index lifecycle: build the TSD and GCT engines once, serialize the GCT
-//! index to disk, reload it into a fresh `Searcher`, and answer many (k, r)
-//! queries — the "index once, query forever" workflow the paper designs
-//! Section 5/6 around.
+//! Index lifecycle: build the TSD and GCT engines once, export the GCT
+//! index as a fingerprinted envelope to disk, import it into a fresh
+//! `SearchService`, and answer many (k, r) queries — the "index once, query
+//! forever" workflow the paper designs Section 5/6 around, made safe for
+//! persistence: an envelope exported from one graph cannot be attached to
+//! another.
 //!
 //! ```sh
 //! cargo run --release --example index_queries
@@ -10,40 +12,56 @@
 use std::time::Instant;
 
 use structural_diversity::datasets;
-use structural_diversity::search::{EngineKind, QuerySpec, Searcher};
+use structural_diversity::graph::GraphBuilder;
+use structural_diversity::search::{EngineKind, QuerySpec, SearchError, SearchService};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = datasets::dataset("email-enron-syn").expect("registry dataset");
     let g = dataset.generate(0.2);
     println!("graph: {} (n={} m={})", dataset.name, g.n(), g.m());
 
-    // Build both index engines through the facade.
-    let mut searcher = Searcher::new(g);
+    // Build both index engines through the service (warmup = eager build).
+    let service = SearchService::new(g);
     let t0 = Instant::now();
-    let tsd_bytes = searcher.engine(EngineKind::Tsd).to_bytes()?;
-    println!("TSD-index: built in {:?}, {} bytes", t0.elapsed(), tsd_bytes.len());
+    service.warmup([EngineKind::Tsd]);
+    println!("TSD-index: built in {:?}", t0.elapsed());
     let t1 = Instant::now();
-    let gct_bytes = searcher.engine(EngineKind::Gct).to_bytes()?;
-    println!("GCT-index: built in {:?}, {} bytes", t1.elapsed(), gct_bytes.len());
+    let gct_blob = service.export_index(EngineKind::Gct)?;
+    println!(
+        "GCT-index: built and enveloped in {:?}, {} bytes, fingerprint {}",
+        t1.elapsed(),
+        gct_blob.len(),
+        service.fingerprint()
+    );
 
-    // Serialize / reload round-trip (e.g. to ship the index next to the
-    // data): a fresh searcher revives the engine from the blob instead of
-    // rebuilding it.
+    // Export / import round-trip (e.g. to ship the index next to the
+    // data): a fresh service revives the engine from the envelope instead
+    // of rebuilding it, after checking the blob really belongs to its graph.
     let dir = std::env::temp_dir().join("sd_index_example");
     std::fs::create_dir_all(&dir)?;
-    let path = dir.join("graph.gct");
-    std::fs::write(&path, &gct_bytes)?;
+    let path = dir.join("graph.sdie");
+    std::fs::write(&path, &gct_blob)?;
     let blob = std::fs::read(&path)?;
-    let mut reloaded = Searcher::from_arc(searcher.graph_arc());
-    reloaded.install_from_bytes(EngineKind::Gct, blob.into())?;
-    println!("reloaded GCT engine from {}", path.display());
+    let reloaded = SearchService::from_arc(service.graph_arc());
+    let kind = reloaded.import_index(blob.into())?;
+    println!("imported `{kind}` engine from {}", path.display());
+
+    // The fingerprint guards the attachment: the same envelope is refused
+    // by a service over any other graph.
+    let other = SearchService::new(GraphBuilder::new().extend_edges([(0, 1), (1, 2)]).build());
+    match other.import_index(std::fs::read(&path)?.into()) {
+        Err(SearchError::FingerprintMismatch { expected, found }) => {
+            println!("wrong graph correctly refused: expected {expected}, blob has {found}");
+        }
+        other => panic!("wrong-graph import must fail with FingerprintMismatch, got {other:?}"),
+    }
 
     // One index, many queries: the same structures answer every (k, r).
     println!("\n{:<6} {:<4} {:>14} {:>14}", "k", "r", "TSD query", "GCT query");
     for k in [3u32, 4, 5, 6] {
         for r in [10usize, 100] {
             let tsd_spec = QuerySpec::new(k, r)?.with_engine(EngineKind::Tsd);
-            let a = searcher.top_r(&tsd_spec)?;
+            let a = service.top_r(&tsd_spec)?;
             let gct_spec = tsd_spec.with_engine(EngineKind::Gct);
             let b = reloaded.top_r(&gct_spec)?;
             assert_eq!(a.scores(), b.scores(), "engines must agree");

@@ -1,14 +1,18 @@
 //! Quickstart: build a graph, run a top-r truss-based structural diversity
-//! query through every engine behind the `Searcher` facade, and inspect the
-//! social contexts.
+//! query through every engine behind the `SearchService`, and inspect the
+//! social contexts — including serving queries from several threads at
+//! once, the shape a production deployment has.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
+use std::sync::Arc;
+
 use structural_diversity::graph::GraphBuilder;
 use structural_diversity::search::{
-    paper::PAPER_FIGURE1_NAMES, paper_figure1_edges, EngineKind, QuerySpec, SearchError, Searcher,
+    paper::PAPER_FIGURE1_NAMES, paper_figure1_edges, EngineKind, QuerySpec, SearchError,
+    SearchService,
 };
 
 fn main() -> Result<(), SearchError> {
@@ -17,15 +21,16 @@ fn main() -> Result<(), SearchError> {
     let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
     println!("graph: n={} m={}", g.n(), g.m());
 
-    // One facade owns the graph and lazily builds each engine on first use.
-    let mut searcher = Searcher::new(g);
+    // One service owns the graph and lazily builds each engine on first
+    // use; every query method takes `&self`.
+    let service = Arc::new(SearchService::new(g));
     let spec = QuerySpec::new(4, 3)?;
 
     // The five engines answer the same validated spec; only preprocessing
     // and per-query work differ (metrics carry the search-space column).
     let mut last: Option<Vec<u32>> = None;
     for kind in EngineKind::ALL {
-        let result = searcher.top_r(&spec.with_engine(kind))?;
+        let result = service.top_r(&spec.with_engine(kind))?;
         println!(
             "[{:>6}] evaluated {:>2} vertices in {:?}",
             result.metrics.engine, result.metrics.score_computations, result.metrics.elapsed
@@ -38,8 +43,22 @@ fn main() -> Result<(), SearchError> {
 
     // `Auto` routes by graph size / query rate — on this tiny graph it
     // reuses the GCT-index built above.
-    let auto = searcher.top_r(&spec)?;
+    let auto = service.top_r(&spec)?;
     println!("[  auto] routed to `{}`", auto.metrics.engine);
+
+    // Concurrent serving: clone the Arc into worker threads; the engine
+    // cache and the Auto heuristic are shared, no locks in caller code.
+    let answers: Vec<Vec<u32>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let service = service.clone();
+                scope.spawn(move || service.top_r(&spec).map(|r| r.scores()))
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("worker")).collect::<Result<_, _>>()
+    })?;
+    assert!(answers.iter().all(|scores| Some(scores) == last.as_ref()));
+    println!("[worker] {} threads agree; {} queries served", 4, service.stats().queries_served);
 
     println!("\ntop-{} vertices at k = {}:", spec.r(), spec.k());
     for entry in &auto.entries {

@@ -16,7 +16,7 @@ use structural_diversity::influence::{
     activated_counts, activation_rates_by_group, ris_seeds, IcModel,
 };
 use structural_diversity::search::baselines::{comp_div_top_r, core_div_top_r, random_top_r};
-use structural_diversity::search::{all_scores, DiversityConfig, QuerySpec, Searcher};
+use structural_diversity::search::{all_scores, DiversityConfig, QuerySpec, SearchService};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = datasets::dataset("gowalla-syn").expect("registry dataset");
@@ -41,15 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exp-8: activated count among top-100 picks of each model. `Auto` on a
     // repeatedly-queried graph settles on the GCT engine.
-    let mut searcher = Searcher::new(g);
+    let service = SearchService::new(g);
     let spec = QuerySpec::new(4, 100)?;
-    let truss = searcher.top_r(&spec)?;
+    let truss = service.top_r(&spec)?;
     println!("\n(truss picks served by the `{}` engine)", truss.metrics.engine);
     let truss_set = truss.vertices();
     let cfg = DiversityConfig::new(4, 100)?;
-    let core_set = core_div_top_r(searcher.graph(), &cfg).vertices();
-    let comp_set = comp_div_top_r(searcher.graph(), &cfg).vertices();
-    let random_set = random_top_r(searcher.graph(), 100, &mut rng);
+    let core_set = core_div_top_r(service.graph(), &cfg).vertices();
+    let comp_set = comp_div_top_r(service.graph(), &cfg).vertices();
+    let random_set = random_top_r(service.graph(), 100, &mut rng);
 
     println!("\nexpected #activated among each model's top-100:");
     for (name, set) in [
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Random", &random_set),
     ] {
         let mut mc_rng = StdRng::seed_from_u64(7);
-        let count = activated_counts(searcher.graph(), set, &seeds, model, samples, &mut mc_rng);
+        let count = activated_counts(service.graph(), set, &seeds, model, samples, &mut mc_rng);
         println!("  {name:>9}: {count:.2}");
     }
     Ok(())

@@ -10,12 +10,16 @@
 /// Read cursor (subset of `bytes::Buf`).
 pub trait Buf {
     fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
     fn get_u32_le(&mut self) -> u32;
     fn get_u64_le(&mut self) -> u64;
 }
 
 /// Append-only writer (subset of `bytes::BufMut`).
 pub trait BufMut {
+    fn put_u8(&mut self, value: u8);
+    fn put_u16_le(&mut self, value: u16);
     fn put_u32_le(&mut self, value: u32);
     fn put_u64_le(&mut self, value: u64);
 }
@@ -89,6 +93,14 @@ impl Buf for Bytes {
         self.len()
     }
 
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
     fn get_u32_le(&mut self) -> u32 {
         u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
     }
@@ -131,6 +143,14 @@ impl BytesMut {
 }
 
 impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+
+    fn put_u16_le(&mut self, value: u16) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
     fn put_u32_le(&mut self, value: u32) {
         self.data.extend_from_slice(&value.to_le_bytes());
     }
@@ -146,11 +166,15 @@ mod tests {
 
     #[test]
     fn round_trip_le() {
-        let mut buf = BytesMut::with_capacity(12);
+        let mut buf = BytesMut::with_capacity(15);
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
         buf.put_u32_le(0xDEAD_BEEF);
         buf.put_u64_le(42);
         let mut bytes = buf.freeze();
-        assert_eq!(bytes.len(), 12);
+        assert_eq!(bytes.len(), 15);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16_le(), 0xBEEF);
         assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(bytes.remaining(), 8);
         assert_eq!(bytes.get_u64_le(), 42);

@@ -3,7 +3,9 @@
 //! Wall-clock measurement only: each `Bencher::iter` body is warmed up once
 //! and then timed `sample_size` times; the median and mean are printed to
 //! stdout in a fixed-width table. No statistical analysis, HTML reports, or
-//! command-line filtering.
+//! command-line filtering — except `--test`, which (as in real criterion)
+//! runs every benchmark body exactly once without timing-quality sampling,
+//! so CI can smoke-test that benches compile and run.
 
 #![forbid(unsafe_code)]
 
@@ -27,13 +29,17 @@ impl BenchmarkId {
 /// Times one benchmark body.
 pub struct Bencher {
     samples: usize,
+    /// `--test` mode: no warm-up, so each body runs exactly once.
+    warmup: bool,
     /// Per-sample wall times recorded by the last `iter` call.
     times: Vec<Duration>,
 }
 
 impl Bencher {
     pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
-        black_box(body()); // warm-up (and forces lazy init out of the timing)
+        if self.warmup {
+            black_box(body()); // warm-up (and forces lazy init out of the timing)
+        }
         self.times.clear();
         for _ in 0..self.samples {
             let start = Instant::now();
@@ -53,7 +59,7 @@ pub struct BenchmarkGroup<'c> {
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size must be positive");
-        self.sample_size = n;
+        self.sample_size = if self.criterion.test_mode { 1 } else { n };
         self
     }
 
@@ -63,7 +69,11 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut routine: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        let mut bencher = Bencher { samples: self.sample_size, times: Vec::new() };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warmup: !self.criterion.test_mode,
+            times: Vec::new(),
+        };
         routine(&mut bencher, input);
         self.criterion.report(&self.name, &id.id, &bencher.times);
         self
@@ -74,7 +84,11 @@ impl BenchmarkGroup<'_> {
         id: BenchmarkId,
         mut routine: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        let mut bencher = Bencher { samples: self.sample_size, times: Vec::new() };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warmup: !self.criterion.test_mode,
+            times: Vec::new(),
+        };
         routine(&mut bencher);
         self.criterion.report(&self.name, &id.id, &bencher.times);
         self
@@ -84,17 +98,31 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Top-level benchmark driver.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    /// `--test` on the command line: run each body once, don't claim the
+    /// numbers mean anything (mirrors real criterion's test mode).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== {name} ==");
-        BenchmarkGroup { criterion: self, name, sample_size: 10 }
+        let sample_size = if self.test_mode { 1 } else { 10 };
+        BenchmarkGroup { criterion: self, name, sample_size }
     }
 
     fn report(&mut self, _group: &str, id: &str, times: &[Duration]) {
+        if self.test_mode {
+            println!("{id:<48} ok (test mode)");
+            return;
+        }
         if times.is_empty() {
             println!("{id:<48} (no samples)");
             return;

@@ -7,18 +7,20 @@
 //! ## Quick start
 //!
 //! ```
+//! use std::sync::Arc;
 //! use structural_diversity::graph::GraphBuilder;
-//! use structural_diversity::search::{EngineKind, QuerySpec, Searcher};
+//! use structural_diversity::search::{EngineKind, QuerySpec, SearchService};
 //!
 //! // The paper's running example (Figure 1): vertex v's neighborhood
 //! // decomposes into three social contexts at k = 4.
 //! let g = GraphBuilder::new()
 //!     .extend_edges(structural_diversity::search::paper_figure1_edges())
 //!     .build();
-//! let mut searcher = Searcher::new(g);
+//! // Share one service across threads: every query method takes `&self`.
+//! let service = Arc::new(SearchService::new(g));
 //! // `EngineKind::Auto` picks an engine by graph size and query rate;
 //! // `.with_engine(EngineKind::Tsd)` (or any of the five) routes explicitly.
-//! let result = searcher.top_r(&QuerySpec::new(4, 1)?)?;
+//! let result = service.top_r(&QuerySpec::new(4, 1)?)?;
 //! assert_eq!(result.entries[0].score, 3);
 //! assert_eq!(result.metrics.engine, EngineKind::Gct.name());
 //! # Ok::<(), structural_diversity::search::SearchError>(())

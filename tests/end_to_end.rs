@@ -11,7 +11,9 @@ use structural_diversity::influence::{
     activated_counts, activation_rates_by_group, ris_seeds, IcModel,
 };
 use structural_diversity::search::baselines::{comp_div_top_r, core_div_top_r, random_top_r};
-use structural_diversity::search::{all_scores, DiversityConfig, EngineKind, QuerySpec, Searcher};
+use structural_diversity::search::{
+    all_scores, DiversityConfig, EngineKind, QuerySpec, SearchService,
+};
 use structural_diversity::truss::truss_decomposition;
 
 #[test]
@@ -33,11 +35,11 @@ fn every_registry_dataset_generates_and_decomposes() {
 #[test]
 fn search_pipeline_on_generated_dataset() {
     let g = registry()[0].generate(0.02); // wiki-vote-syn, tiny
-    let mut searcher = Searcher::new(g);
+    let service = SearchService::new(g);
     let spec = QuerySpec::new(4, 10).expect("valid spec");
-    let online = searcher.top_r(&spec.with_engine(EngineKind::Online)).expect("online");
-    let tsd = searcher.top_r(&spec.with_engine(EngineKind::Tsd)).expect("tsd");
-    let gct = searcher.top_r(&spec.with_engine(EngineKind::Gct)).expect("gct");
+    let online = service.top_r(&spec.with_engine(EngineKind::Online)).expect("online");
+    let tsd = service.top_r(&spec.with_engine(EngineKind::Tsd)).expect("tsd");
+    let gct = service.top_r(&spec.with_engine(EngineKind::Gct)).expect("gct");
     assert_eq!(online.scores(), tsd.scores());
     assert_eq!(online.scores(), gct.scores());
     // Contexts of the winner are non-trivial and well-formed.
@@ -54,10 +56,10 @@ fn contagion_pipeline_runs_end_to_end() {
     let seeds = ris_seeds(&g, model, 10, 5_000, &mut rng);
     assert_eq!(seeds.len(), 10);
 
-    let mut searcher = Searcher::from_arc(std::sync::Arc::new(g));
-    let g = searcher.graph_arc();
+    let service = SearchService::from_arc(std::sync::Arc::new(g));
+    let g = service.graph_arc();
     let spec = QuerySpec::new(4, 30).expect("valid spec").with_engine(EngineKind::Gct);
-    let truss_set = searcher.top_r(&spec).expect("gct").vertices();
+    let truss_set = service.top_r(&spec).expect("gct").vertices();
     let random_set = random_top_r(&g, 30, &mut rng);
 
     let mut mc = StdRng::seed_from_u64(123);
@@ -100,10 +102,10 @@ fn truss_picks_catch_more_contagion_than_random() {
 
     let model = IcModel { p: 0.08 };
     let seeds: Vec<u32> = (0..10).collect(); // the hubs
-    let mut searcher = Searcher::from_arc(std::sync::Arc::new(g));
-    let g = searcher.graph_arc();
+    let service = SearchService::from_arc(std::sync::Arc::new(g));
+    let g = service.graph_arc();
     let spec = QuerySpec::new(4, 50).expect("valid spec").with_engine(EngineKind::Gct);
-    let truss_set = searcher.top_r(&spec).expect("gct").vertices();
+    let truss_set = service.top_r(&spec).expect("gct").vertices();
     let mut rng = StdRng::seed_from_u64(7);
     let random_set = random_top_r(&g, 50, &mut rng);
 
@@ -134,13 +136,13 @@ fn activation_rate_grouping_covers_all_positive_vertices() {
 #[test]
 fn dblp_case_study_shape() {
     let g = dblp_like().generate(0.2);
-    let mut searcher = Searcher::new(g);
-    let truss = searcher
+    let service = SearchService::new(g);
+    let truss = service
         .top_r(&QuerySpec::new(5, 1).expect("valid spec").with_engine(EngineKind::Gct))
         .expect("gct");
     let cfg = DiversityConfig::new(5, 1).expect("valid config");
-    let comp = comp_div_top_r(searcher.graph(), &cfg);
-    let core = core_div_top_r(searcher.graph(), &cfg);
+    let comp = comp_div_top_r(service.graph(), &cfg);
+    let core = core_div_top_r(service.graph(), &cfg);
     // The truss model must find strictly more contexts for its winner than
     // Comp-Div/Core-Div find for theirs — the paper's decomposability story.
     assert!(
@@ -164,7 +166,7 @@ fn quickstart_flow_from_readme() {
     use structural_diversity::graph::GraphBuilder;
     use structural_diversity::search::paper_figure1_edges;
     let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
-    let mut searcher = Searcher::new(g);
-    let result = searcher.top_r(&QuerySpec::new(4, 1).expect("valid spec")).expect("query");
+    let service = SearchService::new(g);
+    let result = service.top_r(&QuerySpec::new(4, 1).expect("valid spec")).expect("query");
     assert_eq!(result.entries[0].score, 3);
 }

@@ -6,7 +6,7 @@
 //!
 //! The engines are driven exclusively through the unified surface:
 //! `Box<dyn DiversityEngine>` trait objects from the `build_engine` factory
-//! and the `Searcher` facade (including `EngineKind::Auto` routing).
+//! and the `SearchService` facade (including `EngineKind::Auto` routing).
 
 mod common;
 
@@ -17,7 +17,7 @@ use proptest::prelude::*;
 
 use structural_diversity::search::{
     all_scores, build_engine, social_contexts, sparsify, upper_bounds, DiversityEngine, EngineKind,
-    QuerySpec, Searcher,
+    QuerySpec, SearchService,
 };
 
 /// All five engines over the same shared graph, as trait objects.
@@ -29,7 +29,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The headline property: identical score multisets through trait
-    /// objects, with `EngineKind::Auto` (via the `Searcher`) agreeing too.
+    /// objects, with `EngineKind::Auto` (via the `SearchService`) agreeing too.
     #[test]
     fn all_engines_agree_on_scores(g in arb_graph(18, 70), k in 2u32..6, r in 1usize..8) {
         let g = Arc::new(g);
@@ -52,8 +52,8 @@ proptest! {
 
         // Auto routing through the facade returns the same multiset no
         // matter which engine the heuristic picks.
-        let mut searcher = Searcher::from_arc(g);
-        let auto = searcher.top_r(&spec).expect("auto query");
+        let service = SearchService::from_arc(g);
+        let auto = service.top_r(&spec).expect("auto query");
         prop_assert_eq!(reference.scores(), auto.scores());
     }
 
@@ -132,12 +132,12 @@ fn engines_agree_on_registry_sample() {
     let g = structural_diversity::datasets::dataset("email-enron-syn")
         .expect("registry")
         .generate(0.05);
-    let mut searcher = Searcher::new(g);
+    let service = SearchService::new(g);
     for k in [3u32, 5] {
         let spec = QuerySpec::new(k, 25).expect("valid spec");
-        let reference = searcher.top_r(&spec).expect("auto query");
+        let reference = service.top_r(&spec).expect("auto query");
         for kind in EngineKind::ALL {
-            let result = searcher.top_r(&spec.with_engine(kind)).expect("query");
+            let result = service.top_r(&spec.with_engine(kind)).expect("query");
             assert_eq!(reference.scores(), result.scores(), "{kind} k={k}");
         }
     }

@@ -1,0 +1,186 @@
+//! Fingerprinted index envelopes: `export_index`/`import_index` must
+//! round-trip every serializable engine kind, and `import_index` must
+//! reject — with typed errors, never a panic or a silently wrong engine —
+//! blobs from a different graph, truncated headers, unknown format
+//! versions, and raw (unenveloped) index blobs.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::arb_graph;
+use proptest::prelude::*;
+
+use structural_diversity::graph::GraphBuilder;
+use structural_diversity::search::{
+    DecodeError, EngineKind, GraphFingerprint, IndexEnvelope, QuerySpec, SearchError,
+    SearchService, ENVELOPE_VERSION,
+};
+
+fn fig1_service() -> SearchService {
+    let g = GraphBuilder::new()
+        .extend_edges(structural_diversity::search::paper_figure1_edges())
+        .build();
+    SearchService::new(g)
+}
+
+/// Every engine kind goes through export: the serializable ones round-trip
+/// into an equivalent engine, the index-free ones fail with the typed
+/// capability error on both directions.
+#[test]
+fn every_kind_roundtrips_or_reports_the_missing_capability() {
+    let donor = fig1_service();
+    let spec = QuerySpec::new(4, 3).unwrap();
+    for kind in EngineKind::ALL {
+        if kind.serializable() {
+            let blob = donor.export_index(kind).expect("export");
+            let fresh = SearchService::from_arc(donor.graph_arc());
+            assert_eq!(fresh.import_index(blob).expect("import"), kind);
+            assert_eq!(fresh.built_engines(), vec![kind]);
+            let revived = fresh.top_r(&spec.with_engine(kind)).expect("query");
+            let original = donor.top_r(&spec.with_engine(kind)).expect("query");
+            assert_eq!(revived.scores(), original.scores(), "{kind} roundtrip changed answers");
+        } else {
+            assert_eq!(
+                donor.export_index(kind).unwrap_err(),
+                SearchError::SerializationUnsupported { engine: kind.name() },
+                "{kind}"
+            );
+        }
+    }
+}
+
+#[test]
+fn import_rejects_wrong_graph_fingerprint() {
+    let donor = fig1_service();
+    for kind in [EngineKind::Tsd, EngineKind::Gct] {
+        let blob = donor.export_index(kind).expect("export");
+
+        // A graph with a different vertex count.
+        let smaller =
+            SearchService::new(GraphBuilder::new().extend_edges([(0, 1), (1, 2), (0, 2)]).build());
+        match smaller.import_index(blob.clone()) {
+            Err(SearchError::FingerprintMismatch { expected, found }) => {
+                assert_eq!(expected, smaller.fingerprint());
+                assert_eq!(found, donor.fingerprint());
+            }
+            other => panic!("{kind}: wrong-n import must fail with FingerprintMismatch: {other:?}"),
+        }
+
+        // The sharper case the 0.2 vertex-count check missed: same n, same
+        // m, different edges.
+        let n = donor.graph().n();
+        let mut churned: Vec<(u32, u32)> = donor.graph().edges().to_vec();
+        let (u, v) = churned.pop().expect("fig1 has edges");
+        let replacement = (0..n as u32)
+            .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
+            .find(|&(a, b)| (a, b) != (u, v) && !donor.graph().has_edge(a, b))
+            .expect("a non-edge exists");
+        churned.push(replacement);
+        let same_shape =
+            SearchService::new(GraphBuilder::with_min_vertices(n).extend_edges(churned).build());
+        assert_eq!(same_shape.graph().n(), n);
+        assert_eq!(same_shape.graph().m(), donor.graph().m());
+        assert!(
+            matches!(same_shape.import_index(blob), Err(SearchError::FingerprintMismatch { .. })),
+            "{kind}: same-(n, m) churned graph must be caught by the edge checksum"
+        );
+    }
+}
+
+#[test]
+fn import_rejects_truncated_headers_and_bodies() {
+    let service = fig1_service();
+    let blob = service.export_index(EngineKind::Gct).expect("export");
+    // Every truncation point — inside the header and inside the payload —
+    // must produce a typed decode error.
+    for cut in [0, 1, 7, 39, blob.len() - 1] {
+        let truncated = blob.slice(0..cut);
+        assert_eq!(
+            service.import_index(truncated).unwrap_err(),
+            SearchError::Decode(DecodeError::Truncated),
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn import_rejects_unknown_format_version() {
+    let service = fig1_service();
+    let blob = service.export_index(EngineKind::Tsd).expect("export");
+    let mut bytes = blob.as_ref().to_vec();
+    let future = ENVELOPE_VERSION + 41;
+    bytes[4..6].copy_from_slice(&future.to_le_bytes());
+    assert_eq!(
+        service.import_index(bytes.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::UnsupportedVersion { version: future })
+    );
+}
+
+#[test]
+fn import_rejects_unknown_engine_tag_and_bad_magic() {
+    let service = fig1_service();
+    let blob = service.export_index(EngineKind::Tsd).expect("export");
+
+    let mut tagged = blob.as_ref().to_vec();
+    tagged[6] = 0x7F;
+    assert_eq!(
+        service.import_index(tagged.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::UnknownEngine { tag: 0x7F })
+    );
+
+    // A raw index blob (no envelope) must be refused up front — its magic
+    // is the index format's, not the envelope's.
+    let raw = service.engine(EngineKind::Tsd).to_bytes().expect("raw index bytes");
+    assert_eq!(service.import_index(raw).unwrap_err(), SearchError::Decode(DecodeError::BadMagic));
+}
+
+#[test]
+fn envelope_for_an_index_free_kind_is_refused_at_decode_time() {
+    // Hand-craft an envelope claiming to carry an `online` index: the frame
+    // parses, but reviving the engine reports the missing capability.
+    let service = fig1_service();
+    let forged = IndexEnvelope::new(
+        EngineKind::Online,
+        service.fingerprint(),
+        bytes::Bytes::from_static(b""),
+    );
+    assert_eq!(
+        service.import_index(forged.encode()).unwrap_err(),
+        SearchError::SerializationUnsupported { engine: "online" }
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Envelope round-trips preserve answers on arbitrary graphs, and the
+    /// recorded fingerprint always matches the source graph's.
+    #[test]
+    fn envelope_roundtrip_preserves_answers(g in arb_graph(16, 60), k in 2u32..5) {
+        let g = Arc::new(g);
+        let spec = QuerySpec::new(k, 3.min(g.n())).expect("valid spec");
+        let donor = SearchService::from_arc(g.clone());
+        prop_assert_eq!(donor.fingerprint(), GraphFingerprint::of(&g));
+        for kind in [EngineKind::Tsd, EngineKind::Gct] {
+            let blob = donor.export_index(kind).expect("export");
+            let envelope = IndexEnvelope::decode(blob.clone()).expect("decode");
+            prop_assert_eq!(envelope.kind, kind);
+            prop_assert_eq!(envelope.fingerprint, donor.fingerprint());
+            let fresh = SearchService::from_arc(g.clone());
+            fresh.import_index(blob).expect("import");
+            prop_assert_eq!(
+                fresh.top_r(&spec.with_engine(kind)).expect("query").scores(),
+                donor.top_r(&spec.with_engine(kind)).expect("query").scores(),
+                "{} roundtrip changed answers", kind
+            );
+        }
+    }
+
+    /// Arbitrary bytes never panic the envelope decoder.
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let service = fig1_service();
+        let _ = service.import_index(bytes::Bytes::from(data));
+    }
+}

@@ -7,7 +7,7 @@ use structural_diversity::graph::triangles::edge_support;
 
 use structural_diversity::search::{
     build_engine, paper_figure1_graph, social_contexts, EgoNetwork, EngineKind, GctIndex,
-    QuerySpec, Searcher, TsdIndex,
+    QuerySpec, SearchService, TsdIndex,
 };
 use structural_diversity::truss::truss_decomposition;
 
@@ -114,8 +114,8 @@ fn sparsification_bites_on_community_graphs() {
     assert!(removed_frac > 0.3, "only {removed_frac:.2} of edges removed");
     // And the answers survive (spot check).
     let spec = QuerySpec::new(5, 10).expect("valid spec").with_engine(EngineKind::Online);
-    let mut full = Searcher::new(g);
-    let mut sparse = Searcher::new(sp.graph);
+    let full = SearchService::new(g);
+    let sparse = SearchService::new(sp.graph);
     assert_eq!(
         full.top_r(&spec).expect("query").scores(),
         sparse.top_r(&spec).expect("query").scores()

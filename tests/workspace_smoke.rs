@@ -1,10 +1,10 @@
 //! Workspace smoke test: the umbrella crate's re-exports resolve and the
 //! paper's Figure-1 running example yields a top-1 diversity score of 3
 //! (vertex v's ego-network splits into three social contexts at k = 4)
-//! through every one of the five engines behind the `Searcher` facade.
+//! through every one of the five engines behind the `SearchService` facade.
 
 use structural_diversity::graph::GraphBuilder;
-use structural_diversity::search::{paper_figure1_edges, EngineKind, QuerySpec, Searcher};
+use structural_diversity::search::{paper_figure1_edges, EngineKind, QuerySpec, SearchService};
 use structural_diversity::{datasets, influence, truss};
 
 #[test]
@@ -26,16 +26,16 @@ fn umbrella_reexports_resolve() {
 #[test]
 fn figure1_top1_score_is_3_via_all_five_engines() {
     let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
-    let mut searcher = Searcher::new(g);
+    let service = SearchService::new(g);
     let spec = QuerySpec::new(4, 1).expect("valid query");
 
     for kind in EngineKind::ALL {
-        let result = searcher.top_r(&spec.with_engine(kind)).expect("query");
+        let result = service.top_r(&spec.with_engine(kind)).expect("query");
         assert_eq!(result.entries[0].score, 3, "engine {kind} disagrees with Figure 1");
         assert_eq!(result.metrics.engine, kind.name());
     }
 
     // And `Auto` (the spec's default routing) agrees too.
-    let auto = searcher.top_r(&spec).expect("auto query");
+    let auto = service.top_r(&spec).expect("auto query");
     assert_eq!(auto.entries[0].score, 3, "Auto routing disagrees with Figure 1");
 }
