@@ -5,7 +5,8 @@
 //! differently shaped APIs — two free functions and three index structs
 //! whose `top_r` signatures disagreed. [`DiversityEngine`] unifies them:
 //! every engine is built from a graph via [`build_engine`] (or revived from
-//! a serialized index via [`decode_engine`]), answers the same
+//! a fingerprinted blob via [`crate::SearchService::import_index`] /
+//! [`crate::SearchService::import_bundle`]), answers the same
 //! [`QuerySpec`], and reports per-query [`crate::SearchMetrics`]. The
 //! [`crate::SearchService`] facade sits on top, adding lazy index construction,
 //! heuristic [`EngineKind::Auto`] selection, and batched queries.
@@ -82,9 +83,11 @@ impl EngineKind {
     }
 
     /// Whether this engine kind has a serialized index form
-    /// ([`DiversityEngine::to_bytes`] / [`decode_engine`]).
+    /// ([`DiversityEngine::to_bytes`], revivable through
+    /// [`crate::SearchService::import_index`] /
+    /// [`crate::SearchService::import_bundle`]).
     pub fn serializable(self) -> bool {
-        matches!(self, EngineKind::Tsd | EngineKind::Gct)
+        matches!(self, EngineKind::Tsd | EngineKind::Gct | EngineKind::Hybrid)
     }
 
     /// Stable on-disk tag used by the [`crate::envelope::IndexEnvelope`]
@@ -431,6 +434,15 @@ impl HybridEngine {
         HybridEngine { g, index: HybridIndex::build_from_tsd(tsd) }
     }
 
+    /// Attaches a prebuilt ranking index to its graph, verifying vertex
+    /// counts.
+    pub fn from_parts(g: Arc<CsrGraph>, index: HybridIndex) -> Result<Self, SearchError> {
+        if index.n() != g.n() {
+            return Err(SearchError::GraphMismatch { graph_n: g.n(), index_n: index.n() });
+        }
+        Ok(HybridEngine { g, index })
+    }
+
     /// The underlying materialized rankings.
     pub fn index(&self) -> &HybridIndex {
         &self.index
@@ -456,6 +468,10 @@ impl DiversityEngine for HybridEngine {
 
     fn top_r_unchecked(&self, config: &DiversityConfig) -> TopRResult {
         self.index.top_r(&self.g, config)
+    }
+
+    fn to_bytes(&self) -> Result<Bytes, SearchError> {
+        Ok(self.index.to_bytes())
     }
 }
 
@@ -485,17 +501,18 @@ pub fn build_engine(kind: EngineKind, g: Arc<CsrGraph>) -> Box<dyn DiversityEngi
 }
 
 /// Revives a *raw* serialized index (produced by
-/// [`DiversityEngine::to_bytes`]) as an engine over `g`. Only TSD and GCT
-/// have serialized forms.
+/// [`DiversityEngine::to_bytes`]) as an engine over `g`. Only TSD, GCT, and
+/// Hybrid have serialized forms.
 ///
-/// The attachment check is by vertex count only: a raw blob serialized from
-/// a *different* graph that happens to have the same `n` (e.g. an older
-/// snapshot after edge churn) is accepted and will serve that graph's
-/// answers. For persistence across graph versions use the fingerprinted
-/// envelope path instead — [`crate::SearchService::export_index`] /
-/// [`crate::SearchService::import_index`] — which rejects wrong-graph blobs
-/// with [`SearchError::FingerprintMismatch`].
-pub fn decode_engine(
+/// Crate-private since 0.4.0: the attachment check here is by vertex count
+/// only, so a raw blob serialized from a *different* graph with the same
+/// `n` (e.g. an older snapshot after edge churn) would be accepted and
+/// serve that graph's answers. Every public decode path goes through the
+/// fingerprinted envelope/bundle layer — [`crate::SearchService::import_index`]
+/// and [`crate::SearchService::import_bundle`] — which rejects wrong-graph
+/// blobs with [`SearchError::FingerprintMismatch`] before this function
+/// ever runs.
+pub(crate) fn decode_engine(
     kind: EngineKind,
     g: Arc<CsrGraph>,
     bytes: Bytes,
@@ -508,6 +525,10 @@ pub fn decode_engine(
         EngineKind::Gct => {
             let index = GctIndex::from_bytes(bytes)?;
             Ok(Box::new(GctEngine::from_parts(g, index)?))
+        }
+        EngineKind::Hybrid => {
+            let index = HybridIndex::from_bytes(bytes)?;
+            Ok(Box::new(HybridEngine::from_parts(g, index)?))
         }
         other => Err(SearchError::SerializationUnsupported { engine: other.name() }),
     }
@@ -579,7 +600,7 @@ mod tests {
     #[test]
     fn trait_level_roundtrip() {
         let (g, v) = figure1();
-        for kind in [EngineKind::Tsd, EngineKind::Gct] {
+        for kind in [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid] {
             let engine = build_engine(kind, g.clone());
             let blob = engine.to_bytes().unwrap();
             let back = decode_engine(kind, g.clone(), blob).unwrap();

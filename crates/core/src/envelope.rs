@@ -14,7 +14,16 @@
 //! disagrees with the graph it serves, as
 //! [`crate::SearchError::FingerprintMismatch`].
 //!
-//! Wire layout (all integers little-endian):
+//! Two frame formats share the fingerprint discipline:
+//!
+//! * [`IndexEnvelope`] — one engine's index per blob (magic `"SDIE"`);
+//! * [`IndexBundle`] — N engines' indexes behind a single fingerprint
+//!   (magic `"SDIB"`), so a whole warmed service (TSD + GCT + Hybrid)
+//!   persists and reloads as **one** artifact via
+//!   [`crate::SearchService::export_bundle`] /
+//!   [`crate::SearchService::import_bundle`].
+//!
+//! Envelope wire layout (all integers little-endian):
 //!
 //! | offset | size | field |
 //! |---|---|---|
@@ -27,6 +36,33 @@
 //! | 24 | 8 | fingerprint: FNV-1a edge checksum |
 //! | 32 | 8 | payload length |
 //! | 40 | … | payload (the engine's own serialized form) |
+//!
+//! Bundle wire layout — a 32-byte header followed by `count` entries, each
+//! a 12-byte entry header plus its payload:
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 4 | magic `"SDIB"` ([`BUNDLE_MAGIC`]) |
+//! | 4 | 2 | format version ([`BUNDLE_VERSION`]) |
+//! | 6 | 1 | entry count (≥ 1; zero-entry bundles are rejected) |
+//! | 7 | 1 | reserved (zero) |
+//! | 8 | 8 | fingerprint: vertex count `n` |
+//! | 16 | 8 | fingerprint: edge count `m` |
+//! | 24 | 8 | fingerprint: FNV-1a edge checksum |
+//! | 32 | … | `count` × entry |
+//!
+//! | entry offset | size | field |
+//! |---|---|---|
+//! | 0 | 1 | engine tag ([`crate::EngineKind::tag`], unique per bundle) |
+//! | 1 | 3 | reserved (zero) |
+//! | 4 | 8 | payload length |
+//! | 12 | … | payload (the engine's own serialized form) |
+//!
+//! Decoding either format validates every length field before slicing, so
+//! truncation at any layer — header, entry header, payload — fails with a
+//! typed [`DecodeError`], never a panic. The two magics are distinct, so a
+//! single-index blob fed to [`IndexBundle::decode`] (or a bundle fed to
+//! [`IndexEnvelope::decode`]) is refused as [`DecodeError::BadMagic`].
 
 use std::fmt;
 
@@ -47,6 +83,19 @@ pub const ENVELOPE_VERSION: u16 = 1;
 
 /// Fixed size of the envelope header preceding the payload.
 pub const ENVELOPE_HEADER_BYTES: usize = 40;
+
+/// Bundle magic ("SDIB" — Structural Diversity Index Bundle).
+pub const BUNDLE_MAGIC: u32 = 0x5344_4942;
+
+/// Current bundle format version. Decoding rejects any other value with
+/// [`DecodeError::UnsupportedVersion`].
+pub const BUNDLE_VERSION: u16 = 1;
+
+/// Fixed size of the bundle header preceding the first entry.
+pub const BUNDLE_HEADER_BYTES: usize = 32;
+
+/// Fixed size of each bundle entry's header preceding its payload.
+pub const BUNDLE_ENTRY_HEADER_BYTES: usize = 12;
 
 /// Identity of a graph for index-attachment purposes: vertex count, edge
 /// count, and an FNV-1a checksum over the canonical (sorted, deduplicated)
@@ -166,6 +215,136 @@ impl IndexEnvelope {
     }
 }
 
+/// A versioned frame around *several* engines' serialized indexes, all
+/// guarded by one [`GraphFingerprint`] — the persistence unit for a whole
+/// warmed service (the paper's TSD- and GCT-indexes plus the Hybrid
+/// rankings ship as one artifact, the way related index-serving systems
+/// persist all index layers together).
+///
+/// Produced by [`crate::SearchService::export_bundle`] and consumed by
+/// [`crate::SearchService::import_bundle`]; [`Self::encode`]/[`Self::decode`]
+/// are public so bundles can be inspected (or produced) without a service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexBundle {
+    /// Fingerprint of the graph every bundled index was built from.
+    pub fingerprint: GraphFingerprint,
+    /// The bundled `(engine, serialized index)` pairs, in encoding order.
+    /// Engine kinds are concrete and unique within a bundle, and the list
+    /// is never empty (both enforced by [`Self::decode`]).
+    pub entries: Vec<(EngineKind, Bytes)>,
+}
+
+impl IndexBundle {
+    /// Frames `entries` as a bundle over the graph identified by
+    /// `fingerprint`. Entries must be non-empty, concrete, and unique per
+    /// engine — the same invariants [`Self::decode`] enforces on the wire.
+    ///
+    /// # Panics
+    /// In debug builds, panics on an empty entry list, an
+    /// [`EngineKind::Auto`] entry, a duplicated engine kind, or more than
+    /// 255 entries (the count field is one byte).
+    pub fn new(fingerprint: GraphFingerprint, entries: Vec<(EngineKind, Bytes)>) -> Self {
+        debug_assert!(!entries.is_empty(), "a bundle carries at least one index");
+        debug_assert!(entries.len() <= u8::MAX as usize, "bundle entry count field is one byte");
+        debug_assert!(
+            entries.iter().all(|&(kind, _)| kind != EngineKind::Auto),
+            "Auto names no concrete index to bundle"
+        );
+        debug_assert!(
+            entries
+                .iter()
+                .enumerate()
+                .all(|(i, &(kind, _))| entries[..i].iter().all(|&(prior, _)| prior != kind)),
+            "bundle entries must be unique per engine"
+        );
+        IndexBundle { fingerprint, entries }
+    }
+
+    /// The engine kinds bundled, in entry order.
+    pub fn kinds(&self) -> Vec<EngineKind> {
+        self.entries.iter().map(|&(kind, _)| kind).collect()
+    }
+
+    /// Serializes the bundle (header + entries) to one blob.
+    pub fn encode(&self) -> Bytes {
+        let total: usize = self
+            .entries
+            .iter()
+            .map(|(_, payload)| BUNDLE_ENTRY_HEADER_BYTES + payload.as_ref().len())
+            .sum();
+        let mut buf = BytesMut::with_capacity(BUNDLE_HEADER_BYTES + total);
+        buf.put_u32_le(BUNDLE_MAGIC);
+        buf.put_u16_le(BUNDLE_VERSION);
+        buf.put_u8(self.entries.len() as u8);
+        buf.put_u8(0); // reserved
+        buf.put_u64_le(self.fingerprint.n);
+        buf.put_u64_le(self.fingerprint.m);
+        buf.put_u64_le(self.fingerprint.edge_checksum);
+        for (kind, payload) in &self.entries {
+            let payload = payload.as_ref();
+            buf.put_u8(kind.tag());
+            buf.put_u8(0); // reserved
+            buf.put_u8(0);
+            buf.put_u8(0);
+            buf.put_u64_le(payload.len() as u64);
+            buf.extend_from_slice(payload);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a blob produced by [`Self::encode`], validating the magic,
+    /// version, entry count (zero entries are rejected), every entry's
+    /// engine tag (unknown and duplicated tags are rejected), and every
+    /// length field (truncation at any layer, or trailing bytes after the
+    /// last entry, are rejected). Graph-identity validation is the
+    /// *caller's* job — [`crate::SearchService::import_bundle`] compares
+    /// [`Self::fingerprint`] against the target graph.
+    pub fn decode(mut data: Bytes) -> Result<Self, DecodeError> {
+        if data.remaining() < BUNDLE_HEADER_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        if data.get_u32_le() != BUNDLE_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = data.get_u16_le();
+        if version != BUNDLE_VERSION {
+            return Err(DecodeError::UnsupportedVersion { version });
+        }
+        let count = data.get_u8();
+        if count == 0 {
+            return Err(DecodeError::EmptyBundle);
+        }
+        let _reserved = data.get_u8();
+        let fingerprint = GraphFingerprint {
+            n: data.get_u64_le(),
+            m: data.get_u64_le(),
+            edge_checksum: data.get_u64_le(),
+        };
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            if data.remaining() < BUNDLE_ENTRY_HEADER_BYTES {
+                return Err(DecodeError::Truncated);
+            }
+            let tag = data.get_u8();
+            let kind = EngineKind::from_tag(tag).ok_or(DecodeError::UnknownEngine { tag })?;
+            if entries.iter().any(|&(prior, _)| prior == kind) {
+                return Err(DecodeError::DuplicateEngine { tag });
+            }
+            let _reserved = (data.get_u8(), data.get_u8(), data.get_u8());
+            let payload_len = data.get_u64_le();
+            if payload_len > data.remaining() as u64 {
+                return Err(DecodeError::Truncated);
+            }
+            entries.push((kind, data.slice(0..payload_len as usize)));
+            data.advance(payload_len as usize);
+        }
+        if data.remaining() != 0 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(IndexBundle { fingerprint, entries })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +432,103 @@ mod tests {
             let env = IndexEnvelope::new(kind, fig1_fingerprint(), Bytes::new());
             assert_eq!(IndexEnvelope::decode(env.encode()).unwrap().kind, kind);
         }
+    }
+
+    fn sample_bundle() -> IndexBundle {
+        IndexBundle::new(
+            fig1_fingerprint(),
+            vec![
+                (EngineKind::Tsd, Bytes::from_static(b"tsd-payload")),
+                (EngineKind::Gct, Bytes::from_static(b"gct")),
+                (EngineKind::Hybrid, Bytes::new()),
+            ],
+        )
+    }
+
+    #[test]
+    fn bundle_roundtrip() {
+        let bundle = sample_bundle();
+        let blob = bundle.encode();
+        assert_eq!(
+            blob.len(),
+            BUNDLE_HEADER_BYTES + 3 * BUNDLE_ENTRY_HEADER_BYTES + b"tsd-payload".len() + 3
+        );
+        let back = IndexBundle::decode(blob).unwrap();
+        assert_eq!(back, bundle);
+        assert_eq!(back.kinds(), vec![EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid]);
+    }
+
+    #[test]
+    fn bundle_decode_rejects_bad_frames() {
+        let good = sample_bundle().encode();
+
+        // Truncation at every layer: header, entry header, payload, and
+        // the loss of a whole trailing entry.
+        for cut in [0, 3, BUNDLE_HEADER_BYTES - 1, BUNDLE_HEADER_BYTES + 4, good.len() - 1] {
+            assert_eq!(
+                IndexBundle::decode(good.slice(0..cut)),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // Dropping the final (empty-payload Hybrid) entry leaves a frame
+        // whose count field promises one more entry than the body holds.
+        let missing_entry = good.slice(0..good.len() - BUNDLE_ENTRY_HEADER_BYTES);
+        assert_eq!(IndexBundle::decode(missing_entry), Err(DecodeError::Truncated));
+
+        // Trailing bytes after the last entry.
+        let mut extra = good.as_ref().to_vec();
+        extra.push(0);
+        assert_eq!(IndexBundle::decode(extra.into()), Err(DecodeError::Truncated));
+
+        // Bad magic — including the single-index envelope magic.
+        let mut wrong = good.as_ref().to_vec();
+        wrong[0] ^= 0xFF;
+        assert_eq!(IndexBundle::decode(wrong.into()), Err(DecodeError::BadMagic));
+
+        // Unknown future version.
+        let mut vers = good.as_ref().to_vec();
+        vers[4] = 9;
+        assert_eq!(
+            IndexBundle::decode(vers.into()),
+            Err(DecodeError::UnsupportedVersion { version: 9 })
+        );
+
+        // Zero entries.
+        let mut empty = good.as_ref().to_vec();
+        empty[6] = 0;
+        assert_eq!(IndexBundle::decode(empty.into()), Err(DecodeError::EmptyBundle));
+
+        // Unknown engine tag in the first entry.
+        let mut tagged = good.as_ref().to_vec();
+        tagged[BUNDLE_HEADER_BYTES] = 0xEE;
+        assert_eq!(
+            IndexBundle::decode(tagged.into()),
+            Err(DecodeError::UnknownEngine { tag: 0xEE })
+        );
+    }
+
+    #[test]
+    fn bundle_decode_rejects_duplicate_engines() {
+        let bundle = IndexBundle::new(
+            fig1_fingerprint(),
+            vec![(EngineKind::Tsd, Bytes::from_static(b"a")), (EngineKind::Gct, Bytes::new())],
+        );
+        let mut forged = bundle.encode().as_ref().to_vec();
+        // Rewrite the second entry's tag to repeat the first's.
+        let second_entry = BUNDLE_HEADER_BYTES + BUNDLE_ENTRY_HEADER_BYTES + 1;
+        forged[second_entry] = EngineKind::Tsd.tag();
+        assert_eq!(
+            IndexBundle::decode(forged.into()),
+            Err(DecodeError::DuplicateEngine { tag: EngineKind::Tsd.tag() })
+        );
+    }
+
+    #[test]
+    fn the_two_magics_are_mutually_exclusive() {
+        let envelope =
+            IndexEnvelope::new(EngineKind::Gct, fig1_fingerprint(), Bytes::from_static(b"p"));
+        assert_eq!(IndexBundle::decode(envelope.encode()), Err(DecodeError::BadMagic));
+        assert_eq!(IndexEnvelope::decode(sample_bundle().encode()), Err(DecodeError::BadMagic));
     }
 }

@@ -30,6 +30,21 @@ pub enum DecodeError {
         /// The raw engine tag from the envelope header.
         tag: u8,
     },
+    /// A bundle carrying two entries for the same engine — ambiguous, so
+    /// rejected rather than letting the last entry silently win.
+    DuplicateEngine {
+        /// The engine tag that appears more than once.
+        tag: u8,
+    },
+    /// A bundle with no entries at all; an empty bundle is never written by
+    /// [`crate::SearchService::export_bundle`], so reading one means the
+    /// blob was forged or corrupted.
+    EmptyBundle,
+    /// A structurally valid frame whose contents violate the format's
+    /// invariants (e.g. a vertex id at or beyond the declared vertex
+    /// count) — decoding it would produce an index that panics at query
+    /// time.
+    InvalidEntry,
 }
 
 impl fmt::Display for DecodeError {
@@ -42,6 +57,13 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::UnknownEngine { tag } => {
                 write!(f, "index envelope names unknown engine tag {tag}")
+            }
+            DecodeError::DuplicateEngine { tag } => {
+                write!(f, "index bundle carries engine tag {tag} more than once")
+            }
+            DecodeError::EmptyBundle => write!(f, "index bundle carries no entries"),
+            DecodeError::InvalidEntry => {
+                write!(f, "index blob carries an entry violating the format's invariants")
             }
         }
     }
@@ -90,11 +112,15 @@ pub enum SearchError {
         /// Fingerprint recorded in the envelope.
         found: GraphFingerprint,
     },
-    /// The engine has no serialized form (only TSD and GCT do).
+    /// The engine has no serialized form (only TSD, GCT, and Hybrid do).
     SerializationUnsupported {
         /// Name of the engine that was asked to (de)serialize.
         engine: &'static str,
     },
+    /// [`crate::SearchService::export_bundle`] was asked to bundle zero
+    /// engines — a request-side error, distinct from reading a forged
+    /// zero-entry bundle off the wire ([`DecodeError::EmptyBundle`]).
+    EmptyBundleRequest,
 }
 
 impl fmt::Display for SearchError {
@@ -120,6 +146,9 @@ impl fmt::Display for SearchError {
             }
             SearchError::SerializationUnsupported { engine } => {
                 write!(f, "the `{engine}` engine has no serialized form")
+            }
+            SearchError::EmptyBundleRequest => {
+                write!(f, "asked to export a bundle of zero engines")
             }
         }
     }

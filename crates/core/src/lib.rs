@@ -16,13 +16,14 @@
 //! | bound-pruned | Algorithm 4 (sparsify + Lemma 2) | `Bound` | none | no |
 //! | TSD-index | Algorithms 5–6 | `Tsd` | max spanning forests | yes |
 //! | GCT-index | Algorithms 7–8 + Lemma 3 | `Gct` | compressed forests | yes |
-//! | Hybrid | Exp-4 competitor | `Hybrid` | per-k rankings | no |
+//! | Hybrid | Exp-4 competitor | `Hybrid` | per-k rankings | yes |
 //!
-//! Build one engine with [`build_engine`] (or revive a serialized index
-//! with [`decode_engine`]), or let a [`SearchService`] own the graph, build
-//! engines lazily behind per-kind locks, and resolve [`EngineKind::Auto`]
-//! by graph size and query rate — all through `&self`, so one service
-//! shared via `Arc` serves any number of threads:
+//! Build one engine with [`build_engine`], or let a [`SearchService`] own
+//! the graph, build engines *in the background* behind per-kind locks
+//! (queries never block on index construction — a cold index engine is
+//! covered by the online fallback while a worker pool builds it), and
+//! resolve [`EngineKind::Auto`] by graph size and query rate — all through
+//! `&self`, so one service shared via `Arc` serves any number of threads:
 //!
 //! ```
 //! use sd_core::{paper_figure1_edges, QuerySpec, SearchService};
@@ -37,12 +38,15 @@
 //!
 //! Queries are validated ([`QuerySpec::new`] rejects `k < 2` / `r == 0`;
 //! the engine rejects `r > n`) and every failure is a [`SearchError`].
-//! Index persistence goes through fingerprinted [`IndexEnvelope`]s
-//! ([`SearchService::export_index`] / [`SearchService::import_index`]),
-//! which refuse blobs built from a different graph. The 0.2
-//! single-threaded [`Searcher`] facade survives one release as a deprecated
-//! wrapper over [`SearchService`]; its module docs carry the migration
-//! table.
+//! Index persistence goes through fingerprinted frames — one index per
+//! [`IndexEnvelope`] ([`SearchService::export_index`] /
+//! [`SearchService::import_index`]), or every serializable index behind a
+//! single fingerprint in an [`IndexBundle`]
+//! ([`SearchService::export_bundle`] / [`SearchService::import_bundle`]) —
+//! and every import refuses blobs built from a different graph; there is
+//! no fingerprint-less public decode path. (The 0.2 single-threaded
+//! `Searcher` facade, deprecated in 0.3.0, is removed as of 0.4.0 — see
+//! the README's upgrade note.)
 //!
 //! All engines return [`TopRResult`]s whose score multisets agree; this is
 //! enforced by cross-engine tests and property tests driving the engines
@@ -63,7 +67,6 @@ pub mod online;
 pub mod paper;
 pub mod parallel;
 pub mod score;
-pub mod searcher;
 pub mod service;
 pub mod tcp;
 pub mod topr;
@@ -74,18 +77,19 @@ pub use config::{DiversityConfig, SearchMetrics, TopREntry, TopRResult};
 pub use dynamic::DynamicTsd;
 pub use egonet::{AllEgoNetworks, EgoNetwork};
 pub use engine::{
-    build_engine, decode_engine, BoundEngine, DiversityEngine, EngineKind, GctEngine, HybridEngine,
-    OnlineEngine, QuerySpec, TsdEngine,
+    build_engine, BoundEngine, DiversityEngine, EngineKind, GctEngine, HybridEngine, OnlineEngine,
+    QuerySpec, TsdEngine,
 };
-pub use envelope::{GraphFingerprint, IndexEnvelope, ENVELOPE_MAGIC, ENVELOPE_VERSION};
+pub use envelope::{
+    GraphFingerprint, IndexBundle, IndexEnvelope, BUNDLE_MAGIC, BUNDLE_VERSION, ENVELOPE_MAGIC,
+    ENVELOPE_VERSION,
+};
 pub use error::{DecodeError, SearchError};
 pub use gct::{GctIndex, BITMAP_FALLBACK_THRESHOLD};
 pub use hybrid::HybridIndex;
 pub use online::all_scores;
 pub use paper::{paper_figure18_graph, paper_figure1_edges, paper_figure1_graph};
 pub use score::{score, social_contexts, EgoDecomposition};
-#[allow(deprecated)]
-pub use searcher::Searcher;
 pub use service::{SearchService, ServiceStats, AUTO_SMALL_GRAPH_EDGES, AUTO_WARMUP_QUERIES};
 pub use tcp::{ktruss_communities, TcpIndex};
 pub use topr::TopRCollector;

@@ -20,10 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = dataset.generate(0.2);
     println!("graph: {} (n={} m={})", dataset.name, g.n(), g.m());
 
-    // Build both index engines through the service (warmup = eager build).
+    // Build both index engines through the service. `warmup` only enqueues
+    // (queries are never blocked by builds); `wait_ready` joins, so the
+    // elapsed time below really is the build time.
     let service = SearchService::new(g);
     let t0 = Instant::now();
     service.warmup([EngineKind::Tsd]);
+    service.wait_ready([EngineKind::Tsd]);
     println!("TSD-index: built in {:?}", t0.elapsed());
     let t1 = Instant::now();
     let gct_blob = service.export_index(EngineKind::Gct)?;
@@ -54,6 +57,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("wrong graph correctly refused: expected {expected}, blob has {found}");
         }
         other => panic!("wrong-graph import must fail with FingerprintMismatch, got {other:?}"),
+    }
+
+    // Or ship the whole warmed service as ONE artifact: a bundle packs
+    // every serializable index (TSD + GCT + Hybrid) behind a single
+    // fingerprint. One file on disk, one import, three engines ready.
+    let kinds = [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid];
+    let bundle = service.export_bundle(kinds)?;
+    let bundle_path = dir.join("graph.sdib");
+    std::fs::write(&bundle_path, &bundle)?;
+    let revived = SearchService::from_arc(service.graph_arc());
+    let installed = revived.import_bundle(std::fs::read(&bundle_path)?.into())?;
+    println!(
+        "bundle: {} bytes revived {:?} from {}",
+        bundle.len(),
+        installed,
+        bundle_path.display()
+    );
+    assert_eq!(revived.built_engines(), kinds.to_vec());
+    match other.import_bundle(std::fs::read(&bundle_path)?.into()) {
+        Err(SearchError::FingerprintMismatch { .. }) => {
+            println!("wrong graph correctly refused the bundle too");
+        }
+        other => panic!("wrong-graph bundle import must fail, got {other:?}"),
     }
 
     // One index, many queries: the same structures answer every (k, r).

@@ -21,9 +21,13 @@ fn main() -> Result<(), SearchError> {
     let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
     println!("graph: n={} m={}", g.n(), g.m());
 
-    // One service owns the graph and lazily builds each engine on first
-    // use; every query method takes `&self`.
+    // One service owns the graph; index engines build in the background
+    // (queries never wait for a build — a cold query is served by the
+    // online fallback). `warmup` enqueues, `wait_ready` joins, so the
+    // per-engine comparison below is answered by each engine itself.
     let service = Arc::new(SearchService::new(g));
+    service.warmup(EngineKind::ALL);
+    service.wait_ready(EngineKind::ALL);
     let spec = QuerySpec::new(4, 3)?;
 
     // The five engines answer the same validated spec; only preprocessing

@@ -10,6 +10,9 @@
 /// Read cursor (subset of `bytes::Buf`).
 pub trait Buf {
     fn remaining(&self) -> usize;
+    /// Advances the cursor past `count` bytes without reading them.
+    /// Panics when fewer than `count` bytes remain (as real `bytes` does).
+    fn advance(&mut self, count: usize);
     fn get_u8(&mut self) -> u8;
     fn get_u16_le(&mut self) -> u16;
     fn get_u32_le(&mut self) -> u32;
@@ -91,6 +94,10 @@ impl AsRef<[u8]> for Bytes {
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
+    }
+
+    fn advance(&mut self, count: usize) {
+        self.take(count);
     }
 
     fn get_u8(&mut self) -> u8 {
@@ -179,6 +186,14 @@ mod tests {
         assert_eq!(bytes.remaining(), 8);
         assert_eq!(bytes.get_u64_le(), 42);
         assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn advance_skips_without_reading() {
+        let mut bytes = Bytes::from_static(b"abcdef");
+        bytes.advance(4);
+        assert_eq!(bytes.remaining(), 2);
+        assert_eq!(bytes.get_u8(), b'e');
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! `crossbeam-channel` subset: an unbounded MPMC channel.
+//!
+//! Semantics match real crossbeam where the workspace relies on them:
+//!
+//! * [`Sender`] and [`Receiver`] are both `Clone + Send + Sync`; any number
+//!   of producers and consumers share one queue.
+//! * [`Sender::send`] never blocks (the channel is unbounded) and fails
+//!   only when every receiver is gone.
+//! * [`Receiver::recv`] blocks until a message arrives, and keeps draining
+//!   buffered messages after the last sender drops — it reports
+//!   [`RecvError`] only once the queue is empty *and* disconnected.
+//!
+//! The implementation is a `Mutex<VecDeque>` + `Condvar`, which is plenty
+//! for the build-queue workload (a handful of messages per service
+//! lifetime); real crossbeam's lock-free internals matter only at message
+//! rates far beyond that.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when every [`Receiver`] has been
+/// dropped; carries the unsent message back, like real crossbeam.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] once the channel is empty and every
+/// [`Sender`] has been dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (but senders remain).
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Creates an unbounded channel; messages arrive in send order.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        ready: Condvar::new(),
+    });
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+/// The producing half; clone freely across threads.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg` without blocking. Fails (returning the message) only
+    /// when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.senders += 1;
+        drop(state);
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.senders -= 1;
+        let disconnected = state.senders == 0;
+        drop(state);
+        if disconnected {
+            // Wake every blocked receiver so it can observe the disconnect.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// The consuming half; clone for multiple competing consumers.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available. Keeps returning buffered
+    /// messages after the last sender drops; [`RecvError`] only once the
+    /// queue is drained *and* disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        match state.queue.pop_front() {
+            Some(msg) => Ok(msg),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.receivers += 1;
+        drop(state);
+        Receiver { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.receivers -= 1;
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_one_producer() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn drained_after_sender_drop_then_disconnected() {
+        let (tx, rx) = unbounded();
+        tx.send(1u32).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_gone() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        drop(rx);
+        drop(rx2);
+        assert_eq!(tx.send(7u8), Err(SendError(7)));
+    }
+
+    #[test]
+    fn competing_consumers_split_the_stream() {
+        let (tx, rx) = unbounded();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..100u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> =
+            consumers.into_iter().flat_map(|c| c.join().expect("consumer")).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_blocks_until_a_send_arrives() {
+        let (tx, rx) = unbounded();
+        let waiter = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(42u64).unwrap();
+        assert_eq!(waiter.join().expect("waiter"), Ok(42));
+    }
+}

@@ -1,12 +1,16 @@
 //! Offline stand-in for `crossbeam 0.8` — see `shims/README.md`.
 //!
-//! Only `crossbeam::scope` is provided, implemented over
-//! `std::thread::scope`. Behavioural note: a panicking worker re-panics at
-//! the end of the scope (std semantics) instead of surfacing as `Err`; all
-//! in-tree callers `.expect(..)` the result, so the observable effect — a
-//! panic with the worker's payload — is the same.
+//! Two subsets are provided: `crossbeam::scope` (over `std::thread::scope`)
+//! and [`channel`] (an unbounded MPMC queue over `Mutex` + `Condvar`, the
+//! `crossbeam-channel` subset the `sd-core` background build queue uses).
+//! Behavioural note on `scope`: a panicking worker re-panics at the end of
+//! the scope (std semantics) instead of surfacing as `Err`; all in-tree
+//! callers `.expect(..)` the result, so the observable effect — a panic
+//! with the worker's payload — is the same.
 
 #![forbid(unsafe_code)]
+
+pub mod channel;
 
 /// Scope handle passed to [`scope`]'s closure.
 pub struct Scope<'scope, 'env: 'scope> {

@@ -68,6 +68,18 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Non-blocking read: `None` whenever the lock cannot be acquired
+    /// immediately (a writer holds it, or the platform reports contention).
+    /// Matches real parking_lot's `try_read` closely enough for the
+    /// in-tree use — a cache probe that treats "being written" as "absent".
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +98,15 @@ mod tests {
         let l = RwLock::new(vec![1u32]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn try_read_fails_while_written_and_succeeds_after() {
+        let l = RwLock::new(7u32);
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none(), "try_read must not block on a writer");
+        }
+        assert_eq!(*l.try_read().expect("uncontended try_read succeeds"), 7);
     }
 }

@@ -17,7 +17,11 @@
 //!     .extend_edges(structural_diversity::search::paper_figure1_edges())
 //!     .build();
 //! // Share one service across threads: every query method takes `&self`.
+//! // Index engines build in the background — queries never wait for one;
+//! // `wait_ready` joins the builds when you want the index path for sure.
 //! let service = Arc::new(SearchService::new(g));
+//! service.warmup([EngineKind::Gct]);
+//! service.wait_ready([EngineKind::Gct]);
 //! // `EngineKind::Auto` picks an engine by graph size and query rate;
 //! // `.with_engine(EngineKind::Tsd)` (or any of the five) routes explicitly.
 //! let result = service.top_r(&QuerySpec::new(4, 1)?)?;

@@ -1,8 +1,11 @@
-//! Fingerprinted index envelopes: `export_index`/`import_index` must
-//! round-trip every serializable engine kind, and `import_index` must
-//! reject — with typed errors, never a panic or a silently wrong engine —
-//! blobs from a different graph, truncated headers, unknown format
-//! versions, and raw (unenveloped) index blobs.
+//! Fingerprinted index envelopes and bundles: `export_index`/`import_index`
+//! must round-trip every serializable engine kind, `export_bundle`/
+//! `import_bundle` must round-trip any subset of them behind one
+//! fingerprint, and both import paths must reject — with typed errors,
+//! never a panic or a silently wrong engine — blobs from a different
+//! graph, truncation at every layer, unknown format versions, duplicate
+//! engine tags, zero-entry bundles, raw (unenveloped) index blobs, and
+//! each frame format fed to the other's importer.
 
 mod common;
 
@@ -13,7 +16,7 @@ use proptest::prelude::*;
 
 use structural_diversity::graph::GraphBuilder;
 use structural_diversity::search::{
-    DecodeError, EngineKind, GraphFingerprint, IndexEnvelope, QuerySpec, SearchError,
+    DecodeError, EngineKind, GraphFingerprint, IndexBundle, IndexEnvelope, QuerySpec, SearchError,
     SearchService, ENVELOPE_VERSION,
 };
 
@@ -53,7 +56,7 @@ fn every_kind_roundtrips_or_reports_the_missing_capability() {
 #[test]
 fn import_rejects_wrong_graph_fingerprint() {
     let donor = fig1_service();
-    for kind in [EngineKind::Tsd, EngineKind::Gct] {
+    for kind in [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid] {
         let blob = donor.export_index(kind).expect("export");
 
         // A graph with a different vertex count.
@@ -69,18 +72,7 @@ fn import_rejects_wrong_graph_fingerprint() {
 
         // The sharper case the 0.2 vertex-count check missed: same n, same
         // m, different edges.
-        let n = donor.graph().n();
-        let mut churned: Vec<(u32, u32)> = donor.graph().edges().to_vec();
-        let (u, v) = churned.pop().expect("fig1 has edges");
-        let replacement = (0..n as u32)
-            .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
-            .find(|&(a, b)| (a, b) != (u, v) && !donor.graph().has_edge(a, b))
-            .expect("a non-edge exists");
-        churned.push(replacement);
-        let same_shape =
-            SearchService::new(GraphBuilder::with_min_vertices(n).extend_edges(churned).build());
-        assert_eq!(same_shape.graph().n(), n);
-        assert_eq!(same_shape.graph().m(), donor.graph().m());
+        let same_shape = churned_same_shape(&donor);
         assert!(
             matches!(same_shape.import_index(blob), Err(SearchError::FingerprintMismatch { .. })),
             "{kind}: same-(n, m) churned graph must be caught by the edge checksum"
@@ -151,6 +143,209 @@ fn envelope_for_an_index_free_kind_is_refused_at_decode_time() {
     );
 }
 
+/// A fig1-shaped graph with the same n and m but one different edge — the
+/// adversary a vertex-count (or even `(n, m)`) check cannot see.
+fn churned_same_shape(donor: &SearchService) -> SearchService {
+    let n = donor.graph().n();
+    let mut churned: Vec<(u32, u32)> = donor.graph().edges().to_vec();
+    let (u, v) = churned.pop().expect("donor has edges");
+    let replacement = (0..n as u32)
+        .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
+        .find(|&(a, b)| (a, b) != (u, v) && !donor.graph().has_edge(a, b))
+        .expect("a non-edge exists");
+    churned.push(replacement);
+    let service =
+        SearchService::new(GraphBuilder::with_min_vertices(n).extend_edges(churned).build());
+    assert_eq!(service.graph().n(), n);
+    assert_eq!(service.graph().m(), donor.graph().m());
+    service
+}
+
+// ---------------------------------------------------------------------------
+// Multi-index bundles ("SDIB").
+
+/// The headline bundle property: TSD + GCT + Hybrid persist as one blob and
+/// a fresh service over the same graph revives all three, answering exactly
+/// like the donor.
+#[test]
+fn bundle_roundtrips_tsd_gct_hybrid_as_one_artifact() {
+    let donor = fig1_service();
+    let kinds = [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid];
+    let blob = donor.export_bundle(kinds).expect("export bundle");
+
+    // The blob is a decodable bundle carrying the donor's fingerprint.
+    let bundle = IndexBundle::decode(blob.clone()).expect("decode");
+    assert_eq!(bundle.fingerprint, donor.fingerprint());
+    assert_eq!(bundle.kinds(), kinds.to_vec());
+
+    let fresh = SearchService::from_arc(donor.graph_arc());
+    assert_eq!(fresh.import_bundle(blob).expect("import bundle"), kinds.to_vec());
+    assert_eq!(fresh.built_engines(), kinds.to_vec());
+    let spec = QuerySpec::new(4, 3).unwrap();
+    for kind in kinds {
+        let revived = fresh.top_r(&spec.with_engine(kind)).expect("revived query");
+        let original = donor.top_r(&spec.with_engine(kind)).expect("donor query");
+        assert_eq!(revived.metrics.engine, kind.name(), "bundled engines serve directly");
+        assert_eq!(revived.scores(), original.scores(), "{kind} bundle roundtrip changed answers");
+    }
+}
+
+#[test]
+fn bundle_import_rejects_truncation_at_every_layer() {
+    let service = fig1_service();
+    let blob = service
+        .export_bundle([EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid])
+        .expect("export bundle");
+    // Every prefix of the blob is rejected — the bundle header, each entry
+    // header, each payload, and the loss of trailing entries all count as
+    // truncation, and none may panic.
+    for cut in 0..blob.len() {
+        assert_eq!(
+            service.import_bundle(blob.slice(0..cut)).unwrap_err(),
+            SearchError::Decode(DecodeError::Truncated),
+            "cut at {cut} of {}",
+            blob.len()
+        );
+    }
+    // And a surplus byte is also a framing error, not an accepted blob.
+    let mut extra = blob.as_ref().to_vec();
+    extra.push(0);
+    assert_eq!(
+        service.import_bundle(extra.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::Truncated)
+    );
+}
+
+#[test]
+fn bundle_import_rejects_duplicate_engine_tags() {
+    let service = fig1_service();
+    let payload = IndexBundle::decode(service.export_bundle([EngineKind::Gct]).unwrap())
+        .unwrap()
+        .entries
+        .remove(0)
+        .1;
+    // Hand-craft a bundle carrying the same engine twice (the constructor
+    // debug-asserts against this, so forge it on the wire).
+    let good = IndexBundle::new(
+        service.fingerprint(),
+        vec![(EngineKind::Tsd, payload.clone()), (EngineKind::Gct, payload.clone())],
+    )
+    .encode();
+    let mut forged = good.as_ref().to_vec();
+    let second_tag_offset = 32 + 12 + payload.as_ref().len();
+    forged[second_tag_offset] = EngineKind::Tsd.tag();
+    assert_eq!(
+        service.import_bundle(forged.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::DuplicateEngine { tag: EngineKind::Tsd.tag() })
+    );
+}
+
+#[test]
+fn bundle_import_rejects_zero_entries() {
+    let service = fig1_service();
+    let good = service.export_bundle([EngineKind::Gct]).unwrap();
+    let mut forged = good.as_ref().to_vec();
+    forged[6] = 0; // entry count
+    assert_eq!(
+        service.import_bundle(forged.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::EmptyBundle)
+    );
+}
+
+#[test]
+fn bundle_import_rejects_wrong_fingerprint() {
+    let donor = fig1_service();
+    let blob = donor.export_bundle([EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid]).unwrap();
+
+    // Different vertex count.
+    let smaller =
+        SearchService::new(GraphBuilder::new().extend_edges([(0, 1), (1, 2), (0, 2)]).build());
+    match smaller.import_bundle(blob.clone()) {
+        Err(SearchError::FingerprintMismatch { expected, found }) => {
+            assert_eq!(expected, smaller.fingerprint());
+            assert_eq!(found, donor.fingerprint());
+        }
+        other => panic!("wrong-n bundle import must fail with FingerprintMismatch: {other:?}"),
+    }
+    assert!(smaller.built_engines().is_empty(), "a refused bundle must install nothing");
+
+    // Same n, same m, different edges — the edge-checksum case.
+    let churned = churned_same_shape(&donor);
+    assert!(
+        matches!(churned.import_bundle(blob), Err(SearchError::FingerprintMismatch { .. })),
+        "same-(n, m) churned graph must be caught by the bundle's edge checksum"
+    );
+    assert!(churned.built_engines().is_empty());
+}
+
+/// The two frame formats are mutually exclusive: a single-index "SDIE"
+/// envelope fed to `import_bundle` is refused at the magic, and vice versa.
+#[test]
+fn envelope_and_bundle_blobs_are_not_interchangeable() {
+    let service = fig1_service();
+    let envelope = service.export_index(EngineKind::Gct).unwrap();
+    let bundle = service.export_bundle([EngineKind::Gct]).unwrap();
+    assert_eq!(
+        service.import_bundle(envelope).unwrap_err(),
+        SearchError::Decode(DecodeError::BadMagic)
+    );
+    assert_eq!(
+        service.import_index(bundle).unwrap_err(),
+        SearchError::Decode(DecodeError::BadMagic)
+    );
+}
+
+/// A bundle with one corrupt payload installs *nothing* — import is
+/// all-or-nothing, so a service is never left half-revived.
+#[test]
+fn bundle_with_one_corrupt_payload_installs_nothing() {
+    let donor = fig1_service();
+    let good =
+        IndexBundle::decode(donor.export_bundle([EngineKind::Tsd, EngineKind::Gct]).unwrap())
+            .unwrap();
+    let corrupt = IndexBundle::new(
+        good.fingerprint,
+        vec![
+            good.entries[0].clone(),
+            (EngineKind::Gct, bytes::Bytes::from_static(b"not a gct index")),
+        ],
+    );
+    let fresh = SearchService::from_arc(donor.graph_arc());
+    assert_eq!(
+        fresh.import_bundle(corrupt.encode()).unwrap_err(),
+        SearchError::Decode(DecodeError::BadMagic),
+        "the corrupt GCT payload must fail its own magic check"
+    );
+    assert!(fresh.built_engines().is_empty(), "the valid TSD entry must not have been installed");
+}
+
+/// PR-3's known gap, closed in 0.4.0: `decode_engine` (vertex-count-only
+/// attachment) is crate-private, so every public path that turns serialized
+/// bytes into a serving engine — `import_index` and `import_bundle`, the
+/// only two — checks the graph fingerprint. A stale blob from a same-shape
+/// graph (identical n and m, one different edge) must be impossible to
+/// attach through any public surface.
+#[test]
+fn no_fingerprintless_public_decode_path_remains() {
+    let donor = fig1_service();
+    let churned = churned_same_shape(&donor);
+    for kind in [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid] {
+        let envelope = donor.export_index(kind).unwrap();
+        assert!(
+            matches!(churned.import_index(envelope), Err(SearchError::FingerprintMismatch { .. })),
+            "{kind}: import_index accepted a stale same-shape blob"
+        );
+    }
+    let bundle =
+        donor.export_bundle([EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid]).unwrap();
+    assert!(
+        matches!(churned.import_bundle(bundle), Err(SearchError::FingerprintMismatch { .. })),
+        "import_bundle accepted a stale same-shape bundle"
+    );
+    assert!(churned.built_engines().is_empty(), "no stale engine may have been installed");
+    assert_eq!(churned.stats().engines_built, 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -162,7 +357,7 @@ proptest! {
         let spec = QuerySpec::new(k, 3.min(g.n())).expect("valid spec");
         let donor = SearchService::from_arc(g.clone());
         prop_assert_eq!(donor.fingerprint(), GraphFingerprint::of(&g));
-        for kind in [EngineKind::Tsd, EngineKind::Gct] {
+        for kind in [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid] {
             let blob = donor.export_index(kind).expect("export");
             let envelope = IndexEnvelope::decode(blob.clone()).expect("decode");
             prop_assert_eq!(envelope.kind, kind);

@@ -1,8 +1,11 @@
 //! Index serialization: round-trips must be lossless on arbitrary graphs,
 //! and decoding must reject corrupted blobs instead of panicking — at both
-//! the index layer (`TsdIndex`/`GctIndex`) and the engine surface
-//! (`DiversityEngine::to_bytes` / `decode_engine`), whose failures unify
-//! into `SearchError`/`DecodeError`.
+//! the index layer (`TsdIndex`/`GctIndex`/`HybridIndex`) and the engine
+//! surface (`DiversityEngine::to_bytes` revived through the service's
+//! fingerprinted `import_index`), whose failures unify into
+//! `SearchError`/`DecodeError`. Since 0.4.0 the fingerprint-less
+//! `decode_engine` factory is crate-private, so the *only* public way to
+//! revive serialized bytes as an engine is the envelope/bundle path.
 
 mod common;
 
@@ -12,8 +15,8 @@ use common::arb_graph;
 use proptest::prelude::*;
 
 use structural_diversity::search::{
-    build_engine, decode_engine, DecodeError, EngineKind, GctIndex, QuerySpec, SearchError,
-    TsdIndex,
+    build_engine, DecodeError, EngineKind, GctIndex, GraphFingerprint, HybridIndex, IndexEnvelope,
+    QuerySpec, SearchError, SearchService, TsdIndex,
 };
 
 proptest! {
@@ -34,6 +37,15 @@ proptest! {
         let blob = index.to_bytes();
         prop_assert_eq!(blob.len(), index.index_size_bytes());
         let back = GctIndex::from_bytes(blob).unwrap();
+        prop_assert_eq!(index, back);
+    }
+
+    #[test]
+    fn hybrid_roundtrip(g in arb_graph(20, 80)) {
+        let index = HybridIndex::build(&g);
+        let blob = index.to_bytes();
+        prop_assert_eq!(blob.len(), index.index_size_bytes());
+        let back = HybridIndex::from_bytes(blob).unwrap();
         prop_assert_eq!(index, back);
     }
 
@@ -62,11 +74,22 @@ proptest! {
         }
     }
 
+    #[test]
+    fn hybrid_truncation_detected(g in arb_graph(12, 40), cut in 0usize..64) {
+        let index = HybridIndex::build(&g);
+        let blob = index.to_bytes();
+        prop_assume!(cut < blob.len());
+        let truncated = blob.slice(0..blob.len() - cut - 1);
+        // The hybrid decoder checks exact consumption, so any cut fails.
+        prop_assert!(HybridIndex::from_bytes(truncated).is_err());
+    }
+
     /// Random bytes must never decode into a panicking state.
     #[test]
     fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = TsdIndex::from_bytes(bytes::Bytes::from(data.clone()));
-        let _ = GctIndex::from_bytes(bytes::Bytes::from(data));
+        let _ = GctIndex::from_bytes(bytes::Bytes::from(data.clone()));
+        let _ = HybridIndex::from_bytes(bytes::Bytes::from(data));
     }
 }
 
@@ -74,19 +97,25 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The trait-level capability path: serialize through
-    /// `DiversityEngine::to_bytes`, revive through `decode_engine`, and the
-    /// revived engine answers queries identically.
+    /// `DiversityEngine::to_bytes`, revive through the service's
+    /// fingerprinted import, and the revived engine answers queries
+    /// identically.
     #[test]
     fn engine_roundtrip_preserves_answers(g in arb_graph(16, 60), k in 2u32..5) {
         let g = Arc::new(g);
         let spec = QuerySpec::new(k, 3.min(g.n())).expect("valid spec");
-        for kind in [EngineKind::Tsd, EngineKind::Gct] {
+        let fingerprint = GraphFingerprint::of(&g);
+        for kind in [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid] {
             let engine = build_engine(kind, g.clone());
-            let blob = engine.to_bytes().expect("index engines serialize");
-            let revived = decode_engine(kind, g.clone(), blob).expect("decode");
+            let payload = engine.to_bytes().expect("index engines serialize");
+            // The only public revival path: frame the raw bytes as a
+            // fingerprinted envelope and import them into a service.
+            let blob = IndexEnvelope::new(kind, fingerprint, payload).encode();
+            let revived = SearchService::from_arc(g.clone());
+            prop_assert_eq!(revived.import_index(blob).expect("import"), kind);
             prop_assert_eq!(
                 engine.top_r(&spec).expect("query").scores(),
-                revived.top_r(&spec).expect("query").scores(),
+                revived.top_r(&spec.with_engine(kind)).expect("query").scores(),
                 "{} roundtrip changed answers", kind
             );
         }
@@ -101,29 +130,32 @@ fn index_free_engines_refuse_serialization() {
             .extend_edges([(0, 1), (1, 2), (0, 2)])
             .build(),
     );
-    for kind in [EngineKind::Online, EngineKind::Bound, EngineKind::Hybrid] {
+    for kind in [EngineKind::Online, EngineKind::Bound] {
         let engine = build_engine(kind, g.clone());
         assert_eq!(
             engine.to_bytes().unwrap_err(),
             SearchError::SerializationUnsupported { engine: kind.name() },
             "{kind}"
         );
-        assert_eq!(
-            decode_engine(kind, g.clone(), bytes::Bytes::new()).unwrap_err(),
-            SearchError::SerializationUnsupported { engine: kind.name() },
-            "{kind}"
-        );
+        assert!(!kind.serializable(), "{kind}");
+    }
+    for kind in [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid] {
+        assert!(kind.serializable(), "{kind} gained a serialized form in 0.4.0");
     }
 }
 
-/// Both index formats fail with the same unified error type.
+/// All three index formats fail with the same unified error type, which
+/// folds into `SearchError` at the service surface.
 #[test]
 fn decode_errors_are_unified() {
     assert_eq!(TsdIndex::from_bytes(bytes::Bytes::from_static(b"xx")), Err(DecodeError::Truncated));
     assert_eq!(GctIndex::from_bytes(bytes::Bytes::from_static(b"xx")), Err(DecodeError::Truncated));
-    // And they fold into SearchError at the engine surface.
-    let g =
-        Arc::new(structural_diversity::graph::GraphBuilder::new().extend_edges([(0, 1)]).build());
-    let err = decode_engine(EngineKind::Tsd, g, bytes::Bytes::from_static(b"xx")).unwrap_err();
+    assert_eq!(
+        HybridIndex::from_bytes(bytes::Bytes::from_static(b"xx")),
+        Err(DecodeError::Truncated)
+    );
+    let g = structural_diversity::graph::GraphBuilder::new().extend_edges([(0, 1)]).build();
+    let service = SearchService::new(g);
+    let err = service.import_index(bytes::Bytes::from_static(b"xx")).unwrap_err();
     assert_eq!(err, SearchError::Decode(DecodeError::Truncated));
 }

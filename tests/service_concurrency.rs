@@ -23,7 +23,9 @@ fn registry_sample() -> CsrGraph {
 }
 
 /// Every (thread, kind, k) combination must match the single-threaded
-/// reference exactly — scores and vertices.
+/// reference exactly — scores and vertices. Both services are warmed and
+/// joined first, so every query is answered by its own engine (the cold
+/// fallback path is `tests/background_builds.rs`'s subject).
 #[test]
 fn eight_threads_serve_all_five_kinds_identically() {
     let g = registry_sample();
@@ -36,6 +38,7 @@ fn eight_threads_serve_all_five_kinds_identically() {
 
     // Single-threaded reference answers on a private service.
     let reference_service = SearchService::new(g.clone());
+    reference_service.wait_ready(EngineKind::ALL);
     let reference: Vec<_> = specs
         .iter()
         .map(|spec| {
@@ -45,6 +48,8 @@ fn eight_threads_serve_all_five_kinds_identically() {
         .collect();
 
     let service = Arc::new(SearchService::new(g));
+    service.warmup(EngineKind::ALL);
+    service.wait_ready(EngineKind::ALL);
     std::thread::scope(|scope| {
         for worker in 0..THREADS {
             let service = service.clone();
@@ -70,6 +75,7 @@ fn eight_threads_serve_all_five_kinds_identically() {
     let stats: ServiceStats = service.stats();
     assert_eq!(stats.queries_served, THREADS * specs.len());
     assert_eq!(stats.engines_built, 5, "each engine must be built exactly once");
+    assert_eq!(stats.foreground_fallbacks, 0, "a warmed service never falls back");
     for kind in EngineKind::ALL {
         assert_eq!(stats.queries_for(kind), THREADS * 2, "{kind} query count");
     }
@@ -98,7 +104,8 @@ fn concurrent_auto_queries_agree_with_reference() {
 }
 
 /// Warmup from one thread while others already query: no duplicate builds,
-/// no torn state.
+/// no torn state. Warmup only *schedules* since 0.4.0, so the builds are
+/// joined with `wait_ready` before counting them.
 #[test]
 fn warmup_races_with_queries() {
     let service = Arc::new(SearchService::new(registry_sample()));
@@ -117,6 +124,7 @@ fn warmup_races_with_queries() {
             });
         }
     });
+    service.wait_ready(EngineKind::ALL);
     assert_eq!(service.built_engines().len(), 5);
     assert_eq!(service.stats().engines_built, 5, "warmup raced queries into duplicate builds");
 }
