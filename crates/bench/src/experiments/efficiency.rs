@@ -311,6 +311,92 @@ pub fn fig12(ctx: &ExpContext) {
     println!("\nFigure 12: scalability on power-law graphs (|E| = 5|V|)\n{}", t.render());
 }
 
+/// `bench-json`: the perf-smoke datapoint the CI lane archives. One small
+/// end-to-end measurement pass — index builds, per-engine query latency,
+/// and a served `apply_updates` batch (the PR-5 live-update path) — written
+/// as machine-readable JSON to `BENCH_pr5.json` in the working directory,
+/// so the bench trajectory accumulates comparable artifacts per run.
+///
+/// Times here are single-shot wall-clock samples meant for trend-spotting
+/// across CI runs, not criterion-grade statistics (the criterion benches
+/// under `crates/bench/benches/` are the precision instrument).
+pub fn bench_json(ctx: &ExpContext) {
+    use sd_core::{EngineKind, SearchService};
+    use sd_graph::GraphUpdate;
+
+    const OUT: &str = "BENCH_pr5.json";
+    let dataset = sd_datasets::dataset("email-enron-syn").expect("registry");
+    let g = ctx.load(&dataset);
+    let (n, m) = (g.n(), g.m());
+
+    // Index build times through the serving layer's own build path — each
+    // index is constructed exactly once and then reused for the query
+    // measurements below (`wait_ready` on an unscheduled kind builds on
+    // the calling thread, so the timing is the build).
+    let shared = Arc::new(g);
+    let service = SearchService::from_arc(shared.clone());
+    let (_, tsd_build) = time_it(|| service.wait_ready([EngineKind::Tsd]));
+    let (_, gct_build) = time_it(|| service.wait_ready([EngineKind::Gct]));
+    let (_, hybrid_build) = time_it(|| service.wait_ready([EngineKind::Hybrid]));
+
+    // Warmed per-engine query latency through the serving layer.
+    service.wait_ready(EngineKind::ALL);
+    let query = spec(4, 100, n);
+    let mut engine_ms = Vec::new();
+    for kind in EngineKind::ALL {
+        let (result, elapsed) = time_it(|| service.top_r(&query.with_engine(kind)));
+        result.expect("bench query");
+        engine_ms.push(format!(
+            "    \"top_r_{}_ms\": {:.3}",
+            kind.name(),
+            elapsed.as_secs_f64() * 1e3
+        ));
+    }
+
+    // The live-update path: one served batch of inserts + removes, with
+    // the incremental TSD carry doing the index maintenance.
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0xBE7C)
+    };
+    let batch: Vec<GraphUpdate> = (0..200)
+        .map(|i| {
+            use rand::Rng;
+            let (u, v) = (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+            if i % 3 == 2 {
+                GraphUpdate::Remove { u, v }
+            } else {
+                GraphUpdate::Insert { u, v }
+            }
+        })
+        .collect();
+    let (update_stats, update_elapsed) = time_it(|| service.apply_updates(&batch));
+    let update_stats = update_stats.expect("apply_updates");
+
+    let json = format!(
+        "{{\n  \"schema\": \"sd-bench-smoke/1\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \"build\": {{\n    \
+         \"tsd_ms\": {:.3},\n    \"gct_ms\": {:.3},\n    \"hybrid_ms\": {:.3}\n  }},\n  \
+         \"query\": {{\n{}\n  }},\n  \"update\": {{\n    \"batch_ops\": {},\n    \
+         \"applied\": {},\n    \"tsd_repairs\": {},\n    \"tsd_carried\": {},\n    \
+         \"apply_ms\": {:.3}\n  }}\n}}\n",
+        dataset.name,
+        ctx.scale,
+        tsd_build.as_secs_f64() * 1e3,
+        gct_build.as_secs_f64() * 1e3,
+        hybrid_build.as_secs_f64() * 1e3,
+        engine_ms.join(",\n"),
+        batch.len(),
+        update_stats.applied,
+        update_stats.tsd_repairs,
+        update_stats.tsd_carried,
+        update_elapsed.as_secs_f64() * 1e3,
+    );
+    std::fs::write(OUT, &json).expect("write bench json");
+    println!("{json}");
+    println!("[bench-json] wrote {OUT}");
+}
+
 /// Figure 18: the TSD-index vs TCP-index semantic comparison on the paper's
 /// witness graph (Section 8.2).
 pub fn fig18(_ctx: &ExpContext) {

@@ -89,6 +89,9 @@ pub fn run(name: &str, ctx: &ExpContext) -> bool {
         "table5" => effectiveness::table5(ctx),
         "case-study" => effectiveness::case_study(ctx),
         "fig18" => efficiency::fig18(ctx),
+        // Not part of EXPERIMENTS (so `all` skips it): the CI perf-smoke
+        // datapoint, which writes `BENCH_pr5.json` as a side effect.
+        "bench-json" => efficiency::bench_json(ctx),
         "all" => {
             for e in EXPERIMENTS {
                 println!("\n################ {e} ################");

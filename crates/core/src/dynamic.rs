@@ -16,11 +16,11 @@
 //! the exact index. Equivalence with a from-scratch rebuild is
 //! property-tested under random edit scripts (`tests/dynamic_updates.rs`).
 
-use sd_graph::{CsrGraph, Dsu, DynamicGraph, VertexId};
+use sd_graph::{CsrGraph, Dsu, DynamicGraph, GraphUpdate, VertexId};
 use sd_truss::truss_decomposition;
 
 use crate::egonet::EgoNetwork;
-use crate::tsd::max_spanning_forest;
+use crate::tsd::{max_spanning_forest, TsdBuilder, TsdIndex};
 
 /// A TSD-index that stays consistent while the graph mutates.
 ///
@@ -60,6 +60,45 @@ impl DynamicTsd {
     /// An empty dynamic index.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Adopts an already-built static [`TsdIndex`] over `g` without
+    /// recomputing anything: the per-vertex forest slices are copied as-is
+    /// (`O(index size)`, no ego extraction or truss decomposition). This is
+    /// how a serving layer *carries* its TSD-index into a mutable session
+    /// instead of paying a full rebuild.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the index covers a different vertex count
+    /// than `g` — the caller pairs an index with the graph it was built
+    /// from (the fingerprinted envelope layer enforces this upstream).
+    pub fn from_index(g: &CsrGraph, index: &TsdIndex) -> Self {
+        debug_assert_eq!(g.n(), index.n(), "index and graph vertex counts must agree");
+        let forests = (0..g.n() as VertexId).map(|v| index.forest(v).collect()).collect();
+        DynamicTsd { graph: DynamicGraph::from_csr(g), forests }
+    }
+
+    /// Snapshots the maintained forests as a static [`TsdIndex`] — the
+    /// inverse of [`Self::from_index`], again a pure `O(index size)` copy.
+    /// The result equals `TsdIndex::build(&self.graph().to_csr())`
+    /// (property-tested in `tests/dynamic_updates.rs`) at none of its cost.
+    pub fn to_index(&self) -> TsdIndex {
+        let mut builder = TsdBuilder::new(self.n());
+        for forest in &self.forests {
+            builder.push_forest(forest);
+        }
+        builder.finish()
+    }
+
+    /// Applies one [`GraphUpdate`], repairing the affected forests.
+    /// Returns the number of ego-networks rebuilt — 0 iff the update was
+    /// rejected (duplicate/self-loop insert, absent remove); an applied
+    /// update always repairs at least its two endpoints.
+    pub fn apply(&mut self, update: GraphUpdate) -> usize {
+        match update {
+            GraphUpdate::Insert { u, v } => self.insert_edge(u, v),
+            GraphUpdate::Remove { u, v } => self.remove_edge(u, v),
+        }
     }
 
     /// Read access to the maintained graph.
@@ -249,6 +288,21 @@ mod tests {
         dynamic.insert_edge(0, 40);
         assert_eq!(dynamic.n(), 41);
         assert_eq!(dynamic.score(40, 2), 0);
+    }
+
+    #[test]
+    fn index_carry_roundtrips_and_stays_incremental() {
+        let (g, _, _) = paper_figure1_graph();
+        let built = TsdIndex::build(&g);
+        // Adopting a static index is a pure copy …
+        let mut dynamic = DynamicTsd::from_index(&g, &built);
+        assert_eq!(dynamic.to_index(), built, "carry must reproduce the static index exactly");
+        // … and the adopted state maintains correctly under edits.
+        assert!(dynamic.apply(GraphUpdate::Insert { u: 1, v: 6 }) >= 2);
+        assert_eq!(dynamic.apply(GraphUpdate::Insert { u: 1, v: 6 }), 0, "duplicate rejected");
+        assert!(dynamic.apply(GraphUpdate::Remove { u: 2, v: 5 }) >= 2);
+        let now = dynamic.graph().to_csr();
+        assert_eq!(dynamic.to_index(), TsdIndex::build(&now), "carried index == full rebuild");
     }
 
     #[test]

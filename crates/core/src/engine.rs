@@ -90,6 +90,14 @@ impl EngineKind {
         matches!(self, EngineKind::Tsd | EngineKind::Gct | EngineKind::Hybrid)
     }
 
+    /// Whether a cold engine of this kind is constructed inline on the
+    /// serving path — true for the index-free kinds, whose construction is
+    /// `O(1)`. The index-building kinds (TSD, GCT, Hybrid) go through the
+    /// [`crate::SearchService`] background build queue instead.
+    pub fn builds_inline(self) -> bool {
+        matches!(self, EngineKind::Online | EngineKind::Bound)
+    }
+
     /// Stable on-disk tag used by the [`crate::envelope::IndexEnvelope`]
     /// header. [`EngineKind::Auto`] has no tag (it never names a concrete
     /// index); tags are append-only across format revisions.
@@ -213,6 +221,15 @@ pub trait DiversityEngine: std::fmt::Debug + Send + Sync {
     /// the others return [`SearchError::SerializationUnsupported`]).
     fn to_bytes(&self) -> Result<Bytes, SearchError> {
         Err(SearchError::SerializationUnsupported { engine: self.name() })
+    }
+
+    /// The engine's [`TsdIndex`], if it is the TSD engine — the hook that
+    /// lets [`crate::SearchService::apply_updates`] *carry* an already-built
+    /// index into a [`crate::dynamic::DynamicTsd`] maintenance session
+    /// instead of rebuilding from scratch. Every other engine returns
+    /// `None`.
+    fn tsd_index(&self) -> Option<&TsdIndex> {
+        None
     }
 }
 
@@ -357,6 +374,10 @@ impl DiversityEngine for TsdEngine {
 
     fn to_bytes(&self) -> Result<Bytes, SearchError> {
         Ok(self.index.to_bytes())
+    }
+
+    fn tsd_index(&self) -> Option<&TsdIndex> {
+        Some(&self.index)
     }
 }
 

@@ -55,14 +55,20 @@
 //! |---|---|---|
 //! | 0 | 1 | engine tag ([`crate::EngineKind::tag`], unique per bundle) |
 //! | 1 | 3 | reserved (zero) |
-//! | 4 | 8 | payload length |
-//! | 12 | … | payload (the engine's own serialized form) |
+//! | 4 | 8 | FNV-1a checksum of the payload bytes |
+//! | 12 | 8 | payload length |
+//! | 20 | … | payload (the engine's own serialized form) |
 //!
 //! Decoding either format validates every length field before slicing, so
 //! truncation at any layer — header, entry header, payload — fails with a
 //! typed [`DecodeError`], never a panic. The two magics are distinct, so a
 //! single-index blob fed to [`IndexBundle::decode`] (or a bundle fed to
 //! [`IndexEnvelope::decode`]) is refused as [`DecodeError::BadMagic`].
+//! Since bundle format version 2 every entry additionally carries an FNV-1a
+//! checksum of its payload, so a bit flipped *inside* a payload is caught
+//! here as [`DecodeError::PayloadChecksum`] instead of relying on the index
+//! decoders' structural checks downstream (which cannot notice, say, a
+//! corrupted forest weight that still parses).
 
 use std::fmt;
 
@@ -88,14 +94,28 @@ pub const ENVELOPE_HEADER_BYTES: usize = 40;
 pub const BUNDLE_MAGIC: u32 = 0x5344_4942;
 
 /// Current bundle format version. Decoding rejects any other value with
-/// [`DecodeError::UnsupportedVersion`].
-pub const BUNDLE_VERSION: u16 = 1;
+/// [`DecodeError::UnsupportedVersion`]. Version 2 added the per-entry
+/// payload checksum; version-1 blobs (which lack it) are no longer read.
+pub const BUNDLE_VERSION: u16 = 2;
 
 /// Fixed size of the bundle header preceding the first entry.
 pub const BUNDLE_HEADER_BYTES: usize = 32;
 
 /// Fixed size of each bundle entry's header preceding its payload.
-pub const BUNDLE_ENTRY_HEADER_BYTES: usize = 12;
+pub const BUNDLE_ENTRY_HEADER_BYTES: usize = 20;
+
+/// The FNV-1a hash shared by [`GraphFingerprint`]'s edge checksum and the
+/// bundle entries' payload checksums.
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// Identity of a graph for index-attachment purposes: vertex count, edge
 /// count, and an FNV-1a checksum over the canonical (sorted, deduplicated)
@@ -116,15 +136,9 @@ impl GraphFingerprint {
     /// Computes the fingerprint of `g` in one `O(m)` pass over its canonical
     /// edge table.
     pub fn of(g: &CsrGraph) -> Self {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        for &(u, v) in g.edges() {
-            for byte in u.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        }
+        let h = fnv1a(
+            g.edges().iter().flat_map(|&(u, v)| u.to_le_bytes().into_iter().chain(v.to_le_bytes())),
+        );
         GraphFingerprint { n: g.n() as u64, m: g.m() as u64, edge_checksum: h }
     }
 }
@@ -286,6 +300,7 @@ impl IndexBundle {
             buf.put_u8(0); // reserved
             buf.put_u8(0);
             buf.put_u8(0);
+            buf.put_u64_le(fnv1a(payload.iter().copied()));
             buf.put_u64_le(payload.len() as u64);
             buf.extend_from_slice(payload);
         }
@@ -294,9 +309,12 @@ impl IndexBundle {
 
     /// Parses a blob produced by [`Self::encode`], validating the magic,
     /// version, entry count (zero entries are rejected), every entry's
-    /// engine tag (unknown and duplicated tags are rejected), and every
+    /// engine tag (unknown and duplicated tags are rejected), every
     /// length field (truncation at any layer, or trailing bytes after the
-    /// last entry, are rejected). Graph-identity validation is the
+    /// last entry, are rejected), and every entry's payload checksum
+    /// (corruption inside a payload is rejected as
+    /// [`DecodeError::PayloadChecksum`] before the index decoder ever sees
+    /// the bytes). Graph-identity validation is the
     /// *caller's* job — [`crate::SearchService::import_bundle`] compares
     /// [`Self::fingerprint`] against the target graph.
     pub fn decode(mut data: Bytes) -> Result<Self, DecodeError> {
@@ -331,11 +349,16 @@ impl IndexBundle {
                 return Err(DecodeError::DuplicateEngine { tag });
             }
             let _reserved = (data.get_u8(), data.get_u8(), data.get_u8());
+            let payload_checksum = data.get_u64_le();
             let payload_len = data.get_u64_le();
             if payload_len > data.remaining() as u64 {
                 return Err(DecodeError::Truncated);
             }
-            entries.push((kind, data.slice(0..payload_len as usize)));
+            let payload = data.slice(0..payload_len as usize);
+            if fnv1a(payload.as_ref().iter().copied()) != payload_checksum {
+                return Err(DecodeError::PayloadChecksum { tag });
+            }
+            entries.push((kind, payload));
             data.advance(payload_len as usize);
         }
         if data.remaining() != 0 {
@@ -505,6 +528,41 @@ mod tests {
         assert_eq!(
             IndexBundle::decode(tagged.into()),
             Err(DecodeError::UnknownEngine { tag: 0xEE })
+        );
+    }
+
+    #[test]
+    fn bundle_decode_rejects_corrupted_payloads() {
+        let good = sample_bundle().encode();
+
+        // Flip one byte inside the first entry's payload: the structural
+        // frame is intact, so only the checksum can catch it.
+        let mut corrupt = good.as_ref().to_vec();
+        corrupt[BUNDLE_HEADER_BYTES + BUNDLE_ENTRY_HEADER_BYTES] ^= 0x01;
+        assert_eq!(
+            IndexBundle::decode(corrupt.into()),
+            Err(DecodeError::PayloadChecksum { tag: EngineKind::Tsd.tag() })
+        );
+
+        // A tampered checksum field is equally fatal, even over an intact
+        // payload.
+        let mut forged = good.as_ref().to_vec();
+        forged[BUNDLE_HEADER_BYTES + 4] ^= 0xFF;
+        assert_eq!(
+            IndexBundle::decode(forged.into()),
+            Err(DecodeError::PayloadChecksum { tag: EngineKind::Tsd.tag() })
+        );
+
+        // Corruption in a *later* entry names that entry's tag.
+        let second = BUNDLE_HEADER_BYTES
+            + BUNDLE_ENTRY_HEADER_BYTES
+            + b"tsd-payload".len()
+            + BUNDLE_ENTRY_HEADER_BYTES;
+        let mut late = good.as_ref().to_vec();
+        late[second] ^= 0x02; // first payload byte of the GCT entry
+        assert_eq!(
+            IndexBundle::decode(late.into()),
+            Err(DecodeError::PayloadChecksum { tag: EngineKind::Gct.tag() })
         );
     }
 

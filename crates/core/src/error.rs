@@ -45,6 +45,15 @@ pub enum DecodeError {
     /// count) — decoding it would produce an index that panics at query
     /// time.
     InvalidEntry,
+    /// A bundle entry whose payload bytes hash to a different FNV-1a
+    /// checksum than its header records: the payload was corrupted (or
+    /// forged) after encoding. Caught at the frame layer, before the index
+    /// decoder's structural checks, which cannot notice corruption that
+    /// still parses.
+    PayloadChecksum {
+        /// Engine tag of the corrupted entry.
+        tag: u8,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -64,6 +73,9 @@ impl fmt::Display for DecodeError {
             DecodeError::EmptyBundle => write!(f, "index bundle carries no entries"),
             DecodeError::InvalidEntry => {
                 write!(f, "index blob carries an entry violating the format's invariants")
+            }
+            DecodeError::PayloadChecksum { tag } => {
+                write!(f, "bundle entry for engine tag {tag} fails its payload checksum")
             }
         }
     }
@@ -121,6 +133,10 @@ pub enum SearchError {
     /// engines — a request-side error, distinct from reading a forged
     /// zero-entry bundle off the wire ([`DecodeError::EmptyBundle`]).
     EmptyBundleRequest,
+    /// [`crate::SearchService::apply_updates`] was handed an empty batch.
+    /// Publishing an epoch costs a graph snapshot and engine invalidation,
+    /// so an empty batch is a caller bug, not a no-op.
+    EmptyUpdateBatch,
 }
 
 impl fmt::Display for SearchError {
@@ -149,6 +165,9 @@ impl fmt::Display for SearchError {
             }
             SearchError::EmptyBundleRequest => {
                 write!(f, "asked to export a bundle of zero engines")
+            }
+            SearchError::EmptyUpdateBatch => {
+                write!(f, "asked to apply an empty update batch")
             }
         }
     }

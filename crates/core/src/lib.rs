@@ -21,8 +21,11 @@
 //! Build one engine with [`build_engine`], or let a [`SearchService`] own
 //! the graph, build engines *in the background* behind per-kind locks
 //! (queries never block on index construction — a cold index engine is
-//! covered by the online fallback while a worker pool builds it), and
-//! resolve [`EngineKind::Auto`] by graph size and query rate — all through
+//! covered by an index-free fallback tier while a worker pool builds it),
+//! mutate the graph *under traffic* through epoch-swapped snapshots
+//! ([`SearchService::apply_updates`], which carries the TSD-index across
+//! epochs incrementally via [`dynamic::DynamicTsd`]), and resolve
+//! [`EngineKind::Auto`] by graph size and query rate — all through
 //! `&self`, so one service shared via `Arc` serves any number of threads:
 //!
 //! ```
@@ -81,8 +84,8 @@ pub use engine::{
     QuerySpec, TsdEngine,
 };
 pub use envelope::{
-    GraphFingerprint, IndexBundle, IndexEnvelope, BUNDLE_MAGIC, BUNDLE_VERSION, ENVELOPE_MAGIC,
-    ENVELOPE_VERSION,
+    GraphFingerprint, IndexBundle, IndexEnvelope, BUNDLE_ENTRY_HEADER_BYTES, BUNDLE_HEADER_BYTES,
+    BUNDLE_MAGIC, BUNDLE_VERSION, ENVELOPE_HEADER_BYTES, ENVELOPE_MAGIC, ENVELOPE_VERSION,
 };
 pub use error::{DecodeError, SearchError};
 pub use gct::{GctIndex, BITMAP_FALLBACK_THRESHOLD};
@@ -90,7 +93,10 @@ pub use hybrid::HybridIndex;
 pub use online::all_scores;
 pub use paper::{paper_figure18_graph, paper_figure1_edges, paper_figure1_graph};
 pub use score::{score, social_contexts, EgoDecomposition};
-pub use service::{SearchService, ServiceStats, AUTO_SMALL_GRAPH_EDGES, AUTO_WARMUP_QUERIES};
+pub use sd_graph::GraphUpdate;
+pub use service::{
+    SearchService, ServiceStats, UpdateStats, AUTO_SMALL_GRAPH_EDGES, AUTO_WARMUP_QUERIES,
+};
 pub use tcp::{ktruss_communities, TcpIndex};
 pub use topr::TopRCollector;
 pub use tsd::{TsdBuilder, TsdIndex};

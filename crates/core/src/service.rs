@@ -1,41 +1,58 @@
 //! [`SearchService`]: the concurrent serving layer — one shared graph, five
-//! lazily built engines, `&self` queries from any number of threads, and a
-//! background build queue so no query ever blocks on index construction.
+//! lazily built engines, `&self` queries from any number of threads, a
+//! background build queue so no query ever blocks on index construction,
+//! and **epoch-swapped snapshots** so the graph itself can mutate under
+//! traffic.
 //!
 //! The paper frames structural diversity search as an *online service* over
 //! a large social graph; a production deployment answers many `(k, r)`
-//! queries concurrently against the same immutable graph. `SearchService`
-//! is built for exactly that shape:
+//! queries concurrently against a graph that keeps evolving (Section 5.3's
+//! dynamic-update remark). `SearchService` is built for exactly that shape:
 //!
-//! * the graph lives behind an `Arc<CsrGraph>` and is never mutated;
+//! * all per-graph state — the `Arc<CsrGraph>`, its [`GraphFingerprint`],
+//!   and the five engine slots — lives in one immutable *epoch*; queries
+//!   clone the current epoch's `Arc` and run entirely against that
+//!   snapshot, so a concurrent [`SearchService::apply_updates`] can never
+//!   tear a query between two graphs;
 //! * each engine slot is an interior-mutable cache (`RwLock` per
 //!   [`EngineKind`]) holding an `Arc<dyn DiversityEngine>`; construction
 //!   happens under the slot's write lock, double-checked, so every engine
-//!   is built exactly once no matter how many threads race;
+//!   is built exactly once per epoch no matter how many threads race;
 //! * **queries never wait for an index build**: [`SearchService::top_r`]
 //!   on a cold TSD/GCT/Hybrid engine enqueues the build onto a small
 //!   worker pool (a `crossbeam` channel feeding detached builder threads)
-//!   and answers the in-flight query via the always-available [`Online`]
-//!   engine, so first-query tail latency is bounded by the online scan
-//!   instead of an index construction — the fallback is sound because all
+//!   and answers the in-flight query via an index-free fallback — a cached
+//!   [`Bound`] engine when one exists, the always-available [`Online`]
+//!   scan otherwise — so first-query tail latency is bounded by a scan
+//!   instead of an index construction; the fallback is sound because all
 //!   engines return identical score multisets (`tests/differential.rs`);
-//! * [`SearchService::warmup`] is likewise non-blocking (it enqueues); the
-//!   matching join is [`SearchService::wait_ready`], which returns once
-//!   the named engines are built — lending the calling thread to any build
-//!   not yet started, so it can never wait on an empty queue;
-//! * query, build, and fallback counters are atomics, surfaced as
-//!   [`ServiceStats`] (including `background_builds` and
-//!   `foreground_fallbacks`);
+//! * **the graph is mutable under traffic**:
+//!   [`SearchService::apply_updates`] applies a batch of edge
+//!   insertions/deletions, carries the TSD-index across *incrementally*
+//!   (the [`DynamicTsd`] affected-ego-network repair — only the endpoints'
+//!   and their common neighbors' forests are recomputed, never the whole
+//!   index), derives the O(1) engines, re-enqueues the invalidated ones,
+//!   and publishes the next epoch with a single pointer swap; in-flight
+//!   queries keep reading their snapshot, new queries see the new graph;
+//! * [`SearchService::warmup`] is non-blocking (it enqueues); the matching
+//!   join is [`SearchService::wait_ready`], which returns once the named
+//!   engines are built — lending the calling thread to any build not yet
+//!   started, so it can never wait on an empty queue;
+//! * query, build, fallback, and epoch counters are atomics, surfaced as
+//!   [`ServiceStats`] (including `epochs`, `updates_applied`, and
+//!   `incremental_tsd_carries`);
 //! * persistence goes through fingerprinted frames: one index per blob via
 //!   [`SearchService::export_index`] / [`SearchService::import_index`], or
 //!   every serializable index behind a single fingerprint via
 //!   [`SearchService::export_bundle`] / [`SearchService::import_bundle`].
-//!   Both import paths refuse blobs from any other graph.
+//!   The fingerprint is recomputed for every epoch, so both import paths
+//!   refuse blobs from any other graph — including this service's *own*
+//!   pre-update epochs.
 //!
 //! ```
 //! use std::sync::Arc;
 //! use sd_core::{paper_figure1_edges, EngineKind, QuerySpec, SearchService};
-//! use sd_graph::GraphBuilder;
+//! use sd_graph::{GraphBuilder, GraphUpdate};
 //!
 //! let g = GraphBuilder::new().extend_edges(paper_figure1_edges()).build();
 //! let service = Arc::new(SearchService::new(g));
@@ -52,21 +69,31 @@
 //! };
 //! assert_eq!(service.top_r(&spec)?.entries[0].score, 3);
 //! assert_eq!(handle.join().unwrap()?, 3);
+//!
+//! // The graph mutates *under* that traffic: the TSD-index is carried
+//! // incrementally into the new epoch, not rebuilt.
+//! let stats = service.apply_updates(&[GraphUpdate::Remove { u: 2, v: 5 }])?;
+//! assert_eq!((stats.applied, stats.tsd_carried), (1, true));
+//! assert_eq!(service.top_r(&spec.with_engine(EngineKind::Tsd))?.entries[0].score, 3);
 //! # Ok::<(), sd_core::SearchError>(())
 //! ```
 //!
 //! [`Online`]: EngineKind::Online
+//! [`Bound`]: EngineKind::Bound
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use sd_graph::CsrGraph;
+use sd_graph::{CsrGraph, GraphUpdate};
 
 use crate::config::TopRResult;
-use crate::engine::{build_engine, decode_engine, DiversityEngine, EngineKind, QuerySpec};
+use crate::dynamic::DynamicTsd;
+use crate::engine::{
+    build_engine, decode_engine, DiversityEngine, EngineKind, QuerySpec, TsdEngine,
+};
 use crate::envelope::{GraphFingerprint, IndexBundle, IndexEnvelope};
 use crate::error::SearchError;
 
@@ -92,8 +119,8 @@ const BUILD_WORKERS: usize = 2;
 
 /// One engine slot: a lazily initialized, concurrently readable cache.
 /// Construction happens *under the write lock* (double-checked), which is
-/// what makes "exactly one build per kind" a structural guarantee rather
-/// than a counter discipline.
+/// what makes "exactly one build per kind per epoch" a structural guarantee
+/// rather than a counter discipline.
 type EngineSlot = RwLock<Option<Arc<dyn DiversityEngine>>>;
 
 /// Snapshot of a service's atomic counters ([`SearchService::stats`]).
@@ -101,18 +128,29 @@ type EngineSlot = RwLock<Option<Arc<dyn DiversityEngine>>>;
 pub struct ServiceStats {
     /// Successful queries served over the service's lifetime.
     pub queries_served: usize,
-    /// Engines constructed (cache misses; never exceeds 5 unless indexes
-    /// are re-imported).
+    /// Engines constructed (cache misses across all epochs; grows past 5
+    /// when updates publish new epochs or indexes are re-imported).
     pub engines_built: usize,
     /// Engines constructed by the background worker pool (a subset of
     /// `engines_built`).
     pub background_builds: usize,
     /// Queries that arrived while their engine was cold and were served by
-    /// the online fallback instead of waiting for the build.
+    /// an index-free fallback instead of waiting for the build.
     pub foreground_fallbacks: usize,
+    /// Epochs published so far; 1 until the first successful
+    /// [`SearchService::apply_updates`].
+    pub epochs: usize,
+    /// Edge updates that mutated the graph over the service's lifetime
+    /// (rejected no-ops are not counted).
+    pub updates_applied: usize,
+    /// Epoch publications whose TSD-index was carried *incrementally* —
+    /// repaired per affected ego-network from retained state — rather than
+    /// built from scratch. At most one less than `epochs`.
+    pub incremental_tsd_carries: usize,
     /// Successful queries answered per concrete engine, in
     /// [`EngineKind::ALL`] order. Fallback-served queries count toward the
-    /// engine that actually answered ([`EngineKind::Online`]).
+    /// engine that actually answered ([`EngineKind::Online`] or
+    /// [`EngineKind::Bound`]).
     pub queries_by_engine: [usize; 5],
 }
 
@@ -127,16 +165,89 @@ impl ServiceStats {
     }
 }
 
-/// The shared interior of a [`SearchService`]: everything the background
-/// builder threads need to outlive the facade that spawned them.
-struct ServiceCore {
+/// Outcome of one [`SearchService::apply_updates`] batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// The epoch serving once this call returned. Unchanged from before the
+    /// call if the whole batch was rejected (`applied == 0`).
+    pub epoch: u64,
+    /// Updates that mutated the graph.
+    pub applied: usize,
+    /// Updates rejected as no-ops (duplicate or self-loop inserts, removes
+    /// of absent edges).
+    pub rejected: usize,
+    /// Ego-network forests the incremental TSD maintenance rebuilt — the
+    /// actual repair work, `2 + |N(u) ∩ N(v)|` per applied update, in place
+    /// of a full `O(n)`-forest rebuild.
+    pub tsd_repairs: usize,
+    /// Whether the new epoch's TSD-index was carried from retained state
+    /// (an earlier batch's [`DynamicTsd`] or an already-built TSD engine)
+    /// rather than seeded by a from-scratch build in this call.
+    pub tsd_carried: bool,
+    /// Vertex count of the published graph.
+    pub n: usize,
+    /// Edge count of the published graph.
+    pub m: usize,
+}
+
+/// Everything per-graph: one immutable serving snapshot. Queries pin an
+/// epoch by cloning its `Arc` and never observe a later one mid-flight;
+/// [`SearchService::apply_updates`] builds the next epoch off to the side
+/// and publishes it with a single pointer swap.
+struct EpochState {
+    /// Monotonic epoch number (0 = construction).
+    id: u64,
     graph: Arc<CsrGraph>,
     fingerprint: GraphFingerprint,
     /// One slot per concrete engine, in [`EngineKind::ALL`] order.
     slots: [EngineSlot; 5],
-    /// One latch per slot: set by the first thread to enqueue that kind,
-    /// so a cold-start spike of N threads produces one queue entry, not N.
+    /// One latch per slot: set by the first thread to enqueue that kind in
+    /// this epoch, so a cold-start spike of N threads produces one queue
+    /// entry, not N.
     scheduled: [AtomicBool; 5],
+}
+
+impl EpochState {
+    /// A fresh epoch over `graph`: fingerprint computed (`O(m)`), all
+    /// engine slots cold.
+    fn over(id: u64, graph: Arc<CsrGraph>) -> Self {
+        let fingerprint = GraphFingerprint::of(&graph);
+        EpochState {
+            id,
+            graph,
+            fingerprint,
+            slots: std::array::from_fn(|_| RwLock::new(None)),
+            scheduled: std::array::from_fn(|_| AtomicBool::new(false)),
+        }
+    }
+
+    /// Non-blocking cache probe: `None` both when the engine was never
+    /// built and while it is *being* built (the builder holds the write
+    /// lock), which is exactly the "not ready, don't wait" answer the
+    /// serving path needs.
+    fn cached(&self, kind: EngineKind) -> Option<Arc<dyn DiversityEngine>> {
+        self.slots[ServiceCore::slot(kind)].try_read()?.clone()
+    }
+
+    fn is_built(&self, kind: EngineKind) -> bool {
+        self.cached(kind).is_some()
+    }
+
+    /// Whether `kind` is either built or latched for a background build in
+    /// this epoch — i.e. traffic (or warmup) has expressed interest in it.
+    fn is_live(&self, kind: EngineKind) -> bool {
+        self.is_built(kind) || self.scheduled[ServiceCore::slot(kind)].load(Ordering::Relaxed)
+    }
+}
+
+/// The shared interior of a [`SearchService`]: everything the background
+/// builder threads need to outlive the facade that spawned them. Lifetime
+/// counters live here; per-graph state lives in the current [`EpochState`].
+struct ServiceCore {
+    /// The serving epoch. Readers clone the `Arc` under the read lock (a
+    /// pointer copy); [`SearchService::apply_updates`] swaps it under the
+    /// write lock. This is the *only* lock a query shares with an update.
+    current: RwLock<Arc<EpochState>>,
     /// Set when the owning `SearchService` drops; workers drain the queue
     /// without building.
     shutdown: AtomicBool,
@@ -144,6 +255,9 @@ struct ServiceCore {
     engines_built: AtomicUsize,
     background_builds: AtomicUsize,
     foreground_fallbacks: AtomicUsize,
+    epochs: AtomicUsize,
+    updates_applied: AtomicUsize,
+    incremental_tsd_carries: AtomicUsize,
     queries_by_slot: [AtomicUsize; 5],
 }
 
@@ -159,19 +273,21 @@ impl ServiceCore {
         }
     }
 
-    /// Non-blocking cache probe: `None` both when the engine was never
-    /// built and while it is *being* built (the builder holds the write
-    /// lock), which is exactly the "not ready, don't wait" answer the
-    /// serving path needs.
-    fn cached(&self, kind: EngineKind) -> Option<Arc<dyn DiversityEngine>> {
-        self.slots[Self::slot(kind)].try_read()?.clone()
+    /// The serving epoch, pinned: the returned snapshot stays valid (and
+    /// immutable) however many updates publish after this call.
+    fn current(&self) -> Arc<EpochState> {
+        self.current.read().clone()
     }
 
-    /// The engine of `kind`, built on the calling thread if absent.
-    /// Blocks while another thread builds the same kind (and then reuses
-    /// that build); returns whether *this* call performed the build.
-    fn build_if_absent(&self, kind: EngineKind) -> (Arc<dyn DiversityEngine>, bool) {
-        let slot = &self.slots[Self::slot(kind)];
+    /// The engine of `kind` in `epoch`, built on the calling thread if
+    /// absent. Blocks while another thread builds the same kind (and then
+    /// reuses that build); returns whether *this* call performed the build.
+    fn build_if_absent(
+        &self,
+        epoch: &EpochState,
+        kind: EngineKind,
+    ) -> (Arc<dyn DiversityEngine>, bool) {
+        let slot = &epoch.slots[Self::slot(kind)];
         if let Some(engine) = slot.read().as_ref() {
             return (engine.clone(), false);
         }
@@ -180,35 +296,40 @@ impl ServiceCore {
         if let Some(engine) = guard.as_ref() {
             return (engine.clone(), false);
         }
-        let engine: Arc<dyn DiversityEngine> = Arc::from(build_engine(kind, self.graph.clone()));
+        let engine: Arc<dyn DiversityEngine> = Arc::from(build_engine(kind, epoch.graph.clone()));
         self.engines_built.fetch_add(1, Ordering::Relaxed);
         *guard = Some(engine.clone());
         (engine, true)
     }
 
-    /// Installs an externally decoded engine, replacing any cached one.
-    fn install(&self, kind: EngineKind, engine: Arc<dyn DiversityEngine>) {
+    /// Installs an externally produced engine into `epoch`, replacing any
+    /// cached one.
+    fn install(&self, epoch: &EpochState, kind: EngineKind, engine: Arc<dyn DiversityEngine>) {
         self.engines_built.fetch_add(1, Ordering::Relaxed);
-        *self.slots[Self::slot(kind)].write() = Some(engine);
+        *epoch.slots[Self::slot(kind)].write() = Some(engine);
     }
 
     /// The background worker loop: drain build requests until the channel
-    /// closes (the owning service dropped every sender). Requests for a
-    /// kind that got built in the meantime — by `wait_ready`, a blocking
-    /// `engine()` call, or an import — are no-ops.
+    /// closes (the owning service dropped every sender). Every request is
+    /// resolved against the epoch current *at processing time* — a request
+    /// that raced an [`SearchService::apply_updates`] warms the live graph,
+    /// never a superseded snapshot. Requests for a kind that got built in
+    /// the meantime — by `wait_ready`, a blocking `engine()` call, or an
+    /// import — are no-ops.
     ///
     /// A panicking build is contained here: the worker survives, and the
     /// kind's schedule latch is reset so a later query (or `wait_ready`,
     /// which would surface the panic on the caller's thread) can retry —
-    /// without this, one panic would silently pin that kind to the online
-    /// fallback for the service's whole lifetime.
+    /// without this, one panic would silently pin that kind to the
+    /// fallback for the epoch's whole lifetime.
     fn build_worker(self: Arc<Self>, rx: crossbeam::channel::Receiver<EngineKind>) {
         while let Ok(kind) = rx.recv() {
             if self.shutdown.load(Ordering::Relaxed) {
                 continue;
             }
+            let epoch = self.current();
             let build = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.build_if_absent(kind)
+                self.build_if_absent(&epoch, kind)
             }));
             match build {
                 Ok((_, built)) => {
@@ -216,7 +337,7 @@ impl ServiceCore {
                         self.background_builds.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                Err(_) => self.scheduled[Self::slot(kind)].store(false, Ordering::Relaxed),
+                Err(_) => epoch.scheduled[Self::slot(kind)].store(false, Ordering::Relaxed),
             }
         }
     }
@@ -225,8 +346,10 @@ impl ServiceCore {
 /// Thread-safe facade over the five engines: owns the graph, builds
 /// engines in the background behind per-kind locks, routes [`QuerySpec`]s
 /// (including [`EngineKind::Auto`]) through `&self` methods without ever
-/// blocking a query on index construction, and imports/exports indexes as
-/// fingerprinted envelopes or multi-index bundles.
+/// blocking a query on index construction, mutates the graph under traffic
+/// via epoch-swapped snapshots ([`Self::apply_updates`]), and
+/// imports/exports indexes as fingerprinted envelopes or multi-index
+/// bundles.
 ///
 /// Share it as `Arc<SearchService>`; every method takes `&self`.
 ///
@@ -236,13 +359,19 @@ impl ServiceCore {
 pub struct SearchService {
     core: Arc<ServiceCore>,
     build_tx: crossbeam::channel::Sender<EngineKind>,
+    /// Serializes writers and retains the incremental TSD maintenance
+    /// state between batches. Held only by [`Self::apply_updates`] — the
+    /// query path never touches it.
+    updater: Mutex<Option<DynamicTsd>>,
 }
 
 impl std::fmt::Debug for SearchService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let epoch = self.core.current();
         f.debug_struct("SearchService")
-            .field("n", &self.core.graph.n())
-            .field("m", &self.core.graph.m())
+            .field("epoch", &epoch.id)
+            .field("n", &epoch.graph.n())
+            .field("m", &epoch.graph.m())
             .field("built", &self.built_engines())
             .field("queries_served", &self.queries_served())
             .finish()
@@ -260,26 +389,25 @@ impl Drop for SearchService {
 
 impl SearchService {
     /// A service over `graph`. No engine is built yet; the graph's
-    /// fingerprint is computed once, up front (`O(m)`), and the background
-    /// builder pool is started (idle until a cold query or a warmup
-    /// enqueues work).
+    /// fingerprint is computed once per epoch, up front (`O(m)`), and the
+    /// background builder pool is started (idle until a cold query or a
+    /// warmup enqueues work).
     pub fn new(graph: CsrGraph) -> Self {
         Self::from_arc(Arc::new(graph))
     }
 
     /// As [`Self::new`] over an already-shared graph.
     pub fn from_arc(graph: Arc<CsrGraph>) -> Self {
-        let fingerprint = GraphFingerprint::of(&graph);
         let core = Arc::new(ServiceCore {
-            graph,
-            fingerprint,
-            slots: std::array::from_fn(|_| RwLock::new(None)),
-            scheduled: std::array::from_fn(|_| AtomicBool::new(false)),
+            current: RwLock::new(Arc::new(EpochState::over(0, graph))),
             shutdown: AtomicBool::new(false),
             queries_served: AtomicUsize::new(0),
             engines_built: AtomicUsize::new(0),
             background_builds: AtomicUsize::new(0),
             foreground_fallbacks: AtomicUsize::new(0),
+            epochs: AtomicUsize::new(1),
+            updates_applied: AtomicUsize::new(0),
+            incremental_tsd_carries: AtomicUsize::new(0),
             queries_by_slot: std::array::from_fn(|_| AtomicUsize::new(0)),
         });
         let (build_tx, build_rx) = crossbeam::channel::unbounded();
@@ -288,22 +416,31 @@ impl SearchService {
             let rx = build_rx.clone();
             std::thread::spawn(move || core.build_worker(rx));
         }
-        SearchService { core, build_tx }
+        SearchService { core, build_tx, updater: Mutex::new(None) }
     }
 
-    /// The graph every engine answers queries about.
-    pub fn graph(&self) -> &CsrGraph {
-        &self.core.graph
+    /// The graph the *current* epoch answers queries about, as a pinned
+    /// snapshot: the returned `Arc` stays valid (and unchanged) however
+    /// many [`Self::apply_updates`] batches publish after this call.
+    pub fn graph(&self) -> Arc<CsrGraph> {
+        self.core.current().graph.clone()
     }
 
-    /// A shared handle to the graph (for building engines elsewhere).
+    /// Alias of [`Self::graph`], kept for 0.4 callers.
     pub fn graph_arc(&self) -> Arc<CsrGraph> {
-        self.core.graph.clone()
+        self.graph()
     }
 
-    /// The graph's identity as recorded in exported envelopes and bundles.
+    /// The current epoch's identity as recorded in exported envelopes and
+    /// bundles. Changes whenever [`Self::apply_updates`] publishes.
     pub fn fingerprint(&self) -> GraphFingerprint {
-        self.core.fingerprint
+        self.core.current().fingerprint
+    }
+
+    /// The current epoch number: 0 at construction, +1 per published
+    /// update batch.
+    pub fn epoch(&self) -> u64 {
+        self.core.current().id
     }
 
     /// Queries served so far (feeds the [`EngineKind::Auto`] heuristic).
@@ -320,24 +457,24 @@ impl SearchService {
             engines_built: self.core.engines_built.load(Ordering::Relaxed),
             background_builds: self.core.background_builds.load(Ordering::Relaxed),
             foreground_fallbacks: self.core.foreground_fallbacks.load(Ordering::Relaxed),
+            epochs: self.core.epochs.load(Ordering::Relaxed),
+            updates_applied: self.core.updates_applied.load(Ordering::Relaxed),
+            incremental_tsd_carries: self.core.incremental_tsd_carries.load(Ordering::Relaxed),
             queries_by_engine: std::array::from_fn(|i| {
                 self.core.queries_by_slot[i].load(Ordering::Relaxed)
             }),
         }
     }
 
-    /// The kinds of engines built and ready to serve. An engine still under
-    /// construction is not listed.
+    /// The kinds of engines built and ready to serve in the current epoch.
+    /// An engine still under construction is not listed.
     pub fn built_engines(&self) -> Vec<EngineKind> {
-        EngineKind::ALL.into_iter().filter(|&k| self.is_built(k)).collect()
+        let epoch = self.core.current();
+        EngineKind::ALL.into_iter().filter(|&k| epoch.is_built(k)).collect()
     }
 
     pub(crate) fn slot(kind: EngineKind) -> usize {
         ServiceCore::slot(kind)
-    }
-
-    fn is_built(&self, kind: EngineKind) -> bool {
-        self.core.cached(kind).is_some()
     }
 
     /// Resolves [`EngineKind::Auto`] against the current state:
@@ -350,14 +487,18 @@ impl SearchService {
     /// Concrete kinds resolve to themselves. An engine whose background
     /// build is still running counts as not-yet-built.
     pub fn resolve(&self, kind: EngineKind) -> EngineKind {
+        self.resolve_on(&self.core.current(), kind)
+    }
+
+    fn resolve_on(&self, epoch: &EpochState, kind: EngineKind) -> EngineKind {
         if kind != EngineKind::Auto {
             return kind;
         }
-        if self.is_built(EngineKind::Gct) {
+        if epoch.is_built(EngineKind::Gct) {
             EngineKind::Gct
-        } else if self.is_built(EngineKind::Tsd) {
+        } else if epoch.is_built(EngineKind::Tsd) {
             EngineKind::Tsd
-        } else if self.core.graph.m() <= AUTO_SMALL_GRAPH_EDGES
+        } else if epoch.graph.m() <= AUTO_SMALL_GRAPH_EDGES
             || self.queries_served() >= AUTO_WARMUP_QUERIES
         {
             EngineKind::Gct
@@ -366,18 +507,11 @@ impl SearchService {
         }
     }
 
-    /// Whether a cold engine of this kind is built inline on the serving
-    /// path (construction is O(1) — no index) rather than in the
-    /// background.
-    fn builds_inline(kind: EngineKind) -> bool {
-        matches!(kind, EngineKind::Online | EngineKind::Bound)
-    }
-
-    /// Enqueues a background build for `kind` exactly once per service
-    /// lifetime (later calls are no-ops, as are queue entries for a kind
-    /// that got built through another path first).
-    fn schedule_build(&self, kind: EngineKind) {
-        let latch = &self.core.scheduled[Self::slot(kind)];
+    /// Enqueues a background build for `kind` exactly once per epoch
+    /// (later calls are no-ops, as are queue entries for a kind that got
+    /// built through another path first).
+    fn schedule_build(&self, epoch: &EpochState, kind: EngineKind) {
+        let latch = &epoch.scheduled[Self::slot(kind)];
         if latch.compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
             // Send only fails once every receiver is gone (the workers hold
             // theirs for as long as `self` exists, and they contain build
@@ -397,7 +531,9 @@ impl SearchService {
     /// index engines; use `warmup` + `wait_ready` to prebuild without
     /// blocking.
     pub fn engine(&self, kind: EngineKind) -> Arc<dyn DiversityEngine> {
-        self.core.build_if_absent(self.resolve(kind)).0
+        let epoch = self.core.current();
+        let kind = self.resolve_on(&epoch, kind);
+        self.core.build_if_absent(&epoch, kind).0
     }
 
     /// Enqueues builds for the given engines without blocking on any of
@@ -407,58 +543,220 @@ impl SearchService {
     /// Returns the concrete kinds now building or built, deduplicated, in
     /// [`EngineKind::ALL`] order. Join with [`Self::wait_ready`].
     pub fn warmup(&self, kinds: impl IntoIterator<Item = EngineKind>) -> Vec<EngineKind> {
+        let epoch = self.core.current();
         let mut warmed = [false; 5];
         for kind in kinds {
-            let kind = self.resolve(kind);
+            let kind = self.resolve_on(&epoch, kind);
             warmed[Self::slot(kind)] = true;
-            if Self::builds_inline(kind) {
-                self.core.build_if_absent(kind);
+            if kind.builds_inline() {
+                self.core.build_if_absent(&epoch, kind);
             } else {
-                self.schedule_build(kind);
+                self.schedule_build(&epoch, kind);
             }
         }
         EngineKind::ALL.into_iter().filter(|&k| warmed[Self::slot(k)]).collect()
     }
 
-    /// Blocks until every named engine is built and returns the concrete
-    /// kinds waited on, deduplicated, in [`EngineKind::ALL`] order — the
-    /// join half of the non-blocking [`Self::warmup`].
+    /// Blocks until every named engine is built in the current epoch and
+    /// returns the concrete kinds waited on, deduplicated, in
+    /// [`EngineKind::ALL`] order — the join half of the non-blocking
+    /// [`Self::warmup`].
     ///
     /// A kind whose background build is in flight is joined (construction
     /// happens under the slot's write lock, so waiting for that lock *is*
     /// the join); a kind nobody scheduled is simply built on the calling
     /// thread. Either way the engine exists when this returns, and the
-    /// per-kind build still happens exactly once.
+    /// per-kind build still happens exactly once per epoch.
     pub fn wait_ready(&self, kinds: impl IntoIterator<Item = EngineKind>) -> Vec<EngineKind> {
+        let epoch = self.core.current();
         let mut waited = [false; 5];
         for kind in kinds {
-            let kind = self.resolve(kind);
+            let kind = self.resolve_on(&epoch, kind);
             waited[Self::slot(kind)] = true;
-            self.core.build_if_absent(kind);
+            self.core.build_if_absent(&epoch, kind);
         }
         EngineKind::ALL.into_iter().filter(|&k| waited[Self::slot(k)]).collect()
     }
 
+    /// Applies a batch of edge updates and publishes the result as the
+    /// next epoch — **without blocking concurrent queries**, which keep
+    /// serving from whatever epoch they pinned.
+    ///
+    /// The heart of the call is the *incremental TSD carry*: instead of
+    /// rebuilding the TSD-index for the new graph (`O(Σ ρ_v · m_v)` over
+    /// all vertices), the service retains a [`DynamicTsd`] across batches —
+    /// seeded, the first time, from the current epoch's already-built TSD
+    /// engine when there is one — and repairs only the ego-networks an
+    /// update actually touches (its endpoints and their common neighbors,
+    /// the Section 5.3 strategy). The repaired index is then snapshotted
+    /// (`O(index size)` copy, no decomposition) and pre-installed in the
+    /// new epoch, so TSD queries never go cold across an update. Of the
+    /// other engines: the O(1) index-free kinds that were live are derived
+    /// inline, and live GCT/Hybrid engines are re-enqueued onto the
+    /// background build queue (they serve via the fallback until their
+    /// rebuild lands).
+    ///
+    /// Writers are serialized (batches apply in call order); the query
+    /// path is affected only by the final pointer swap. A batch in which
+    /// *no* update applies (all duplicates/self-loops/absent removes)
+    /// publishes nothing and leaves the epoch untouched; an empty batch is
+    /// an error ([`SearchError::EmptyUpdateBatch`]).
+    ///
+    /// Exported envelopes and bundles from superseded epochs no longer
+    /// match [`Self::fingerprint`], so re-importing them fails with
+    /// [`SearchError::FingerprintMismatch`] — stale indexes cannot be
+    /// smuggled past an update.
+    pub fn apply_updates(&self, batch: &[GraphUpdate]) -> Result<UpdateStats, SearchError> {
+        if batch.is_empty() {
+            return Err(SearchError::EmptyUpdateBatch);
+        }
+        let mut retained = self.updater.lock();
+        let old = self.core.current();
+
+        // Seed or carry the incremental maintenance state. Anything but a
+        // cold start (no retained state, no built TSD engine) is a carry.
+        // The seed probe *blocks* on the slot lock — unlike the serving
+        // path's `cached` — so an in-flight background TSD build is joined
+        // and carried rather than duplicated by a from-scratch rebuild.
+        let mut carried = true;
+        let mut tsd = match retained.take() {
+            Some(tsd) => tsd,
+            None => match old.slots[Self::slot(EngineKind::Tsd)].read().clone() {
+                Some(engine) => {
+                    let index = engine.tsd_index().expect("TSD slot holds the TSD engine");
+                    DynamicTsd::from_index(&old.graph, index)
+                }
+                None => {
+                    // Cold start: seeding costs a full TSD build, so first
+                    // make sure the batch mutates anything at all — an
+                    // idempotent replay (all duplicates/absent removes)
+                    // must return in adjacency-copy time, not index-build
+                    // time.
+                    let mut probe = sd_graph::DynamicGraph::from_csr(&old.graph);
+                    if probe.apply_batch(batch).applied == 0 {
+                        return Ok(UpdateStats {
+                            epoch: old.id,
+                            applied: 0,
+                            rejected: batch.len(),
+                            tsd_repairs: 0,
+                            tsd_carried: false,
+                            n: old.graph.n(),
+                            m: old.graph.m(),
+                        });
+                    }
+                    carried = false;
+                    DynamicTsd::from_csr(&old.graph)
+                }
+            },
+        };
+
+        let (mut applied, mut rejected, mut repairs) = (0usize, 0usize, 0usize);
+        for &update in batch {
+            match tsd.apply(update) {
+                0 => rejected += 1,
+                r => {
+                    applied += 1;
+                    repairs += r;
+                }
+            }
+        }
+
+        if applied == 0 {
+            // Pure no-op batch: retain the state, publish nothing.
+            *retained = Some(tsd);
+            return Ok(UpdateStats {
+                epoch: old.id,
+                applied: 0,
+                rejected,
+                tsd_repairs: 0,
+                tsd_carried: false,
+                n: old.graph.n(),
+                m: old.graph.m(),
+            });
+        }
+
+        // Assemble the next epoch off to the side: snapshot the mutated
+        // graph, recompute its fingerprint, and pre-install the carried
+        // TSD engine so it is warm before anyone can query it.
+        let graph = Arc::new(tsd.graph().to_csr());
+        let next = Arc::new(EpochState::over(old.id + 1, graph.clone()));
+        let tsd_engine = TsdEngine::from_parts(graph.clone(), tsd.to_index())
+            .expect("maintained index covers exactly the maintained graph");
+        self.core.install(&next, EngineKind::Tsd, Arc::new(tsd_engine));
+
+        // Publish: one pointer swap. In-flight queries keep their pinned
+        // epoch; everything after this line sees the new graph.
+        *self.core.current.write() = next.clone();
+        self.core.epochs.fetch_add(1, Ordering::Relaxed);
+        self.core.updates_applied.fetch_add(applied, Ordering::Relaxed);
+        if carried {
+            self.core.incremental_tsd_carries.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Re-establish the engines the old epoch was serving: the O(1)
+        // kinds are derived inline; invalidated index engines re-enter the
+        // background queue (now targeting the published epoch) and their
+        // queries ride the fallback until the rebuild lands.
+        for kind in EngineKind::ALL {
+            if kind == EngineKind::Tsd || !old.is_live(kind) {
+                continue;
+            }
+            if kind.builds_inline() {
+                self.core.build_if_absent(&next, kind);
+            } else {
+                self.schedule_build(&next, kind);
+            }
+        }
+
+        *retained = Some(tsd);
+        Ok(UpdateStats {
+            epoch: next.id,
+            applied,
+            rejected,
+            tsd_repairs: repairs,
+            tsd_carried: carried,
+            n: graph.n(),
+            m: graph.m(),
+        })
+    }
+
     /// Answers one top-r query, routing by the spec's engine kind —
-    /// **never blocking on index construction**. A query routed to a cold
-    /// TSD/GCT/Hybrid engine schedules its build in the background and is
-    /// served by the online engine instead (identical answers, bounded
-    /// latency); once the build lands, later queries use the index. The
-    /// result's metrics name the engine that actually answered.
+    /// **never blocking on index construction**, and always against one
+    /// consistent epoch snapshot. A query routed to a cold TSD/GCT/Hybrid
+    /// engine schedules its build in the background and is served by an
+    /// index-free fallback instead (identical answers, bounded latency):
+    /// a cached [`EngineKind::Bound`] engine when one exists — its
+    /// sparsify-and-prune search beats the full scan — falling back to
+    /// [`EngineKind::Online`] otherwise. Once the build lands, later
+    /// queries use the index. The result's metrics name the engine that
+    /// actually answered.
     pub fn top_r(&self, spec: &QuerySpec) -> Result<TopRResult, SearchError> {
+        let epoch = self.core.current();
+        self.top_r_on(&epoch, spec)
+    }
+
+    fn top_r_on(
+        &self,
+        epoch: &Arc<EpochState>,
+        spec: &QuerySpec,
+    ) -> Result<TopRResult, SearchError> {
         // Validate before building anything: a bad spec must not cost an
         // index construction.
-        spec.config().check_against(self.core.graph.n())?;
-        let kind = self.resolve(spec.engine());
-        let engine = match self.core.cached(kind) {
+        spec.config().check_against(epoch.graph.n())?;
+        let kind = self.resolve_on(epoch, spec.engine());
+        let engine = match epoch.cached(kind) {
             Some(engine) => engine,
-            None if Self::builds_inline(kind) => self.core.build_if_absent(kind).0,
+            None if kind.builds_inline() => self.core.build_if_absent(epoch, kind).0,
             None => {
                 // Cold index engine: hand the build to the worker pool and
-                // serve this query through the online scan.
-                self.schedule_build(kind);
+                // serve this query through the best available index-free
+                // engine — a cached Bound beats the online scan.
+                self.schedule_build(epoch, kind);
                 self.core.foreground_fallbacks.fetch_add(1, Ordering::Relaxed);
-                self.core.build_if_absent(EngineKind::Online).0
+                match epoch.cached(EngineKind::Bound) {
+                    Some(bound) => bound,
+                    None => self.core.build_if_absent(epoch, EngineKind::Online).0,
+                }
             }
         };
         let result = engine.top_r(spec)?;
@@ -467,21 +765,23 @@ impl SearchService {
         Ok(result)
     }
 
-    /// Answers a batch of queries. The whole batch is validated up front
-    /// (all-or-nothing: the first invalid spec fails the call before any
-    /// query runs), and the batch size feeds the [`EngineKind::Auto`]
-    /// heuristic, so a large batch indexes immediately instead of wasting
-    /// its head on unindexed scans.
+    /// Answers a batch of queries, all against the *same* epoch snapshot
+    /// (an update landing mid-batch does not split it across graphs). The
+    /// whole batch is validated up front (all-or-nothing: the first
+    /// invalid spec fails the call before any query runs), and the batch
+    /// size feeds the [`EngineKind::Auto`] heuristic, so a large batch
+    /// indexes immediately instead of wasting its head on unindexed scans.
     pub fn top_r_many(&self, specs: &[QuerySpec]) -> Result<Vec<TopRResult>, SearchError> {
+        let epoch = self.core.current();
         for spec in specs {
-            spec.config().check_against(self.core.graph.n())?;
+            spec.config().check_against(epoch.graph.n())?;
         }
         // Account for the batch up front: if it alone crosses the warmup
         // threshold, Auto resolves to the index path from its first query.
         if specs.len() > AUTO_WARMUP_QUERIES {
             self.core.queries_served.fetch_max(AUTO_WARMUP_QUERIES, Ordering::Relaxed);
         }
-        specs.iter().map(|spec| self.top_r(spec)).collect()
+        specs.iter().map(|spec| self.top_r_on(&epoch, spec)).collect()
     }
 
     /// Serializes the engine of `kind` (building it first if needed — this
@@ -493,36 +793,52 @@ impl SearchService {
     /// whatever index the heuristic currently routes to, or fails cheaply
     /// if that engine is index-free).
     pub fn export_index(&self, kind: EngineKind) -> Result<Bytes, SearchError> {
-        let kind = self.resolve(kind);
+        let epoch = self.core.current();
+        let kind = self.resolve_on(&epoch, kind);
         if !kind.serializable() {
             return Err(SearchError::SerializationUnsupported { engine: kind.name() });
         }
-        let engine = self.engine(kind);
+        let engine = self.core.build_if_absent(&epoch, kind).0;
         let payload = engine.to_bytes()?;
-        Ok(IndexEnvelope::new(kind, self.core.fingerprint, payload).encode())
+        Ok(IndexEnvelope::new(kind, epoch.fingerprint, payload).encode())
     }
 
     /// Installs an engine from an envelope blob produced by
-    /// [`Self::export_index`], replacing any cached engine of that kind, and
-    /// returns the installed kind.
+    /// [`Self::export_index`], replacing any cached engine of that kind in
+    /// the current epoch, and returns the installed kind.
     ///
     /// Rejects blobs whose graph fingerprint (`n`, `m`, edge checksum)
-    /// differs from this service's graph with
+    /// differs from the current epoch's graph with
     /// [`SearchError::FingerprintMismatch`] — a same-`n` snapshot from
-    /// before edge churn cannot slip through. This and
-    /// [`Self::import_bundle`] are the *only* ways to attach serialized
-    /// index bytes to a service: there is no fingerprint-less public
-    /// decode path.
+    /// before edge churn, or from one of this service's own superseded
+    /// epochs, cannot slip through. This and [`Self::import_bundle`] are
+    /// the *only* ways to attach serialized index bytes to a service:
+    /// there is no fingerprint-less public decode path.
     pub fn import_index(&self, blob: Bytes) -> Result<EngineKind, SearchError> {
+        let epoch = self.core.current();
         let envelope = IndexEnvelope::decode(blob)?;
-        if envelope.fingerprint != self.core.fingerprint {
+        if envelope.fingerprint != epoch.fingerprint {
             return Err(SearchError::FingerprintMismatch {
-                expected: self.core.fingerprint,
+                expected: epoch.fingerprint,
                 found: envelope.fingerprint,
             });
         }
-        let engine = decode_engine(envelope.kind, self.core.graph.clone(), envelope.payload)?;
-        self.core.install(envelope.kind, Arc::from(engine));
+        let engine = decode_engine(envelope.kind, epoch.graph.clone(), envelope.payload)?;
+        // Install under the epoch-pointer read lock (which excludes the
+        // publish swap) and re-verify the fingerprint there: an
+        // `apply_updates` that landed while we decoded must fail the
+        // import, not let it install into a superseded epoch and report
+        // success. The fingerprint — not pointer identity — is the real
+        // validity condition, so an update that round-trips back to the
+        // blob's exact edge set still imports.
+        let guard = self.core.current.read();
+        if guard.fingerprint != envelope.fingerprint {
+            return Err(SearchError::FingerprintMismatch {
+                expected: guard.fingerprint,
+                found: envelope.fingerprint,
+            });
+        }
+        self.core.install(&guard, envelope.kind, Arc::from(engine));
         Ok(envelope.kind)
     }
 
@@ -538,9 +854,10 @@ impl SearchService {
         &self,
         kinds: impl IntoIterator<Item = EngineKind>,
     ) -> Result<Bytes, SearchError> {
+        let epoch = self.core.current();
         let mut requested = [false; 5];
         for kind in kinds {
-            requested[Self::slot(self.resolve(kind))] = true;
+            requested[Self::slot(self.resolve_on(&epoch, kind))] = true;
         }
         let kinds: Vec<EngineKind> =
             EngineKind::ALL.into_iter().filter(|&k| requested[Self::slot(k)]).collect();
@@ -552,34 +869,49 @@ impl SearchService {
         }
         let mut entries = Vec::with_capacity(kinds.len());
         for kind in kinds {
-            entries.push((kind, self.engine(kind).to_bytes()?));
+            entries.push((kind, self.core.build_if_absent(&epoch, kind).0.to_bytes()?));
         }
-        Ok(IndexBundle::new(self.core.fingerprint, entries).encode())
+        Ok(IndexBundle::new(epoch.fingerprint, entries).encode())
     }
 
     /// Installs every engine carried by a bundle blob produced by
     /// [`Self::export_bundle`], replacing any cached engines of those
-    /// kinds, and returns the installed kinds in bundle order.
+    /// kinds in the current epoch, and returns the installed kinds in
+    /// bundle order.
     ///
-    /// All-or-nothing: the fingerprint is checked first (wrong-graph
-    /// bundles are refused whole, as [`SearchError::FingerprintMismatch`])
-    /// and every entry is decoded before *any* engine is installed, so a
-    /// bundle with one corrupt payload installs nothing.
+    /// All-or-nothing: the fingerprint is checked first (wrong-graph and
+    /// superseded-epoch bundles are refused whole, as
+    /// [`SearchError::FingerprintMismatch`]) and every entry is decoded
+    /// before *any* engine is installed, so a bundle with one corrupt
+    /// payload installs nothing.
     pub fn import_bundle(&self, blob: Bytes) -> Result<Vec<EngineKind>, SearchError> {
+        let epoch = self.core.current();
         let bundle = IndexBundle::decode(blob)?;
-        if bundle.fingerprint != self.core.fingerprint {
+        if bundle.fingerprint != epoch.fingerprint {
             return Err(SearchError::FingerprintMismatch {
-                expected: self.core.fingerprint,
+                expected: epoch.fingerprint,
                 found: bundle.fingerprint,
             });
         }
+        let fingerprint = bundle.fingerprint;
         let mut decoded = Vec::with_capacity(bundle.entries.len());
         for (kind, payload) in bundle.entries {
-            decoded.push((kind, decode_engine(kind, self.core.graph.clone(), payload)?));
+            decoded.push((kind, decode_engine(kind, epoch.graph.clone(), payload)?));
+        }
+        // As in [`Self::import_index`]: install under the epoch-pointer
+        // read lock, re-verifying the fingerprint, so a concurrent
+        // `apply_updates` cannot turn the import into a silent no-op
+        // against a superseded epoch.
+        let guard = self.core.current.read();
+        if guard.fingerprint != fingerprint {
+            return Err(SearchError::FingerprintMismatch {
+                expected: guard.fingerprint,
+                found: fingerprint,
+            });
         }
         let mut installed = Vec::with_capacity(decoded.len());
         for (kind, engine) in decoded {
-            self.core.install(kind, Arc::from(engine));
+            self.core.install(&guard, kind, Arc::from(engine));
             installed.push(kind);
         }
         Ok(installed)
@@ -641,6 +973,22 @@ mod tests {
         assert_eq!(warm.metrics.engine, "gct");
         assert_eq!(warm.entries[0].score, 3);
         assert_eq!(s.stats().foreground_fallbacks, 1, "ready engine must not fall back");
+    }
+
+    /// The 0.5 fallback tiering: with a Bound engine already cached, a
+    /// cold index query is served by it instead of the slower online scan.
+    #[test]
+    fn cold_index_query_prefers_a_cached_bound_engine() {
+        let s = service();
+        s.warmup([EngineKind::Bound]); // inline O(1) construction
+        let spec = QuerySpec::new(4, 1).unwrap().with_engine(EngineKind::Gct);
+        let first = s.top_r(&spec).unwrap();
+        assert_eq!(first.metrics.engine, "bound", "cached Bound must beat the online fallback");
+        assert_eq!(first.entries[0].score, 3);
+        let stats = s.stats();
+        assert_eq!(stats.foreground_fallbacks, 1);
+        assert_eq!(stats.queries_for(EngineKind::Bound), 1);
+        assert_eq!(stats.queries_for(EngineKind::Online), 0, "the online scan never ran");
     }
 
     #[test]
@@ -737,8 +1085,9 @@ mod tests {
             assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "bound");
         }
         // The stream crossed the threshold: Auto now routes to GCT, whose
-        // cold build is backgrounded while the online fallback answers.
-        assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "online");
+        // cold build is backgrounded — and the Bound engine those first
+        // queries built inline is exactly the fallback tier that answers.
+        assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "bound");
         assert_eq!(s.stats().foreground_fallbacks, 1);
         s.wait_ready([EngineKind::Auto]);
         assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "gct");
@@ -858,7 +1207,7 @@ mod tests {
                     for kind in EngineKind::ALL {
                         let spec = QuerySpec::new(4, 2).unwrap().with_engine(kind);
                         let result = s.top_r(&spec).unwrap();
-                        // Cold index kinds may answer via the fallback; the
+                        // Cold index kinds may answer via a fallback; the
                         // scores are identical either way.
                         assert_eq!(result.scores(), reference);
                     }
@@ -869,5 +1218,144 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.engines_built, 5, "racing threads must not duplicate builds");
         assert_eq!(stats.queries_served, 8 * 5);
+    }
+
+    #[test]
+    fn apply_updates_publishes_a_new_epoch_and_carries_tsd() {
+        let s = service();
+        s.wait_ready([EngineKind::Tsd]);
+        assert_eq!((s.epoch(), s.stats().epochs), (0, 1));
+        let before = s.fingerprint();
+
+        // Connect the two free corners; reject a duplicate and a self-loop.
+        let stats = s
+            .apply_updates(&[
+                GraphUpdate::Insert { u: 1, v: 6 },
+                GraphUpdate::Insert { u: 0, v: 1 },
+                GraphUpdate::Insert { u: 3, v: 3 },
+            ])
+            .unwrap();
+        assert_eq!((stats.epoch, stats.applied, stats.rejected), (1, 1, 2));
+        assert!(stats.tsd_carried, "a built TSD engine must seed the carry");
+        assert!(stats.tsd_repairs >= 2, "both endpoints' forests repair");
+        assert_eq!(stats.m as u64, before.m + 1);
+
+        assert_eq!(s.epoch(), 1);
+        assert_ne!(s.fingerprint(), before, "fingerprint must track the epoch");
+        let service_stats = s.stats();
+        assert_eq!(service_stats.epochs, 2);
+        assert_eq!(service_stats.updates_applied, 1);
+        assert_eq!(service_stats.incremental_tsd_carries, 1);
+
+        // The carried TSD engine is warm (no fallback) and answers for the
+        // *new* graph, identically to a fresh build.
+        let spec = QuerySpec::new(4, 1).unwrap().with_engine(EngineKind::Tsd);
+        let live = s.top_r(&spec).unwrap();
+        assert_eq!(live.metrics.engine, "tsd", "carried TSD must serve without fallback");
+        let fresh = SearchService::new((*s.graph()).clone());
+        fresh.wait_ready([EngineKind::Tsd]);
+        assert_eq!(live.scores(), fresh.top_r(&spec).unwrap().scores());
+    }
+
+    #[test]
+    fn apply_updates_without_prior_tsd_seeds_then_carries() {
+        let s = service();
+        // Epoch 0 has no TSD engine and no retained state: the first batch
+        // seeds from scratch (not a carry), the second carries.
+        let first = s.apply_updates(&[GraphUpdate::Insert { u: 1, v: 6 }]).unwrap();
+        assert!(!first.tsd_carried);
+        let second = s.apply_updates(&[GraphUpdate::Remove { u: 1, v: 6 }]).unwrap();
+        assert!(second.tsd_carried);
+        let stats = s.stats();
+        assert_eq!(stats.epochs, 3);
+        assert_eq!(stats.incremental_tsd_carries, 1);
+        assert_eq!(stats.updates_applied, 2);
+    }
+
+    #[test]
+    fn rejected_only_batches_publish_nothing() {
+        let s = service();
+        let stats = s
+            .apply_updates(&[
+                GraphUpdate::Insert { u: 0, v: 1 },  // duplicate
+                GraphUpdate::Insert { u: 2, v: 2 },  // self-loop
+                GraphUpdate::Remove { u: 0, v: 40 }, // absent
+            ])
+            .unwrap();
+        assert_eq!((stats.epoch, stats.applied, stats.rejected), (0, 0, 3));
+        assert_eq!(s.epoch(), 0, "a no-op batch must not publish an epoch");
+        assert_eq!(s.stats().epochs, 1);
+        assert_eq!(s.apply_updates(&[]).unwrap_err(), SearchError::EmptyUpdateBatch);
+    }
+
+    #[test]
+    fn updates_invalidate_and_requeue_the_other_engines() {
+        let s = service();
+        s.wait_ready(EngineKind::ALL);
+        s.apply_updates(&[GraphUpdate::Insert { u: 1, v: 6 }]).unwrap();
+
+        // The new epoch: TSD carried, O(1) engines derived; GCT/Hybrid are
+        // invalidated (requeued in the background, so they may or may not
+        // have landed yet — but TSD/Online/Bound are warm immediately).
+        let built = s.built_engines();
+        for kind in [EngineKind::Online, EngineKind::Bound, EngineKind::Tsd] {
+            assert!(built.contains(&kind), "{kind} must be warm right after the swap");
+        }
+        // A GCT query is never wrong during the rebuild window: it serves
+        // through the bound tier (identical answers) until the build lands.
+        let spec = QuerySpec::new(3, 2).unwrap().with_engine(EngineKind::Gct);
+        let during = s.top_r(&spec).unwrap();
+        assert!(during.metrics.engine == "gct" || during.metrics.engine == "bound");
+        s.wait_ready([EngineKind::Gct, EngineKind::Hybrid]);
+        assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "gct");
+    }
+
+    #[test]
+    fn stale_epoch_blobs_are_refused_after_updates() {
+        let s = service();
+        let stale = s.export_index(EngineKind::Gct).unwrap();
+        let stale_bundle = s.export_bundle([EngineKind::Tsd, EngineKind::Gct]).unwrap();
+        let old_fingerprint = s.fingerprint();
+        s.apply_updates(&[GraphUpdate::Insert { u: 1, v: 6 }]).unwrap();
+        for err in [s.import_index(stale).unwrap_err(), s.import_bundle(stale_bundle).unwrap_err()]
+        {
+            assert_eq!(
+                err,
+                SearchError::FingerprintMismatch {
+                    expected: s.fingerprint(),
+                    found: old_fingerprint
+                }
+            );
+        }
+        // The *new* epoch's export re-imports fine into a fresh service on
+        // the same final graph.
+        let blob = s.export_index(EngineKind::Tsd).unwrap();
+        let fresh = SearchService::new((*s.graph()).clone());
+        assert_eq!(fresh.import_index(blob).unwrap(), EngineKind::Tsd);
+    }
+
+    #[test]
+    fn updates_can_grow_the_vertex_set() {
+        let s = service();
+        let n0 = s.graph().n();
+        let stats = s.apply_updates(&[GraphUpdate::Insert { u: 0, v: n0 as u32 + 2 }]).unwrap();
+        assert_eq!(stats.n, n0 + 3);
+        assert_eq!(s.graph().n(), n0 + 3);
+        let spec = QuerySpec::new(2, n0 + 3).unwrap().with_engine(EngineKind::Tsd);
+        assert_eq!(s.top_r(&spec).unwrap().entries.len(), n0 + 3);
+    }
+
+    #[test]
+    fn queries_pin_their_epoch_snapshot() {
+        let s = service();
+        // Pin the construction-epoch graph, then mutate heavily.
+        let old_graph = s.graph();
+        let old_m = old_graph.m();
+        s.apply_updates(&[GraphUpdate::Insert { u: 1, v: 6 }, GraphUpdate::Remove { u: 0, v: 1 }])
+            .unwrap();
+        assert_eq!(old_graph.m(), old_m, "a pinned snapshot must never change");
+        assert!(!old_graph.has_edge(1, 6) && old_graph.has_edge(0, 1));
+        let new_graph = s.graph();
+        assert!(new_graph.has_edge(1, 6) && !new_graph.has_edge(0, 1));
     }
 }

@@ -360,6 +360,20 @@ impl TsdBuilder {
         self.offsets.push(self.weight.len());
     }
 
+    /// Appends an already-computed forest slice verbatim (weight-descending
+    /// `(u, w, weight)` triples). This is the carry path for incrementally
+    /// maintained forests ([`crate::dynamic::DynamicTsd::to_index`]): no
+    /// ego extraction or truss decomposition happens here.
+    pub fn push_forest(&mut self, forest: &[(VertexId, VertexId, u32)]) {
+        debug_assert!(forest.windows(2).all(|w| w[0].2 >= w[1].2), "weights must descend");
+        for &(u, w, weight) in forest {
+            self.eu.push(u);
+            self.ew.push(w);
+            self.weight.push(weight);
+        }
+        self.offsets.push(self.weight.len());
+    }
+
     /// Finishes the index.
     pub fn finish(self) -> TsdIndex {
         TsdIndex { offsets: self.offsets, eu: self.eu, ew: self.ew, weight: self.weight }

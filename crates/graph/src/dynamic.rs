@@ -9,6 +9,47 @@
 use crate::csr::CsrGraph;
 use crate::types::VertexId;
 
+/// One edge mutation in a dynamic-graph workload: the unit the serving
+/// layer's `apply_updates` batches are made of. Endpoints are unordered
+/// (`{u, v}`), matching the undirected simple-graph model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphUpdate {
+    /// Insert edge `{u, v}` (a no-op if it already exists or `u == v`).
+    Insert {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// Remove edge `{u, v}` (a no-op if absent).
+    Remove {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+}
+
+impl GraphUpdate {
+    /// The update's endpoints, as given.
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        match self {
+            GraphUpdate::Insert { u, v } | GraphUpdate::Remove { u, v } => (u, v),
+        }
+    }
+}
+
+/// Outcome of [`DynamicGraph::apply_batch`]: how many updates mutated the
+/// graph and how many were rejected as no-ops (duplicate or self-loop
+/// inserts, removals of absent edges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchApplyStats {
+    /// Updates that changed the edge set.
+    pub applied: usize,
+    /// Updates rejected without changing anything.
+    pub rejected: usize,
+}
+
 /// An undirected simple graph under edge insertions/deletions.
 #[derive(Clone, Debug, Default)]
 pub struct DynamicGraph {
@@ -95,6 +136,30 @@ impl DynamicGraph {
         true
     }
 
+    /// Applies one update; returns whether it changed the edge set.
+    /// Duplicate/self-loop inserts and absent removes are rejected (false).
+    pub fn apply(&mut self, update: GraphUpdate) -> bool {
+        match update {
+            GraphUpdate::Insert { u, v } => self.insert_edge(u, v),
+            GraphUpdate::Remove { u, v } => self.remove_edge(u, v),
+        }
+    }
+
+    /// Applies a batch of updates in order, counting applied vs rejected
+    /// ops. Later updates see the effects of earlier ones, so e.g. an
+    /// insert followed by a remove of the same edge both count as applied.
+    pub fn apply_batch(&mut self, batch: &[GraphUpdate]) -> BatchApplyStats {
+        let mut stats = BatchApplyStats::default();
+        for &update in batch {
+            if self.apply(update) {
+                stats.applied += 1;
+            } else {
+                stats.rejected += 1;
+            }
+        }
+        stats
+    }
+
     /// Common neighbors of `u` and `v` (sorted merge).
     pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
         let (a, b) = (&self.adj[u as usize], &self.adj[v as usize]);
@@ -178,6 +243,28 @@ mod tests {
             g.insert_edge(5, v);
         }
         assert_eq!(g.common_neighbors(0, 5), vec![2, 3]);
+    }
+
+    #[test]
+    fn apply_batch_counts_applied_and_rejected() {
+        let mut g = DynamicGraph::new(4);
+        let stats = g.apply_batch(&[
+            GraphUpdate::Insert { u: 0, v: 1 },
+            GraphUpdate::Insert { u: 1, v: 0 }, // duplicate (reversed)
+            GraphUpdate::Insert { u: 2, v: 2 }, // self-loop
+            GraphUpdate::Insert { u: 1, v: 2 },
+            GraphUpdate::Remove { u: 0, v: 1 },
+            GraphUpdate::Remove { u: 0, v: 3 }, // absent
+        ]);
+        assert_eq!(stats, BatchApplyStats { applied: 3, rejected: 3 });
+        assert_eq!(g.m(), 1);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn update_endpoints_roundtrip() {
+        assert_eq!(GraphUpdate::Insert { u: 3, v: 7 }.endpoints(), (3, 7));
+        assert_eq!(GraphUpdate::Remove { u: 9, v: 2 }.endpoints(), (9, 2));
     }
 
     #[test]

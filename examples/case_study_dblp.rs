@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same query under the competitor models (Exp-11).
     let cfg = DiversityConfig::new(5, 1)?;
-    let comp = comp_div_top_r(service.graph(), &cfg);
-    let core = core_div_top_r(service.graph(), &cfg);
+    let comp = comp_div_top_r(&service.graph(), &cfg);
+    let core = core_div_top_r(&service.graph(), &cfg);
     println!(
         "\nComp-Div top-1: a{} with {} context(s) — components ≥ {} vertices",
         comp.entries[0].vertex, comp.entries[0].score, cfg.k

@@ -47,9 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n(truss picks served by the `{}` engine)", truss.metrics.engine);
     let truss_set = truss.vertices();
     let cfg = DiversityConfig::new(4, 100)?;
-    let core_set = core_div_top_r(service.graph(), &cfg).vertices();
-    let comp_set = comp_div_top_r(service.graph(), &cfg).vertices();
-    let random_set = random_top_r(service.graph(), 100, &mut rng);
+    let core_set = core_div_top_r(&service.graph(), &cfg).vertices();
+    let comp_set = comp_div_top_r(&service.graph(), &cfg).vertices();
+    let random_set = random_top_r(&service.graph(), 100, &mut rng);
 
     println!("\nexpected #activated among each model's top-100:");
     for (name, set) in [
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Random", &random_set),
     ] {
         let mut mc_rng = StdRng::seed_from_u64(7);
-        let count = activated_counts(service.graph(), set, &seeds, model, samples, &mut mc_rng);
+        let count = activated_counts(&service.graph(), set, &seeds, model, samples, &mut mc_rng);
         println!("  {name:>9}: {count:.2}");
     }
     Ok(())

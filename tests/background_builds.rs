@@ -155,6 +155,41 @@ fn wait_ready_without_warmup_builds_on_the_calling_thread() {
     assert_eq!(stats.background_builds, 0, "nothing was scheduled, so the caller built it");
 }
 
+/// The 0.5 fallback tiering: during a cold index engine's build window, a
+/// service that already has a Bound engine serves the fallback through it —
+/// the sparsify-and-prune search — instead of the always-slowest online
+/// scan. With no Bound cached, the online scan remains the floor.
+#[test]
+fn cold_fallback_prefers_cached_bound_over_online() {
+    let g = sample_graph();
+    let spec = QuerySpec::new(4, 10).unwrap();
+
+    // Reference: without a cached Bound engine the fallback is online.
+    let bare = SearchService::new(g.clone());
+    let cold = bare.top_r(&spec.with_engine(EngineKind::Tsd)).expect("cold query");
+    assert_eq!(cold.metrics.engine, "online", "no Bound cached → online fallback");
+
+    // With Bound warmed (inline, O(1) construction), every cold index
+    // query rides the bound tier — same answers, faster scan.
+    let tiered = SearchService::new(g);
+    tiered.warmup([EngineKind::Bound]);
+    for kind in INDEX_KINDS {
+        let result = tiered.top_r(&spec.with_engine(kind)).expect("tiered cold query");
+        assert!(
+            result.metrics.engine == "bound" || result.metrics.engine == kind.name(),
+            "cold {kind} query must serve via the bound tier (or the landed index), \
+             got {}",
+            result.metrics.engine
+        );
+        assert_eq!(result.scores(), cold.scores(), "fallback tiers must agree on answers");
+    }
+    // The very first of those queries found every index kind cold, so at
+    // least one fallback went through Bound and none through Online.
+    let stats = tiered.stats();
+    assert!(stats.foreground_fallbacks > 0);
+    assert_eq!(stats.queries_for(EngineKind::Online), 0, "online scan must not run: {stats:?}");
+}
+
 /// Builds scheduled by a spike eventually land in the background even if
 /// nobody joins: `background_builds` accounts for them, and the query
 /// stream switches from the fallback to the index on its own.

@@ -141,8 +141,8 @@ fn dblp_case_study_shape() {
         .top_r(&QuerySpec::new(5, 1).expect("valid spec").with_engine(EngineKind::Gct))
         .expect("gct");
     let cfg = DiversityConfig::new(5, 1).expect("valid config");
-    let comp = comp_div_top_r(service.graph(), &cfg);
-    let core = core_div_top_r(service.graph(), &cfg);
+    let comp = comp_div_top_r(&service.graph(), &cfg);
+    let core = core_div_top_r(&service.graph(), &cfg);
     // The truss model must find strictly more contexts for its winner than
     // Comp-Div/Core-Div find for theirs — the paper's decomposability story.
     assert!(

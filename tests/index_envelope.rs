@@ -17,7 +17,8 @@ use proptest::prelude::*;
 use structural_diversity::graph::GraphBuilder;
 use structural_diversity::search::{
     DecodeError, EngineKind, GraphFingerprint, IndexBundle, IndexEnvelope, QuerySpec, SearchError,
-    SearchService, ENVELOPE_VERSION,
+    SearchService, BUNDLE_ENTRY_HEADER_BYTES, BUNDLE_HEADER_BYTES, BUNDLE_VERSION,
+    ENVELOPE_VERSION,
 };
 
 fn fig1_service() -> SearchService {
@@ -232,7 +233,8 @@ fn bundle_import_rejects_duplicate_engine_tags() {
     )
     .encode();
     let mut forged = good.as_ref().to_vec();
-    let second_tag_offset = 32 + 12 + payload.as_ref().len();
+    let second_tag_offset =
+        BUNDLE_HEADER_BYTES + BUNDLE_ENTRY_HEADER_BYTES + payload.as_ref().len();
     forged[second_tag_offset] = EngineKind::Tsd.tag();
     assert_eq!(
         service.import_bundle(forged.into()).unwrap_err(),
@@ -276,6 +278,64 @@ fn bundle_import_rejects_wrong_fingerprint() {
         "same-(n, m) churned graph must be caught by the bundle's edge checksum"
     );
     assert!(churned.built_engines().is_empty());
+}
+
+/// Bundle format 2's per-entry checksum: corruption *inside* a payload —
+/// which leaves every structural length field intact — is caught at the
+/// frame layer as `PayloadChecksum`, naming the corrupted entry, before any
+/// index decoder sees the bytes and before anything installs.
+#[test]
+fn bundle_import_rejects_payload_bitflips_via_the_entry_checksum() {
+    let donor = fig1_service();
+    let kinds = [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid];
+    let good = donor.export_bundle(kinds).expect("export bundle");
+    let first_payload_len = IndexBundle::decode(good.clone()).unwrap().entries[0].1.as_ref().len();
+
+    // Flip a byte in the middle of the first (TSD) payload.
+    let mut corrupt = good.as_ref().to_vec();
+    corrupt[BUNDLE_HEADER_BYTES + BUNDLE_ENTRY_HEADER_BYTES + first_payload_len / 2] ^= 0x40;
+    let fresh = SearchService::from_arc(donor.graph_arc());
+    assert_eq!(
+        fresh.import_bundle(corrupt.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::PayloadChecksum { tag: EngineKind::Tsd.tag() })
+    );
+    assert!(fresh.built_engines().is_empty(), "a corrupt bundle must install nothing");
+
+    // A bitflip in a *later* entry's payload names that entry.
+    let second_entry = BUNDLE_HEADER_BYTES
+        + BUNDLE_ENTRY_HEADER_BYTES
+        + first_payload_len
+        + BUNDLE_ENTRY_HEADER_BYTES;
+    let mut late = good.as_ref().to_vec();
+    late[second_entry + 4] ^= 0x01;
+    assert_eq!(
+        fresh.import_bundle(late.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::PayloadChecksum { tag: EngineKind::Gct.tag() })
+    );
+
+    // A tampered checksum *field* over an intact payload is equally fatal.
+    let mut forged = good.as_ref().to_vec();
+    forged[BUNDLE_HEADER_BYTES + 4] ^= 0xFF; // first entry's checksum bytes
+    assert_eq!(
+        fresh.import_bundle(forged.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::PayloadChecksum { tag: EngineKind::Tsd.tag() })
+    );
+    assert!(fresh.built_engines().is_empty());
+}
+
+/// Checksum-less version-1 bundles are no longer read: the version bump is
+/// what makes "every accepted entry was checksummed" an invariant.
+#[test]
+fn bundle_import_rejects_the_checksumless_version_1_format() {
+    assert_eq!(BUNDLE_VERSION, 2, "this test pins the checksummed format revision");
+    let service = fig1_service();
+    let good = service.export_bundle([EngineKind::Gct]).unwrap();
+    let mut old = good.as_ref().to_vec();
+    old[4..6].copy_from_slice(&1u16.to_le_bytes());
+    assert_eq!(
+        service.import_bundle(old.into()).unwrap_err(),
+        SearchError::Decode(DecodeError::UnsupportedVersion { version: 1 })
+    );
 }
 
 /// The two frame formats are mutually exclusive: a single-index "SDIE"
