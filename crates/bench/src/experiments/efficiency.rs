@@ -311,20 +311,35 @@ pub fn fig12(ctx: &ExpContext) {
     println!("\nFigure 12: scalability on power-law graphs (|E| = 5|V|)\n{}", t.render());
 }
 
+/// File the perf-smoke datapoint is written to (and compared against by
+/// `bench-compare`). Committed to the repo per PR, so the bench trajectory
+/// is part of history rather than an artifact that evaporates with CI
+/// retention.
+pub const BENCH_OUT: &str = "BENCH_pr6.json";
+
 /// `bench-json`: the perf-smoke datapoint the CI lane archives. One small
 /// end-to-end measurement pass — index builds, per-engine query latency,
-/// and a served `apply_updates` batch (the PR-5 live-update path) — written
-/// as machine-readable JSON to `BENCH_pr5.json` in the working directory,
-/// so the bench trajectory accumulates comparable artifacts per run.
+/// a served `apply_updates` batch (the PR-5 live-update path), and the
+/// PR-6 parallel `top_r_many` fan-out vs its single-threaded reference —
+/// written as machine-readable JSON to [`BENCH_OUT`] in the working
+/// directory, so the bench trajectory accumulates comparable artifacts per
+/// run.
 ///
 /// Times here are single-shot wall-clock samples meant for trend-spotting
 /// across CI runs, not criterion-grade statistics (the criterion benches
 /// under `crates/bench/benches/` are the precision instrument).
 pub fn bench_json(ctx: &ExpContext) {
+    let json = measure_bench_smoke(ctx);
+    std::fs::write(BENCH_OUT, &json).expect("write bench json");
+    println!("{json}");
+    println!("[bench-json] wrote {BENCH_OUT}");
+}
+
+/// Runs the perf-smoke measurement pass and returns the JSON document.
+fn measure_bench_smoke(ctx: &ExpContext) -> String {
     use sd_core::{EngineKind, SearchService};
     use sd_graph::GraphUpdate;
 
-    const OUT: &str = "BENCH_pr5.json";
     let dataset = sd_datasets::dataset("email-enron-syn").expect("registry");
     let g = ctx.load(&dataset);
     let (n, m) = (g.n(), g.m());
@@ -373,15 +388,42 @@ pub fn bench_json(ctx: &ExpContext) {
     let (update_stats, update_elapsed) = time_it(|| service.apply_updates(&batch));
     let update_stats = update_stats.expect("apply_updates");
 
-    let json = format!(
-        "{{\n  \"schema\": \"sd-bench-smoke/1\",\n  \"dataset\": \"{}\",\n  \
-         \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \"build\": {{\n    \
+    // The PR-6 datapoint: the same query batch through `top_r_many` on a
+    // single-threaded pool (the sequential reference) and on a pinned
+    // 4-thread pool. Answers are asserted identical before any time is
+    // reported — a speedup bought with a wrong answer must never enter
+    // the trajectory. `machine_cores` is recorded because the speedup is
+    // only meaningful relative to the hardware the sample ran on.
+    let parallel_specs: Vec<QuerySpec> = (0..4)
+        .flat_map(|i| [3u32, 4].map(|k| spec(k + (i % 2), 100, n)))
+        .map(|q| q.with_engine(EngineKind::Online))
+        .collect();
+    let seq_service =
+        SearchService::from_arc_with_pool(shared.clone(), Arc::new(sd_core::WorkerPool::new(1)));
+    let par_service =
+        SearchService::from_arc_with_pool(shared.clone(), Arc::new(sd_core::WorkerPool::new(4)));
+    let (seq_results, many_seq) = time_it(|| seq_service.top_r_many(&parallel_specs));
+    let (par_results, many_par) = time_it(|| par_service.top_r_many(&parallel_specs));
+    let (seq_results, par_results) =
+        (seq_results.expect("sequential batch"), par_results.expect("parallel batch"));
+    for (s, p) in seq_results.iter().zip(&par_results) {
+        assert_eq!(s.entries, p.entries, "parallel batch diverged from the sequential reference");
+    }
+    let speedup = many_seq.as_secs_f64() / many_par.as_secs_f64().max(1e-9);
+
+    format!(
+        "{{\n  \"schema\": \"sd-bench-smoke/2\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \"machine_cores\": {},\n  \
+         \"build\": {{\n    \
          \"tsd_ms\": {:.3},\n    \"gct_ms\": {:.3},\n    \"hybrid_ms\": {:.3}\n  }},\n  \
          \"query\": {{\n{}\n  }},\n  \"update\": {{\n    \"batch_ops\": {},\n    \
          \"applied\": {},\n    \"tsd_repairs\": {},\n    \"tsd_carried\": {},\n    \
-         \"apply_ms\": {:.3}\n  }}\n}}\n",
+         \"apply_ms\": {:.3}\n  }},\n  \"parallel\": {{\n    \"batch_queries\": {},\n    \
+         \"top_r_many_seq_ms\": {:.3},\n    \"top_r_many_pool4_ms\": {:.3},\n    \
+         \"speedup_x\": {:.3}\n  }}\n}}\n",
         dataset.name,
         ctx.scale,
+        sd_core::default_pool_threads(),
         tsd_build.as_secs_f64() * 1e3,
         gct_build.as_secs_f64() * 1e3,
         hybrid_build.as_secs_f64() * 1e3,
@@ -391,10 +433,105 @@ pub fn bench_json(ctx: &ExpContext) {
         update_stats.tsd_repairs,
         update_stats.tsd_carried,
         update_elapsed.as_secs_f64() * 1e3,
-    );
-    std::fs::write(OUT, &json).expect("write bench json");
-    println!("{json}");
-    println!("[bench-json] wrote {OUT}");
+        parallel_specs.len(),
+        many_seq.as_secs_f64() * 1e3,
+        many_par.as_secs_f64() * 1e3,
+        speedup,
+    )
+}
+
+/// Slack added to the regression threshold: timings this small are noise
+/// on any shared runner, so a `_ms` value must exceed *twice* its
+/// committed counterpart **plus** this many milliseconds to count as a
+/// regression.
+const COMPARE_SLACK_MS: f64 = 25.0;
+
+/// `bench-compare`: the trend gate. Re-measures the perf smoke and fails
+/// (process exit 1) if any `_ms` figure regressed beyond 2× the committed
+/// [`BENCH_OUT`] value (+`COMPARE_SLACK_MS`), if the committed file is
+/// missing or was produced at a different `--scale`, or if a committed
+/// `_ms` key vanished from the fresh measurement (schema drift would
+/// otherwise un-gate a metric silently). Run it *before* `bench-json`,
+/// which overwrites the committed file.
+pub fn bench_compare(ctx: &ExpContext) {
+    let committed = std::fs::read_to_string(BENCH_OUT)
+        .unwrap_or_else(|e| panic!("bench-compare needs the committed {BENCH_OUT} baseline: {e}"));
+    let fresh = measure_bench_smoke(ctx);
+    match compare_smoke(&committed, &fresh) {
+        Ok(report) => println!("{report}\n[bench-compare] OK: no metric beyond 2x + slack"),
+        Err(failures) => {
+            eprintln!("[bench-compare] REGRESSION vs committed {BENCH_OUT}:");
+            for f in failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Every `"key": <number>` pair in a flat-enough JSON document, in order.
+/// The serde shim has no deserializer, and the smoke schema is ours — a
+/// scanner beats a vendored parser for six keys. Section nesting is
+/// ignored: key names are globally unique by construction.
+fn numeric_fields(json: &str) -> Vec<(String, f64)> {
+    let mut fields = Vec::new();
+    let mut rest = json;
+    while let Some(open) = rest.find('"') {
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let key = &rest[..close];
+        rest = &rest[close + 1..];
+        let after_colon = rest.trim_start();
+        let Some(value_str) = after_colon.strip_prefix(':') else { continue };
+        let value_str = value_str.trim_start();
+        let end = value_str
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(value_str.len());
+        if let Ok(value) = value_str[..end].parse::<f64>() {
+            fields.push((key.to_string(), value));
+        }
+    }
+    fields
+}
+
+/// Compares a fresh smoke document against the committed baseline.
+/// Returns a per-metric report, or the list of failures.
+fn compare_smoke(committed: &str, fresh: &str) -> Result<String, Vec<String>> {
+    let base = numeric_fields(committed);
+    let new: std::collections::HashMap<String, f64> = numeric_fields(fresh).into_iter().collect();
+    let mut failures = Vec::new();
+    let mut report = String::from("metric                        committed      fresh\n");
+
+    let base_scale = base.iter().find(|(k, _)| k == "scale").map(|&(_, v)| v);
+    let fresh_scale = new.get("scale").copied();
+    if base_scale.is_none() || base_scale != fresh_scale {
+        failures.push(format!(
+            "scale mismatch: committed {base_scale:?} vs fresh {fresh_scale:?} — \
+             timings are only comparable at the pinned --scale"
+        ));
+        return Err(failures);
+    }
+
+    for (key, committed_ms) in base.iter().filter(|(k, _)| k.ends_with("_ms")) {
+        match new.get(key) {
+            None => failures.push(format!("{key}: present in baseline, missing from fresh run")),
+            Some(&fresh_ms) => {
+                report.push_str(&format!("{key:<28} {committed_ms:>10.3} {fresh_ms:>10.3}\n"));
+                if fresh_ms > committed_ms * 2.0 + COMPARE_SLACK_MS {
+                    failures.push(format!(
+                        "{key}: {fresh_ms:.3}ms vs committed {committed_ms:.3}ms \
+                         (threshold {:.3}ms)",
+                        committed_ms * 2.0 + COMPARE_SLACK_MS
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
 }
 
 /// Figure 18: the TSD-index vs TCP-index semantic comparison on the paper's
@@ -433,4 +570,70 @@ pub fn smoke(ctx: &ExpContext) -> Duration {
         let _ = vertex_trussness(&g, &truss_decomposition(&g));
     });
     took
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{compare_smoke, numeric_fields};
+
+    const BASE: &str = r#"{
+  "schema": "sd-bench-smoke/2",
+  "scale": 0.05,
+  "build": { "tsd_ms": 10.0, "gct_ms": 20.5 },
+  "parallel": { "speedup_x": 1.8, "top_r_many_seq_ms": 40.0 }
+}"#;
+
+    #[test]
+    fn numeric_fields_extracts_numbers_and_skips_strings() {
+        let fields = numeric_fields(BASE);
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|&(_, v)| v);
+        assert_eq!(get("scale"), Some(0.05));
+        assert_eq!(get("tsd_ms"), Some(10.0));
+        assert_eq!(get("gct_ms"), Some(20.5));
+        assert_eq!(get("speedup_x"), Some(1.8));
+        assert_eq!(get("schema"), None, "string values must not parse as metrics");
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        assert!(compare_smoke(BASE, BASE).is_ok());
+    }
+
+    #[test]
+    fn small_absolute_growth_is_inside_the_slack() {
+        // 10ms -> 40ms is 4x, but under 2x + 25ms slack; tiny metrics are
+        // noise, not regressions.
+        let fresh = BASE.replace("\"tsd_ms\": 10.0", "\"tsd_ms\": 40.0");
+        assert!(compare_smoke(BASE, &fresh).is_ok());
+    }
+
+    #[test]
+    fn large_regressions_fail_with_the_offending_key() {
+        let fresh = BASE.replace("\"top_r_many_seq_ms\": 40.0", "\"top_r_many_seq_ms\": 140.0");
+        let failures = compare_smoke(BASE, &fresh).unwrap_err();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("top_r_many_seq_ms"), "{failures:?}");
+    }
+
+    #[test]
+    fn non_ms_keys_are_not_gated() {
+        // A worse speedup ratio alone is hardware-dependent; only wall
+        // times gate.
+        let fresh = BASE.replace("\"speedup_x\": 1.8", "\"speedup_x\": 90.0");
+        assert!(compare_smoke(BASE, &fresh).is_ok());
+    }
+
+    #[test]
+    fn scale_mismatch_fails_whole_comparison() {
+        let fresh = BASE.replace("\"scale\": 0.05", "\"scale\": 0.25");
+        let failures = compare_smoke(BASE, &fresh).unwrap_err();
+        assert!(failures[0].contains("scale mismatch"), "{failures:?}");
+    }
+
+    #[test]
+    fn vanished_metric_keys_fail_schema_drift() {
+        let fresh = BASE.replace("\"gct_ms\": 20.5", "\"gct_build\": 20.5");
+        let failures = compare_smoke(BASE, &fresh).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("gct_ms")), "{failures:?}");
+    }
 }

@@ -89,9 +89,13 @@ pub fn run(name: &str, ctx: &ExpContext) -> bool {
         "table5" => effectiveness::table5(ctx),
         "case-study" => effectiveness::case_study(ctx),
         "fig18" => efficiency::fig18(ctx),
-        // Not part of EXPERIMENTS (so `all` skips it): the CI perf-smoke
-        // datapoint, which writes `BENCH_pr5.json` as a side effect.
+        // Not part of EXPERIMENTS (so `all` skips them): the CI perf-smoke
+        // datapoint (writes `BENCH_pr6.json` as a side effect) and the
+        // trend gate comparing a fresh measurement against the committed
+        // one. CI runs `bench-compare` first — `bench-json` overwrites the
+        // baseline it compares against.
         "bench-json" => efficiency::bench_json(ctx),
+        "bench-compare" => efficiency::bench_compare(ctx),
         "all" => {
             for e in EXPERIMENTS {
                 println!("\n################ {e} ################");

@@ -38,7 +38,67 @@ use crate::config::{DiversityConfig, TopRResult};
 use crate::error::SearchError;
 use crate::gct::GctIndex;
 use crate::hybrid::HybridIndex;
+use crate::pool::{self, WorkerPool};
 use crate::tsd::TsdIndex;
+
+/// Graphs below this vertex count always scan sequentially under
+/// [`ScanPolicy::auto`]: chunk dispatch overhead beats the win, and small
+/// fixtures keep exact sequential metrics. Explicit-pool policies
+/// ([`ScanPolicy::pooled`]) have no floor, so tests and benchmarks can
+/// exercise the parallel path on any graph.
+pub const PARALLEL_MIN_VERTICES: usize = 1024;
+
+/// How an index-free engine (Online/Bound) executes its per-vertex scan:
+/// which [`WorkerPool`] to use and from what graph size parallelism pays.
+/// Parallel and sequential scans return byte-identical results (see
+/// [`crate::parallel`]); the policy only decides where the work runs.
+#[derive(Clone)]
+pub struct ScanPolicy {
+    pool: Arc<WorkerPool>,
+    min_vertices: usize,
+}
+
+impl ScanPolicy {
+    /// The default policy: the process-wide [`pool::global`] pool, with
+    /// parallelism engaging from [`PARALLEL_MIN_VERTICES`] vertices (and
+    /// only when the pool has more than one thread).
+    pub fn auto() -> Self {
+        ScanPolicy { pool: pool::global().clone(), min_vertices: PARALLEL_MIN_VERTICES }
+    }
+
+    /// A policy pinned to an explicit pool, with no size floor: every scan
+    /// parallelizes whenever `pool` has more than one thread. This is what
+    /// [`crate::SearchService::with_pool`] installs.
+    pub fn pooled(pool: Arc<WorkerPool>) -> Self {
+        ScanPolicy { pool, min_vertices: 0 }
+    }
+
+    /// A policy that never parallelizes (a 1-thread pool runs every batch
+    /// inline on the caller).
+    pub fn sequential() -> Self {
+        ScanPolicy { pool: Arc::new(WorkerPool::new(1)), min_vertices: usize::MAX }
+    }
+
+    /// The pool this policy dispatches to.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The pool, iff a scan over `n` vertices should run parallel under
+    /// this policy.
+    pub(crate) fn parallel_for(&self, n: usize) -> Option<&WorkerPool> {
+        (self.pool.max_threads() > 1 && n >= self.min_vertices).then_some(&*self.pool)
+    }
+}
+
+impl std::fmt::Debug for ScanPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanPolicy")
+            .field("pool_threads", &self.pool.max_threads())
+            .field("min_vertices", &self.min_vertices)
+            .finish()
+    }
+}
 
 /// Selects which engine answers a query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize)]
@@ -237,12 +297,25 @@ pub trait DiversityEngine: std::fmt::Debug + Send + Sync {
 #[derive(Clone, Debug)]
 pub struct OnlineEngine {
     g: Arc<CsrGraph>,
+    scan: ScanPolicy,
 }
 
 impl OnlineEngine {
-    /// An online engine over `g` (no preprocessing).
+    /// An online engine over `g` (no preprocessing), scanning under
+    /// [`ScanPolicy::auto`].
     pub fn new(g: Arc<CsrGraph>) -> Self {
-        OnlineEngine { g }
+        Self::with_policy(g, ScanPolicy::auto())
+    }
+
+    /// As [`Self::new`], scanning data-parallel on an explicit pool
+    /// (results identical to the sequential engine on any pool).
+    pub fn with_pool(g: Arc<CsrGraph>, pool: Arc<WorkerPool>) -> Self {
+        Self::with_policy(g, ScanPolicy::pooled(pool))
+    }
+
+    /// As [`Self::new`] with full control over scan placement.
+    pub fn with_policy(g: Arc<CsrGraph>, scan: ScanPolicy) -> Self {
+        OnlineEngine { g, scan }
     }
 }
 
@@ -264,7 +337,10 @@ impl DiversityEngine for OnlineEngine {
     }
 
     fn top_r_unchecked(&self, config: &DiversityConfig) -> TopRResult {
-        crate::online::online_top_r(&self.g, config)
+        match self.scan.parallel_for(self.g.n()) {
+            Some(pool) => crate::parallel::online_top_r_pooled(pool, &self.g, config),
+            None => crate::online::online_top_r(&self.g, config),
+        }
     }
 }
 
@@ -273,18 +349,32 @@ impl DiversityEngine for OnlineEngine {
 pub struct BoundEngine {
     g: Arc<CsrGraph>,
     options: BoundOptions,
+    scan: ScanPolicy,
 }
 
 impl BoundEngine {
-    /// A bound engine over `g` with both pruning techniques enabled.
+    /// A bound engine over `g` with both pruning techniques enabled,
+    /// scanning under [`ScanPolicy::auto`].
     pub fn new(g: Arc<CsrGraph>) -> Self {
-        BoundEngine { g, options: BoundOptions::default() }
+        Self::with_policy(g, BoundOptions::default(), ScanPolicy::auto())
     }
 
     /// As [`Self::new`] with the pruning techniques individually toggled
     /// (the DESIGN.md §6 ablation).
     pub fn with_options(g: Arc<CsrGraph>, options: BoundOptions) -> Self {
-        BoundEngine { g, options }
+        Self::with_policy(g, options, ScanPolicy::auto())
+    }
+
+    /// As [`Self::new`], scanning data-parallel on an explicit pool
+    /// (identical entries; window-rounded `score_computations` — see
+    /// [`crate::parallel`]).
+    pub fn with_pool(g: Arc<CsrGraph>, pool: Arc<WorkerPool>) -> Self {
+        Self::with_policy(g, BoundOptions::default(), ScanPolicy::pooled(pool))
+    }
+
+    /// As [`Self::new`] with full control over pruning and scan placement.
+    pub fn with_policy(g: Arc<CsrGraph>, options: BoundOptions, scan: ScanPolicy) -> Self {
+        BoundEngine { g, options, scan }
     }
 }
 
@@ -306,7 +396,10 @@ impl DiversityEngine for BoundEngine {
     }
 
     fn top_r_unchecked(&self, config: &DiversityConfig) -> TopRResult {
-        crate::bound::bound_top_r_with(&self.g, config, self.options)
+        match self.scan.parallel_for(self.g.n()) {
+            Some(pool) => crate::parallel::bound_top_r_pooled(pool, &self.g, config, self.options),
+            None => crate::bound::bound_top_r_with(&self.g, config, self.options),
+        }
     }
 }
 
@@ -507,14 +600,27 @@ pub const AUTO_SMALL_GRAPH_EDGES: usize = 20_000;
 /// [`AUTO_SMALL_GRAPH_EDGES`] edges, the index-free bound search above it.
 /// (The [`crate::SearchService`] refines this with query-rate awareness.)
 pub fn build_engine(kind: EngineKind, g: Arc<CsrGraph>) -> Box<dyn DiversityEngine> {
+    build_engine_in(kind, g, ScanPolicy::auto())
+}
+
+/// As [`build_engine`], with scans of the index-free engines placed by an
+/// explicit [`ScanPolicy`] — how a [`crate::SearchService`] threads its
+/// pool down to the engines it builds. Index construction (TSD, GCT,
+/// Hybrid) is unaffected by the policy; those engines differ only in where
+/// they were *scheduled* to build.
+pub fn build_engine_in(
+    kind: EngineKind,
+    g: Arc<CsrGraph>,
+    scan: ScanPolicy,
+) -> Box<dyn DiversityEngine> {
     match kind {
         EngineKind::Auto => {
             let resolved =
                 if g.m() <= AUTO_SMALL_GRAPH_EDGES { EngineKind::Gct } else { EngineKind::Bound };
-            build_engine(resolved, g)
+            build_engine_in(resolved, g, scan)
         }
-        EngineKind::Online => Box::new(OnlineEngine::new(g)),
-        EngineKind::Bound => Box::new(BoundEngine::new(g)),
+        EngineKind::Online => Box::new(OnlineEngine::with_policy(g, scan)),
+        EngineKind::Bound => Box::new(BoundEngine::with_policy(g, BoundOptions::default(), scan)),
         EngineKind::Tsd => Box::new(TsdEngine::build(g)),
         EngineKind::Gct => Box::new(GctEngine::build(g)),
         EngineKind::Hybrid => Box::new(HybridEngine::build(g)),

@@ -303,6 +303,7 @@ impl GctIndex {
                 score_computations: computations,
                 elapsed: start.elapsed(),
                 engine: "",
+                parallel: false,
             },
         }
     }

@@ -192,6 +192,7 @@ impl HybridIndex {
                 score_computations: computations,
                 elapsed: start.elapsed(),
                 engine: "",
+                parallel: false,
             },
         }
     }

@@ -69,6 +69,7 @@ pub mod hybrid;
 pub mod online;
 pub mod paper;
 pub mod parallel;
+pub mod pool;
 pub mod score;
 pub mod service;
 pub mod tcp;
@@ -80,8 +81,8 @@ pub use config::{DiversityConfig, SearchMetrics, TopREntry, TopRResult};
 pub use dynamic::DynamicTsd;
 pub use egonet::{AllEgoNetworks, EgoNetwork};
 pub use engine::{
-    build_engine, BoundEngine, DiversityEngine, EngineKind, GctEngine, HybridEngine, OnlineEngine,
-    QuerySpec, TsdEngine,
+    build_engine, build_engine_in, BoundEngine, DiversityEngine, EngineKind, GctEngine,
+    HybridEngine, OnlineEngine, QuerySpec, ScanPolicy, TsdEngine, PARALLEL_MIN_VERTICES,
 };
 pub use envelope::{
     GraphFingerprint, IndexBundle, IndexEnvelope, BUNDLE_ENTRY_HEADER_BYTES, BUNDLE_HEADER_BYTES,
@@ -92,6 +93,8 @@ pub use gct::{GctIndex, BITMAP_FALLBACK_THRESHOLD};
 pub use hybrid::HybridIndex;
 pub use online::all_scores;
 pub use paper::{paper_figure18_graph, paper_figure1_edges, paper_figure1_graph};
+pub use parallel::pool_all_scores;
+pub use pool::{default_threads as default_pool_threads, Job, WorkerPool, MAX_POOL_THREADS};
 pub use score::{score, social_contexts, EgoDecomposition};
 pub use sd_graph::GraphUpdate;
 pub use service::{

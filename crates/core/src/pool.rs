@@ -1,0 +1,423 @@
+//! The process-wide worker pool: one set of lazily spawned threads serving
+//! **both** background index builds (from every [`crate::SearchService`])
+//! and data-parallel query execution (the chunked Online/Bound scans and
+//! [`crate::SearchService::top_r_many`] fan-out).
+//!
+//! Before 0.6 each service owned a private 2-thread build queue, so N
+//! services parked 2·N mostly idle OS threads and the query path never used
+//! more than one core. A [`WorkerPool`] inverts that: there is one
+//! [`global`] pool per process, sized by `available_parallelism` (override
+//! with the `SD_POOL_THREADS` environment variable, read once), and its
+//! threads are spawned *on demand* — a process that never goes cold and
+//! never fans out a batch spawns none at all.
+//!
+//! ## Execution model
+//!
+//! Jobs go through one shared MPMC injector queue (the `crossbeam::channel`
+//! shim). Two entry points:
+//!
+//! * [`WorkerPool::submit`] — fire-and-forget, for background index builds.
+//!   Spawns a worker lazily when queued work exceeds idle capacity.
+//! * [`WorkerPool::run_all`] — structured fan-out: submits a batch, then
+//!   the **calling thread participates**, stealing queued jobs (its own or
+//!   anyone else's) while it waits. This is what makes nested use safe: a
+//!   fan-out task running on a pool worker can itself `run_all` a chunked
+//!   scan without deadlocking, because every waiter executes work instead
+//!   of parking while runnable jobs exist.
+//!
+//! A panicking job never takes a worker down (each job runs under
+//! `catch_unwind`); [`WorkerPool::run_all`] re-raises the panic on the
+//! calling thread once the batch has fully drained, so no sibling job is
+//! left dangling.
+//!
+//! ## Determinism
+//!
+//! The pool itself imposes no ordering. Determinism of parallel query
+//! results is the *callers'* contract — see [`crate::parallel`], which
+//! statically chunks by vertex ranges and reduces in chunk order, making
+//! parallel results byte-identical to the sequential path at any thread
+//! count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::channel::{Receiver, Sender};
+
+/// One unit of pool work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Hard ceiling on pool size, protecting against a runaway
+/// `SD_POOL_THREADS` value.
+pub const MAX_POOL_THREADS: usize = 256;
+
+/// Counters shared between the pool handle and its workers.
+struct PoolShared {
+    /// Sizing bound: workers never exceed this.
+    max: usize,
+    /// Worker threads currently alive.
+    spawned: AtomicUsize,
+    /// Workers currently parked in `recv` (no job in hand).
+    idle: AtomicUsize,
+    /// Jobs fully executed (including panicked ones).
+    executed: AtomicUsize,
+}
+
+/// A shared worker pool; see the [module docs](self) for the execution
+/// model. Cheap to share as `Arc<WorkerPool>`; dropping the last handle
+/// disconnects the injector queue and every worker exits on its own (after
+/// finishing its current job), so test-local pools leak no threads.
+pub struct WorkerPool {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    shared: Arc<PoolShared>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("max_threads", &self.shared.max)
+            .field("spawned_threads", &self.spawned_threads())
+            .field("queued", &self.rx.len())
+            .finish()
+    }
+}
+
+/// The pool size [`global`] uses: `SD_POOL_THREADS` when set to a positive
+/// integer, `available_parallelism` otherwise; both capped at
+/// [`MAX_POOL_THREADS`].
+pub fn default_threads() -> usize {
+    let configured = std::env::var("SD_POOL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    configured
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+        .min(MAX_POOL_THREADS)
+}
+
+/// The process-wide pool, created on first use with [`default_threads`]
+/// workers. Every [`crate::SearchService`] built through the plain
+/// constructors shares it; [`WorkerPool::new`] makes an isolated pool for
+/// tests and benchmarks that need an exact thread count.
+pub fn global() -> &'static Arc<WorkerPool> {
+    static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(WorkerPool::new(default_threads())))
+}
+
+impl WorkerPool {
+    /// A pool bounded to `threads` workers (clamped to
+    /// `1..=`[`MAX_POOL_THREADS`]). No thread is spawned until work
+    /// demands it; a 1-thread pool never spawns at all — [`Self::run_all`]
+    /// runs its batch inline, which is what makes explicit
+    /// `WorkerPool::new(1)` the exact sequential reference.
+    pub fn new(threads: usize) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        WorkerPool {
+            tx,
+            rx,
+            shared: Arc::new(PoolShared {
+                max: threads.clamp(1, MAX_POOL_THREADS),
+                spawned: AtomicUsize::new(0),
+                idle: AtomicUsize::new(0),
+                executed: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The sizing bound this pool was created with.
+    pub fn max_threads(&self) -> usize {
+        self.shared.max
+    }
+
+    /// Worker threads currently alive — at most [`Self::max_threads`],
+    /// starting at 0 (workers spawn lazily).
+    pub fn spawned_threads(&self) -> usize {
+        self.shared.spawned.load(Ordering::SeqCst)
+    }
+
+    /// Jobs fully executed over the pool's lifetime (panicked jobs
+    /// included).
+    pub fn jobs_executed(&self) -> usize {
+        self.shared.executed.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a fire-and-forget job (the background-build entry point).
+    /// Never blocks; spawns a worker if the queue is outgrowing idle
+    /// capacity. On a 1-thread pool the job runs on the single lazily
+    /// spawned worker, never on the caller.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        // Cannot fail: `self.rx` keeps the receiver count nonzero for as
+        // long as this handle exists.
+        let _ = self.tx.send(Box::new(job));
+        self.maybe_spawn();
+    }
+
+    /// Runs a batch of jobs to completion, with the calling thread
+    /// participating (see the [module docs](self)). Returns once every job
+    /// in `jobs` has finished; if any of them panicked, re-raises a panic
+    /// on the calling thread *after* the batch has drained.
+    pub fn run_all(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.shared.max <= 1 || jobs.len() == 1 {
+            // Inline fast path: no worker threads, no queueing, panics
+            // propagate directly. This is the sequential reference that
+            // parallel results are byte-identical to.
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let total = jobs.len();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<bool>();
+        for job in jobs {
+            let done = done_tx.clone();
+            let _ = self.tx.send(Box::new(move || {
+                let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+                // The batch owner holds `done_rx` until every signal is in,
+                // so this send cannot fail while anyone is waiting on it.
+                let _ = done.send(panicked);
+            }));
+        }
+        drop(done_tx);
+        self.maybe_spawn();
+
+        let mut completed = 0usize;
+        let mut panicked = false;
+        while completed < total {
+            if let Ok(p) = done_rx.try_recv() {
+                completed += 1;
+                panicked |= p;
+                continue;
+            }
+            // Steal: execute *any* queued job (ours or another caller's)
+            // instead of parking. Nested `run_all` on a worker thread makes
+            // progress through exactly this arm.
+            if let Ok(job) = self.rx.try_recv() {
+                // Background jobs signal nothing; wrapped batch jobs carry
+                // their own completion send. Either way a panic here is the
+                // job's own (already contained for wrapped jobs; contained
+                // now for fire-and-forget ones).
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                self.shared.executed.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            // Nothing stealable: every remaining job of ours is mid-flight
+            // on some other thread. Park until one reports in.
+            match done_rx.recv() {
+                Ok(p) => {
+                    completed += 1;
+                    panicked |= p;
+                }
+                Err(_) => break, // unreachable: senders live inside pending jobs
+            }
+        }
+        if panicked {
+            panic!("a worker-pool job panicked (batch drained before re-raise)");
+        }
+    }
+
+    /// Spawns one worker when queued work exceeds idle capacity and the
+    /// pool is below its bound. Workers live until the pool handle drops
+    /// (the disconnected queue is their exit signal).
+    fn maybe_spawn(&self) {
+        loop {
+            let spawned = self.shared.spawned.load(Ordering::SeqCst);
+            if spawned >= self.shared.max {
+                return;
+            }
+            if self.tx.len() <= self.shared.idle.load(Ordering::SeqCst) {
+                return; // parked workers will absorb the queue
+            }
+            if self
+                .shared
+                .spawned
+                .compare_exchange(spawned, spawned + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                let shared = self.shared.clone();
+                let rx = self.rx.clone();
+                let spawn = std::thread::Builder::new()
+                    .name("sd-pool-worker".into())
+                    .spawn(move || worker_loop(shared, rx));
+                if spawn.is_err() {
+                    // Out of threads: undo the claim; submitted work still
+                    // completes via existing workers or `run_all` callers.
+                    self.shared.spawned.fetch_sub(1, Ordering::SeqCst);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Worker body: drain the injector until the owning pool handle drops.
+fn worker_loop(shared: Arc<PoolShared>, rx: Receiver<Job>) {
+    loop {
+        shared.idle.fetch_add(1, Ordering::SeqCst);
+        let msg = rx.recv();
+        shared.idle.fetch_sub(1, Ordering::SeqCst);
+        match msg {
+            Ok(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                shared.executed.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(_) => {
+                // Disconnected: the last pool handle is gone.
+                shared.spawned.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..deadline_ms {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    #[test]
+    fn spawns_lazily_and_never_exceeds_max() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.spawned_threads(), 0, "no work, no threads");
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let hits = hits.clone();
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(wait_until(2000, || hits.load(Ordering::SeqCst) == 32));
+        assert!(pool.spawned_threads() <= 3, "spawned {}", pool.spawned_threads());
+        assert!(pool.spawned_threads() >= 1);
+    }
+
+    #[test]
+    fn run_all_executes_every_job_exactly_once() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let counts: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..40).map(|_| AtomicUsize::new(0)).collect());
+            let jobs: Vec<Job> = (0..40)
+                .map(|i| {
+                    let counts = counts.clone();
+                    Box::new(move || {
+                        counts[i].fetch_add(1, Ordering::SeqCst);
+                    }) as Job
+                })
+                .collect();
+            pool.run_all(jobs);
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "job {i} on {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn run_all_is_reentrant_from_pool_workers() {
+        // Fan-out tasks that each run a nested chunked batch — the exact
+        // shape of `top_r_many` over parallel-scanning engines. Caller
+        // participation is what keeps this from deadlocking on a pool
+        // smaller than the nesting depth.
+        let pool = Arc::new(WorkerPool::new(2));
+        let leaves = Arc::new(AtomicUsize::new(0));
+        let outer: Vec<Job> = (0..6)
+            .map(|_| {
+                let pool = pool.clone();
+                let leaves = leaves.clone();
+                Box::new(move || {
+                    let inner: Vec<Job> = (0..8)
+                        .map(|_| {
+                            let leaves = leaves.clone();
+                            Box::new(move || {
+                                leaves.fetch_add(1, Ordering::SeqCst);
+                            }) as Job
+                        })
+                        .collect();
+                    pool.run_all(inner);
+                }) as Job
+            })
+            .collect();
+        pool.run_all(outer);
+        assert_eq!(leaves.load(Ordering::SeqCst), 6 * 8);
+    }
+
+    #[test]
+    fn run_all_reraises_panics_after_draining() {
+        let pool = WorkerPool::new(2);
+        let survivors = Arc::new(AtomicUsize::new(0));
+        let mut jobs: Vec<Job> = Vec::new();
+        for i in 0..10 {
+            let survivors = survivors.clone();
+            jobs.push(Box::new(move || {
+                if i == 3 {
+                    panic!("boom");
+                }
+                survivors.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let res = catch_unwind(AssertUnwindSafe(|| pool.run_all(jobs)));
+        assert!(res.is_err(), "panic must surface on the caller");
+        assert_eq!(survivors.load(Ordering::SeqCst), 9, "siblings still ran");
+        // The pool survives: workers contained the panic.
+        let after = Arc::new(AtomicUsize::new(0));
+        let a = after.clone();
+        pool.run_all(vec![
+            Box::new(move || {
+                a.fetch_add(1, Ordering::SeqCst);
+            }),
+            Box::new(|| {}),
+        ]);
+        assert_eq!(after.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_batches_inline() {
+        let pool = WorkerPool::new(1);
+        let tid = std::thread::current().id();
+        let ran_on = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| {
+                let ran_on = ran_on.clone();
+                Box::new(move || ran_on.lock().push(std::thread::current().id())) as Job
+            })
+            .collect();
+        pool.run_all(jobs);
+        assert!(ran_on.lock().iter().all(|&t| t == tid), "1-thread pools run inline");
+        assert_eq!(pool.spawned_threads(), 0);
+    }
+
+    #[test]
+    fn dropping_the_pool_retires_its_workers() {
+        let pool = WorkerPool::new(2);
+        let shared = pool.shared.clone();
+        pool.submit(|| {});
+        assert!(wait_until(2000, || shared.executed.load(Ordering::SeqCst) == 1));
+        assert!(shared.spawned.load(Ordering::SeqCst) >= 1);
+        drop(pool);
+        assert!(
+            wait_until(2000, || shared.spawned.load(Ordering::SeqCst) == 0),
+            "workers must exit once the handle drops"
+        );
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let d = default_threads();
+        assert!((1..=MAX_POOL_THREADS).contains(&d));
+        assert!(global().max_threads() >= 1);
+    }
+}

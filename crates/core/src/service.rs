@@ -19,13 +19,21 @@
 //!   happens under the slot's write lock, double-checked, so every engine
 //!   is built exactly once per epoch no matter how many threads race;
 //! * **queries never wait for an index build**: [`SearchService::top_r`]
-//!   on a cold TSD/GCT/Hybrid engine enqueues the build onto a small
-//!   worker pool (a `crossbeam` channel feeding detached builder threads)
-//!   and answers the in-flight query via an index-free fallback — a cached
+//!   on a cold TSD/GCT/Hybrid engine enqueues the build onto the
+//!   **process-wide [`WorkerPool`]** (shared by every service in the
+//!   process — N services no longer park 2·N private builder threads) and
+//!   answers the in-flight query via an index-free fallback — a cached
 //!   [`Bound`] engine when one exists, the always-available [`Online`]
 //!   scan otherwise — so first-query tail latency is bounded by a scan
 //!   instead of an index construction; the fallback is sound because all
 //!   engines return identical score multisets (`tests/differential.rs`);
+//! * **queries use the hardware**: the same pool runs the data-parallel
+//!   Online/Bound scans (via the service's [`ScanPolicy`]) and fans
+//!   [`SearchService::top_r_many`] batches out as independent tasks, each
+//!   pinned to the batch's epoch snapshot. Parallel results are
+//!   byte-identical to sequential ones (see [`crate::parallel`]);
+//!   [`ServiceStats::pool_threads`] and [`ServiceStats::parallel_queries`]
+//!   surface what the pool is doing for this service;
 //! * **the graph is mutable under traffic**:
 //!   [`SearchService::apply_updates`] applies a batch of edge
 //!   insertions/deletions, carries the TSD-index across *incrementally*
@@ -92,10 +100,11 @@ use sd_graph::{CsrGraph, GraphUpdate};
 use crate::config::TopRResult;
 use crate::dynamic::DynamicTsd;
 use crate::engine::{
-    build_engine, decode_engine, DiversityEngine, EngineKind, QuerySpec, TsdEngine,
+    build_engine_in, decode_engine, DiversityEngine, EngineKind, QuerySpec, ScanPolicy, TsdEngine,
 };
 use crate::envelope::{GraphFingerprint, IndexBundle, IndexEnvelope};
 use crate::error::SearchError;
+use crate::pool::{self, Job, WorkerPool};
 
 /// Number of [`EngineKind::Auto`] queries served with the index-free bound
 /// engine before the service decides the query stream is worth an index
@@ -111,11 +120,11 @@ pub const AUTO_WARMUP_QUERIES: usize = 2;
 /// `Auto` resolution uses it too.
 pub const AUTO_SMALL_GRAPH_EDGES: usize = crate::engine::AUTO_SMALL_GRAPH_EDGES;
 
-/// Builder threads per service. Two is enough to overlap the three
-/// index-building kinds (TSD, GCT, Hybrid) without ever parking more OS
-/// threads than the work warrants; [`SearchService::wait_ready`] lends the
-/// calling thread on top whenever the pool is behind.
-const BUILD_WORKERS: usize = 2;
+/// Batches below this size are not worth fanning out onto the pool.
+const FANOUT_MIN_SPECS: usize = 2;
+
+/// One `top_r_many` fan-out result slot, filled by its pool task.
+type BatchSlot = Mutex<Option<Result<TopRResult, SearchError>>>;
 
 /// One engine slot: a lazily initialized, concurrently readable cache.
 /// Construction happens *under the write lock* (double-checked), which is
@@ -152,6 +161,16 @@ pub struct ServiceStats {
     /// engine that actually answered ([`EngineKind::Online`] or
     /// [`EngineKind::Bound`]).
     pub queries_by_engine: [usize; 5],
+    /// Worker threads currently alive in the [`WorkerPool`] this service
+    /// schedules onto. The pool is process-wide by default, so this is a
+    /// *shared* figure — N services over the global pool report the same
+    /// value, bounded by the pool size, not N times it.
+    pub pool_threads: usize,
+    /// Successful queries that executed on the pool: each
+    /// [`SearchService::top_r_many`] fan-out task, plus every query whose
+    /// Online/Bound scan ran data-parallel
+    /// ([`crate::SearchMetrics::parallel`]). Counted once per query.
+    pub parallel_queries: usize,
 }
 
 impl ServiceStats {
@@ -240,16 +259,22 @@ impl EpochState {
     }
 }
 
-/// The shared interior of a [`SearchService`]: everything the background
-/// builder threads need to outlive the facade that spawned them. Lifetime
-/// counters live here; per-graph state lives in the current [`EpochState`].
+/// The shared interior of a [`SearchService`]: everything a scheduled pool
+/// job needs to outlive the facade that enqueued it. Lifetime counters
+/// live here; per-graph state lives in the current [`EpochState`].
 struct ServiceCore {
     /// The serving epoch. Readers clone the `Arc` under the read lock (a
     /// pointer copy); [`SearchService::apply_updates`] swaps it under the
     /// write lock. This is the *only* lock a query shares with an update.
     current: RwLock<Arc<EpochState>>,
-    /// Set when the owning `SearchService` drops; workers drain the queue
-    /// without building.
+    /// The worker pool this service schedules background builds and
+    /// parallel query execution onto — the process-wide [`pool::global`]
+    /// unless constructed via [`SearchService::with_pool`].
+    pool: Arc<WorkerPool>,
+    /// Scan placement for the index-free engines this service builds.
+    scan: ScanPolicy,
+    /// Set when the owning `SearchService` drops; scheduled build jobs
+    /// still queued become no-ops.
     shutdown: AtomicBool,
     queries_served: AtomicUsize,
     engines_built: AtomicUsize,
@@ -258,6 +283,7 @@ struct ServiceCore {
     epochs: AtomicUsize,
     updates_applied: AtomicUsize,
     incremental_tsd_carries: AtomicUsize,
+    parallel_queries: AtomicUsize,
     queries_by_slot: [AtomicUsize; 5],
 }
 
@@ -296,7 +322,8 @@ impl ServiceCore {
         if let Some(engine) = guard.as_ref() {
             return (engine.clone(), false);
         }
-        let engine: Arc<dyn DiversityEngine> = Arc::from(build_engine(kind, epoch.graph.clone()));
+        let engine: Arc<dyn DiversityEngine> =
+            Arc::from(build_engine_in(kind, epoch.graph.clone(), self.scan.clone()));
         self.engines_built.fetch_add(1, Ordering::Relaxed);
         *guard = Some(engine.clone());
         (engine, true)
@@ -309,37 +336,103 @@ impl ServiceCore {
         *epoch.slots[Self::slot(kind)].write() = Some(engine);
     }
 
-    /// The background worker loop: drain build requests until the channel
-    /// closes (the owning service dropped every sender). Every request is
-    /// resolved against the epoch current *at processing time* — a request
-    /// that raced an [`SearchService::apply_updates`] warms the live graph,
-    /// never a superseded snapshot. Requests for a kind that got built in
-    /// the meantime — by `wait_ready`, a blocking `engine()` call, or an
-    /// import — are no-ops.
-    ///
-    /// A panicking build is contained here: the worker survives, and the
-    /// kind's schedule latch is reset so a later query (or `wait_ready`,
-    /// which would surface the panic on the caller's thread) can retry —
-    /// without this, one panic would silently pin that kind to the
-    /// fallback for the epoch's whole lifetime.
-    fn build_worker(self: Arc<Self>, rx: crossbeam::channel::Receiver<EngineKind>) {
-        while let Ok(kind) = rx.recv() {
-            if self.shutdown.load(Ordering::Relaxed) {
-                continue;
-            }
-            let epoch = self.current();
-            let build = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.build_if_absent(&epoch, kind)
-            }));
-            match build {
-                Ok((_, built)) => {
-                    if built {
-                        self.background_builds.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                Err(_) => epoch.scheduled[Self::slot(kind)].store(false, Ordering::Relaxed),
-            }
+    /// Enqueues a background build for `kind` onto the shared pool,
+    /// exactly once per epoch (later calls are no-ops, as are queued jobs
+    /// for a kind that got built through another path first).
+    fn schedule_build(self: &Arc<Self>, epoch: &EpochState, kind: EngineKind) {
+        let latch = &epoch.scheduled[Self::slot(kind)];
+        if latch.compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+            let core = self.clone();
+            self.pool.submit(move || core.run_scheduled_build(kind));
         }
+    }
+
+    /// One scheduled build job, run by a pool worker (or a `run_all`
+    /// caller stealing queued work). Resolved against the epoch current
+    /// *at execution time* — a job that raced an
+    /// [`SearchService::apply_updates`] warms the live graph, never a
+    /// superseded snapshot. Jobs for a kind that got built in the meantime
+    /// — by `wait_ready`, a blocking `engine()` call, or an import — are
+    /// no-ops, as are jobs outliving their dropped service.
+    ///
+    /// A panicking build is contained here (the pool additionally shields
+    /// its workers): the kind's schedule latch is reset so a later query
+    /// (or `wait_ready`, which would surface the panic on the caller's
+    /// thread) can retry — without this, one panic would silently pin that
+    /// kind to the fallback for the epoch's whole lifetime.
+    fn run_scheduled_build(&self, kind: EngineKind) {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let epoch = self.current();
+        let build = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.build_if_absent(&epoch, kind)
+        }));
+        match build {
+            Ok((_, built)) => {
+                if built {
+                    self.background_builds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => epoch.scheduled[Self::slot(kind)].store(false, Ordering::Relaxed),
+        }
+    }
+
+    /// Resolves [`EngineKind::Auto`] against one epoch (see
+    /// [`SearchService::resolve`] for the criteria).
+    fn resolve_on(&self, epoch: &EpochState, kind: EngineKind) -> EngineKind {
+        if kind != EngineKind::Auto {
+            return kind;
+        }
+        if epoch.is_built(EngineKind::Gct) {
+            EngineKind::Gct
+        } else if epoch.is_built(EngineKind::Tsd) {
+            EngineKind::Tsd
+        } else if epoch.graph.m() <= AUTO_SMALL_GRAPH_EDGES
+            || self.queries_served.load(Ordering::Relaxed) >= AUTO_WARMUP_QUERIES
+        {
+            EngineKind::Gct
+        } else {
+            EngineKind::Bound
+        }
+    }
+
+    /// One query against one pinned epoch — the body of
+    /// [`SearchService::top_r`], also run as a pool task by the
+    /// [`SearchService::top_r_many`] fan-out (`fanned` marks those for the
+    /// `parallel_queries` accounting).
+    fn top_r_on(
+        self: &Arc<Self>,
+        epoch: &Arc<EpochState>,
+        spec: &QuerySpec,
+        fanned: bool,
+    ) -> Result<TopRResult, SearchError> {
+        // Validate before building anything: a bad spec must not cost an
+        // index construction.
+        spec.config().check_against(epoch.graph.n())?;
+        let kind = self.resolve_on(epoch, spec.engine());
+        let engine = match epoch.cached(kind) {
+            Some(engine) => engine,
+            None if kind.builds_inline() => self.build_if_absent(epoch, kind).0,
+            None => {
+                // Cold index engine: hand the build to the shared pool and
+                // serve this query through the best available index-free
+                // engine — a cached Bound beats the online scan.
+                self.schedule_build(epoch, kind);
+                self.foreground_fallbacks.fetch_add(1, Ordering::Relaxed);
+                match epoch.cached(EngineKind::Bound) {
+                    Some(bound) => bound,
+                    None => self.build_if_absent(epoch, EngineKind::Online).0,
+                }
+            }
+        };
+        let result = engine.top_r(spec)?;
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.queries_by_slot[Self::slot(engine.kind())].fetch_add(1, Ordering::Relaxed);
+        if fanned || result.metrics.parallel {
+            self.parallel_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(result)
     }
 }
 
@@ -353,12 +446,12 @@ impl ServiceCore {
 ///
 /// Share it as `Arc<SearchService>`; every method takes `&self`.
 ///
-/// Dropping the service is non-blocking: the builder threads are detached,
-/// notice the closed queue (and the shutdown latch, which voids any builds
-/// still queued), and exit on their own.
+/// Dropping the service is non-blocking even with builds in flight: the
+/// pool is shared (its workers outlive any one service), a shutdown latch
+/// voids build jobs still queued, and a job already running holds only the
+/// service's internal core `Arc`, which it releases when it finishes.
 pub struct SearchService {
     core: Arc<ServiceCore>,
-    build_tx: crossbeam::channel::Sender<EngineKind>,
     /// Serializes writers and retains the incremental TSD maintenance
     /// state between batches. Held only by [`Self::apply_updates`] — the
     /// query path never touches it.
@@ -381,25 +474,49 @@ impl std::fmt::Debug for SearchService {
 impl Drop for SearchService {
     fn drop(&mut self) {
         // Builds queued but not started are pointless now; the latch makes
-        // the workers skip them, and dropping `build_tx` (implicit, after
-        // this runs) closes the channel so they exit.
+        // the pool jobs return immediately when they come up. The pool
+        // itself is untouched — it is shared with every other service.
         self.core.shutdown.store(true, Ordering::Relaxed);
     }
 }
 
 impl SearchService {
-    /// A service over `graph`. No engine is built yet; the graph's
-    /// fingerprint is computed once per epoch, up front (`O(m)`), and the
-    /// background builder pool is started (idle until a cold query or a
-    /// warmup enqueues work).
+    /// A service over `graph`, scheduling onto the **process-wide**
+    /// [`pool::global`] worker pool. No engine and no thread is built yet;
+    /// the graph's fingerprint is computed once per epoch, up front
+    /// (`O(m)`), and the shared pool spawns workers lazily when a cold
+    /// query or a warmup enqueues work — N services cost one pool's worth
+    /// of threads between them, not N private builder pairs.
     pub fn new(graph: CsrGraph) -> Self {
         Self::from_arc(Arc::new(graph))
     }
 
     /// As [`Self::new`] over an already-shared graph.
     pub fn from_arc(graph: Arc<CsrGraph>) -> Self {
+        Self::from_arc_with_policy(graph, pool::global().clone(), ScanPolicy::auto())
+    }
+
+    /// A service scheduling onto an explicit [`WorkerPool`] instead of the
+    /// process-wide one — for tests and benchmarks that need a pinned
+    /// thread count, or callers isolating a service's work from the global
+    /// pool. The pool also drives this service's data-parallel query scans
+    /// (with no graph-size floor, unlike the global policy's
+    /// [`crate::PARALLEL_MIN_VERTICES`]).
+    pub fn with_pool(graph: CsrGraph, pool: Arc<WorkerPool>) -> Self {
+        Self::from_arc_with_pool(Arc::new(graph), pool)
+    }
+
+    /// As [`Self::with_pool`] over an already-shared graph.
+    pub fn from_arc_with_pool(graph: Arc<CsrGraph>, pool: Arc<WorkerPool>) -> Self {
+        let scan = ScanPolicy::pooled(pool.clone());
+        Self::from_arc_with_policy(graph, pool, scan)
+    }
+
+    fn from_arc_with_policy(graph: Arc<CsrGraph>, pool: Arc<WorkerPool>, scan: ScanPolicy) -> Self {
         let core = Arc::new(ServiceCore {
             current: RwLock::new(Arc::new(EpochState::over(0, graph))),
+            pool,
+            scan,
             shutdown: AtomicBool::new(false),
             queries_served: AtomicUsize::new(0),
             engines_built: AtomicUsize::new(0),
@@ -408,15 +525,10 @@ impl SearchService {
             epochs: AtomicUsize::new(1),
             updates_applied: AtomicUsize::new(0),
             incremental_tsd_carries: AtomicUsize::new(0),
+            parallel_queries: AtomicUsize::new(0),
             queries_by_slot: std::array::from_fn(|_| AtomicUsize::new(0)),
         });
-        let (build_tx, build_rx) = crossbeam::channel::unbounded();
-        for _ in 0..BUILD_WORKERS {
-            let core = core.clone();
-            let rx = build_rx.clone();
-            std::thread::spawn(move || core.build_worker(rx));
-        }
-        SearchService { core, build_tx, updater: Mutex::new(None) }
+        SearchService { core, updater: Mutex::new(None) }
     }
 
     /// The graph the *current* epoch answers queries about, as a pinned
@@ -463,7 +575,15 @@ impl SearchService {
             queries_by_engine: std::array::from_fn(|i| {
                 self.core.queries_by_slot[i].load(Ordering::Relaxed)
             }),
+            pool_threads: self.core.pool.spawned_threads(),
+            parallel_queries: self.core.parallel_queries.load(Ordering::Relaxed),
         }
+    }
+
+    /// The worker pool this service schedules onto — the process-wide pool
+    /// unless constructed via [`Self::with_pool`].
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.core.pool
     }
 
     /// The kinds of engines built and ready to serve in the current epoch.
@@ -487,41 +607,7 @@ impl SearchService {
     /// Concrete kinds resolve to themselves. An engine whose background
     /// build is still running counts as not-yet-built.
     pub fn resolve(&self, kind: EngineKind) -> EngineKind {
-        self.resolve_on(&self.core.current(), kind)
-    }
-
-    fn resolve_on(&self, epoch: &EpochState, kind: EngineKind) -> EngineKind {
-        if kind != EngineKind::Auto {
-            return kind;
-        }
-        if epoch.is_built(EngineKind::Gct) {
-            EngineKind::Gct
-        } else if epoch.is_built(EngineKind::Tsd) {
-            EngineKind::Tsd
-        } else if epoch.graph.m() <= AUTO_SMALL_GRAPH_EDGES
-            || self.queries_served() >= AUTO_WARMUP_QUERIES
-        {
-            EngineKind::Gct
-        } else {
-            EngineKind::Bound
-        }
-    }
-
-    /// Enqueues a background build for `kind` exactly once per epoch
-    /// (later calls are no-ops, as are queue entries for a kind that got
-    /// built through another path first).
-    fn schedule_build(&self, epoch: &EpochState, kind: EngineKind) {
-        let latch = &epoch.scheduled[Self::slot(kind)];
-        if latch.compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
-            // Send only fails once every receiver is gone (the workers hold
-            // theirs for as long as `self` exists, and they contain build
-            // panics) — but if it ever does, reset the latch so the kind
-            // stays reachable through `wait_ready`/`engine` retries instead
-            // of being silently pinned to the fallback.
-            if self.build_tx.send(kind).is_err() {
-                latch.store(false, Ordering::Relaxed);
-            }
-        }
+        self.core.resolve_on(&self.core.current(), kind)
     }
 
     /// The engine of the given kind ([`EngineKind::Auto`] resolves first),
@@ -532,7 +618,7 @@ impl SearchService {
     /// blocking.
     pub fn engine(&self, kind: EngineKind) -> Arc<dyn DiversityEngine> {
         let epoch = self.core.current();
-        let kind = self.resolve_on(&epoch, kind);
+        let kind = self.core.resolve_on(&epoch, kind);
         self.core.build_if_absent(&epoch, kind).0
     }
 
@@ -542,38 +628,68 @@ impl SearchService {
     /// index-free kinds are constructed inline since that is O(1)).
     /// Returns the concrete kinds now building or built, deduplicated, in
     /// [`EngineKind::ALL`] order. Join with [`Self::wait_ready`].
+    ///
+    /// Like [`Self::wait_ready`], this re-resolves the serving epoch after
+    /// working through the requested kinds: if an [`Self::apply_updates`]
+    /// published mid-call, the warmup is re-applied to the *new* epoch, so
+    /// the engines it promised are warming wherever traffic actually goes —
+    /// not only on a superseded snapshot.
     pub fn warmup(&self, kinds: impl IntoIterator<Item = EngineKind>) -> Vec<EngineKind> {
-        let epoch = self.core.current();
         let mut warmed = [false; 5];
-        for kind in kinds {
-            let kind = self.resolve_on(&epoch, kind);
-            warmed[Self::slot(kind)] = true;
-            if kind.builds_inline() {
-                self.core.build_if_absent(&epoch, kind);
-            } else {
-                self.schedule_build(&epoch, kind);
+        let mut epoch = self.core.current();
+        let kinds: Vec<EngineKind> = kinds.into_iter().collect();
+        loop {
+            for &kind in &kinds {
+                let kind = self.core.resolve_on(&epoch, kind);
+                warmed[Self::slot(kind)] = true;
+                if kind.builds_inline() {
+                    self.core.build_if_absent(&epoch, kind);
+                } else {
+                    self.core.schedule_build(&epoch, kind);
+                }
             }
+            let now = self.core.current();
+            if Arc::ptr_eq(&epoch, &now) {
+                break;
+            }
+            epoch = now;
         }
         EngineKind::ALL.into_iter().filter(|&k| warmed[Self::slot(k)]).collect()
     }
 
-    /// Blocks until every named engine is built in the current epoch and
-    /// returns the concrete kinds waited on, deduplicated, in
+    /// Blocks until every named engine is built in the **serving** epoch
+    /// and returns the concrete kinds waited on, deduplicated, in
     /// [`EngineKind::ALL`] order — the join half of the non-blocking
     /// [`Self::warmup`].
     ///
     /// A kind whose background build is in flight is joined (construction
     /// happens under the slot's write lock, so waiting for that lock *is*
     /// the join); a kind nobody scheduled is simply built on the calling
-    /// thread. Either way the engine exists when this returns, and the
-    /// per-kind build still happens exactly once per epoch.
+    /// thread. Either way the per-kind build still happens exactly once
+    /// per epoch.
+    ///
+    /// "Serving" is re-checked after the joins: if an
+    /// [`Self::apply_updates`] published a new epoch while this call was
+    /// building against the one it pinned at entry, the loop re-runs
+    /// against the new epoch (warming it on the calling thread), so the
+    /// guarantee callers rely on — *after `wait_ready(K)` returns, `K`
+    /// serves queries without fallback* — holds for the epoch queries will
+    /// actually hit, not a superseded snapshot.
     pub fn wait_ready(&self, kinds: impl IntoIterator<Item = EngineKind>) -> Vec<EngineKind> {
-        let epoch = self.core.current();
         let mut waited = [false; 5];
-        for kind in kinds {
-            let kind = self.resolve_on(&epoch, kind);
-            waited[Self::slot(kind)] = true;
-            self.core.build_if_absent(&epoch, kind);
+        let mut epoch = self.core.current();
+        let kinds: Vec<EngineKind> = kinds.into_iter().collect();
+        loop {
+            for &kind in &kinds {
+                let kind = self.core.resolve_on(&epoch, kind);
+                waited[Self::slot(kind)] = true;
+                self.core.build_if_absent(&epoch, kind);
+            }
+            let now = self.core.current();
+            if Arc::ptr_eq(&epoch, &now) {
+                break;
+            }
+            epoch = now;
         }
         EngineKind::ALL.into_iter().filter(|&k| waited[Self::slot(k)]).collect()
     }
@@ -704,7 +820,7 @@ impl SearchService {
             if kind.builds_inline() {
                 self.core.build_if_absent(&next, kind);
             } else {
-                self.schedule_build(&next, kind);
+                self.core.schedule_build(&next, kind);
             }
         }
 
@@ -732,37 +848,7 @@ impl SearchService {
     /// actually answered.
     pub fn top_r(&self, spec: &QuerySpec) -> Result<TopRResult, SearchError> {
         let epoch = self.core.current();
-        self.top_r_on(&epoch, spec)
-    }
-
-    fn top_r_on(
-        &self,
-        epoch: &Arc<EpochState>,
-        spec: &QuerySpec,
-    ) -> Result<TopRResult, SearchError> {
-        // Validate before building anything: a bad spec must not cost an
-        // index construction.
-        spec.config().check_against(epoch.graph.n())?;
-        let kind = self.resolve_on(epoch, spec.engine());
-        let engine = match epoch.cached(kind) {
-            Some(engine) => engine,
-            None if kind.builds_inline() => self.core.build_if_absent(epoch, kind).0,
-            None => {
-                // Cold index engine: hand the build to the worker pool and
-                // serve this query through the best available index-free
-                // engine — a cached Bound beats the online scan.
-                self.schedule_build(epoch, kind);
-                self.core.foreground_fallbacks.fetch_add(1, Ordering::Relaxed);
-                match epoch.cached(EngineKind::Bound) {
-                    Some(bound) => bound,
-                    None => self.core.build_if_absent(epoch, EngineKind::Online).0,
-                }
-            }
-        };
-        let result = engine.top_r(spec)?;
-        self.core.queries_served.fetch_add(1, Ordering::Relaxed);
-        self.core.queries_by_slot[Self::slot(engine.kind())].fetch_add(1, Ordering::Relaxed);
-        Ok(result)
+        self.core.top_r_on(&epoch, spec, false)
     }
 
     /// Answers a batch of queries, all against the *same* epoch snapshot
@@ -771,6 +857,13 @@ impl SearchService {
     /// invalid spec fails the call before any query runs), and the batch
     /// size feeds the [`EngineKind::Auto`] heuristic, so a large batch
     /// indexes immediately instead of wasting its head on unindexed scans.
+    ///
+    /// When the service's pool has more than one thread, the batch **fans
+    /// out**: each query becomes an independent pool task (the calling
+    /// thread participates too), so a batch of B queries uses up to
+    /// `min(B, pool)` cores. Results come back in spec order and are
+    /// byte-identical to the sequential path — each task runs the same
+    /// per-query code against the same pinned epoch.
     pub fn top_r_many(&self, specs: &[QuerySpec]) -> Result<Vec<TopRResult>, SearchError> {
         let epoch = self.core.current();
         for spec in specs {
@@ -781,7 +874,29 @@ impl SearchService {
         if specs.len() > AUTO_WARMUP_QUERIES {
             self.core.queries_served.fetch_max(AUTO_WARMUP_QUERIES, Ordering::Relaxed);
         }
-        specs.iter().map(|spec| self.top_r_on(&epoch, spec)).collect()
+        if specs.len() < FANOUT_MIN_SPECS || self.core.pool.max_threads() <= 1 {
+            return specs.iter().map(|spec| self.core.top_r_on(&epoch, spec, false)).collect();
+        }
+        // Fan out: one pool task per query, writing into its own slot so
+        // results return in spec order whatever order tasks finish in.
+        let slots: Arc<Vec<BatchSlot>> = Arc::new(specs.iter().map(|_| Mutex::new(None)).collect());
+        let jobs: Vec<Job> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
+                let core = self.core.clone();
+                let epoch = epoch.clone();
+                let slots = slots.clone();
+                Box::new(move || {
+                    *slots[i].lock() = Some(core.top_r_on(&epoch, &spec, true));
+                }) as Job
+            })
+            .collect();
+        self.core.pool.run_all(jobs);
+        slots
+            .iter()
+            .map(|slot| slot.lock().take().expect("run_all returns once every job ran"))
+            .collect()
     }
 
     /// Serializes the engine of `kind` (building it first if needed — this
@@ -794,7 +909,7 @@ impl SearchService {
     /// if that engine is index-free).
     pub fn export_index(&self, kind: EngineKind) -> Result<Bytes, SearchError> {
         let epoch = self.core.current();
-        let kind = self.resolve_on(&epoch, kind);
+        let kind = self.core.resolve_on(&epoch, kind);
         if !kind.serializable() {
             return Err(SearchError::SerializationUnsupported { engine: kind.name() });
         }
@@ -857,7 +972,7 @@ impl SearchService {
         let epoch = self.core.current();
         let mut requested = [false; 5];
         for kind in kinds {
-            requested[Self::slot(self.resolve_on(&epoch, kind))] = true;
+            requested[Self::slot(self.core.resolve_on(&epoch, kind))] = true;
         }
         let kinds: Vec<EngineKind> =
             EngineKind::ALL.into_iter().filter(|&k| requested[Self::slot(k)]).collect();

@@ -200,6 +200,7 @@ impl TsdIndex {
                 score_computations: computations,
                 elapsed: start.elapsed(),
                 engine: "",
+                parallel: false,
             },
         }
     }

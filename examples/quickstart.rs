@@ -64,6 +64,18 @@ fn main() -> Result<(), SearchError> {
     assert!(answers.iter().all(|scores| Some(scores) == last.as_ref()));
     println!("[worker] {} threads agree; {} queries served", 4, service.stats().queries_served);
 
+    // Batches fan out across the process-wide worker pool (results stay
+    // byte-identical to the sequential loop, in spec order).
+    let batch: Vec<QuerySpec> =
+        EngineKind::ALL.iter().map(|&kind| spec.with_engine(kind)).collect();
+    let results = service.top_r_many(&batch)?;
+    assert!(results.iter().all(|r| Some(r.scores()) == last));
+    let stats = service.stats();
+    println!(
+        "[  pool] {} worker threads; {} pool-assisted queries",
+        stats.pool_threads, stats.parallel_queries
+    );
+
     println!("\ntop-{} vertices at k = {}:", spec.r(), spec.k());
     for entry in &auto.entries {
         let name = PAPER_FIGURE1_NAMES[entry.vertex as usize];

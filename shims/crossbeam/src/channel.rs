@@ -94,6 +94,18 @@ impl<T> Sender<T> {
         self.shared.ready.notify_one();
         Ok(())
     }
+
+    /// Messages currently buffered (as on [`Receiver::len`]) — the
+    /// producer-side probe `sd-core`'s worker pool uses to decide whether a
+    /// freshly submitted job warrants spawning another worker.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -200,6 +212,8 @@ mod tests {
             tx.send(i).unwrap();
         }
         assert_eq!(rx.len(), 10);
+        assert_eq!(tx.len(), 10);
+        assert!(!tx.is_empty());
         for i in 0..10 {
             assert_eq!(rx.recv(), Ok(i));
         }

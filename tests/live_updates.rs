@@ -342,3 +342,45 @@ fn auto_traffic_survives_epoch_swaps() {
     // However Auto routed each round, every query was answered.
     assert_eq!(seen.values().sum::<usize>(), 4);
 }
+
+/// Regression (0.6): `wait_ready` racing an `apply_updates` must leave the
+/// *published* epoch warm, not the snapshot it pinned at entry. The 0.5
+/// implementation built against its entry epoch and returned — a mid-join
+/// update left the new epoch cold for the joined kinds (and, when the join
+/// was mid-build at publish time, the kind was neither built nor latched
+/// on the old epoch, so the update did not even re-enqueue it). The fix
+/// re-resolves the serving epoch after the joins and loops until the
+/// builds landed where traffic actually goes.
+///
+/// Timing makes the race probabilistic per round (each round either hits
+/// the window or degenerates to the no-race case, which both code paths
+/// handle); the assertion holds deterministically for the fixed code in
+/// every round, while the 0.5 code fails within a few rounds.
+#[test]
+fn wait_ready_covers_epochs_published_mid_join() {
+    let g = sample_graph();
+    for round in 0..6u64 {
+        let service = SearchService::new(g.clone());
+        let kinds = [EngineKind::Gct, EngineKind::Hybrid];
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Land the update inside the join's build window.
+                std::thread::sleep(std::time::Duration::from_millis(round));
+                service
+                    .apply_updates(&[GraphUpdate::Insert { u: 1, v: 7000 + round as u32 }])
+                    .expect("update");
+            });
+            service.wait_ready(kinds);
+        });
+        // No queries here — polling `built_engines` alone must show the
+        // joined kinds warm on whatever epoch is now serving.
+        let built = service.built_engines();
+        for kind in kinds {
+            assert!(
+                built.contains(&kind),
+                "round {round}: {kind} cold on epoch {} after wait_ready returned (built: {built:?})",
+                service.epoch(),
+            );
+        }
+    }
+}

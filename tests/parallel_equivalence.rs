@@ -1,0 +1,207 @@
+//! Parallel-vs-sequential differential harness: running the engines'
+//! per-vertex scans on a [`WorkerPool`] — at *any* thread count — must not
+//! change a single answer. The parallel layer promises more than equal
+//! score multisets: chunking is fixed and reductions happen in chunk order,
+//! so parallel results are **byte-identical** to the single-threaded
+//! reference (same entries, same tie-breaks, same contexts). This harness
+//! pins that promise across all five engines, thread counts {1, 2, max},
+//! two generator families, the `top_r_many` fan-out, and epoch swaps from
+//! live updates.
+//!
+//! Graphs here are far below `PARALLEL_MIN_VERTICES`, so every pooled run
+//! uses an explicit [`ScanPolicy::pooled`] / [`SearchService::with_pool`]
+//! (no size floor) — the parallel code paths execute even on a single-core
+//! CI runner.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use structural_diversity::datasets::{gnm_graph, rmat_graph, RmatConfig};
+use structural_diversity::graph::{CsrGraph, GraphUpdate};
+use structural_diversity::search::{
+    build_engine_in, default_pool_threads, EngineKind, QuerySpec, ScanPolicy, SearchService,
+    TopRResult, WorkerPool,
+};
+
+/// One graph from the chosen generator family, reproducible from the
+/// printed proptest inputs alone.
+fn generate(family: usize, n: usize, edge_factor: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        0 => gnm_graph(n, (n * edge_factor).min(n * (n - 1) / 2), &mut rng),
+        _ => rmat_graph(&RmatConfig::social(n, n * edge_factor), &mut rng),
+    }
+}
+
+/// The thread counts under test: 1 (inline execution on the calling
+/// thread), 2 (smallest genuinely concurrent pool), and whatever this
+/// machine would give the process-wide pool.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, default_pool_threads()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Byte-level equality: entries (vertex, score, contexts) and the engine
+/// name must match; only timing and the `parallel` flag may differ.
+fn assert_identical(reference: &TopRResult, parallel: &TopRResult, context: &str) {
+    assert_eq!(reference.entries, parallel.entries, "{context}: entries diverge");
+    assert_eq!(
+        reference.metrics.engine, parallel.metrics.engine,
+        "{context}: engine name diverges"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: every engine, driven through a pooled scan
+    /// policy at every thread count, returns byte-identical entries to the
+    /// same engine built with the sequential policy. (The pooled scans
+    /// only exist on Online/Bound; the index engines must simply be
+    /// unaffected by the policy they ignore.)
+    #[test]
+    fn pooled_engines_are_byte_identical_to_sequential(
+        family in 0usize..2,
+        n in 8usize..48,
+        edge_factor in 1usize..5,
+        seed in 0u64..1_000_000,
+        k in 2u32..6,
+        r in 1usize..10,
+    ) {
+        let g = Arc::new(generate(family, n, edge_factor, seed));
+        let spec = QuerySpec::new(k, r.min(g.n())).expect("valid spec");
+
+        for kind in EngineKind::ALL {
+            let reference = build_engine_in(kind, g.clone(), ScanPolicy::sequential())
+                .top_r(&spec)
+                .expect("sequential reference");
+            prop_assert_eq!(reference.metrics.engine, kind.name());
+            for threads in thread_counts() {
+                let pool = Arc::new(WorkerPool::new(threads));
+                let result = build_engine_in(kind, g.clone(), ScanPolicy::pooled(pool))
+                    .top_r(&spec)
+                    .expect("pooled query");
+                assert_identical(
+                    &reference,
+                    &result,
+                    &format!(
+                        "family {family} n {n} seed {seed} k={k} r={r}: \
+                         {kind} at {threads} threads"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// The batch fan-out: `top_r_many` on a pooled service returns, in
+    /// order, byte-identical results to a sequential service answering the
+    /// same specs one by one — for every engine kind and thread count.
+    #[test]
+    fn fanned_out_batches_match_the_sequential_service(
+        family in 0usize..2,
+        n in 8usize..40,
+        edge_factor in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = Arc::new(generate(family, n, edge_factor, seed));
+        let r = 3.min(g.n());
+        let specs: Vec<QuerySpec> = EngineKind::ALL
+            .into_iter()
+            .flat_map(|kind| {
+                (2..=4).map(move |k| QuerySpec::new(k, r).expect("valid spec").with_engine(kind))
+            })
+            .collect();
+
+        let sequential = SearchService::from_arc_with_pool(g.clone(), Arc::new(WorkerPool::new(1)));
+        sequential.wait_ready(EngineKind::ALL);
+        let reference: Vec<TopRResult> =
+            specs.iter().map(|s| sequential.top_r(s).expect("sequential query")).collect();
+
+        for threads in thread_counts() {
+            let pool = Arc::new(WorkerPool::new(threads));
+            let service = SearchService::from_arc_with_pool(g.clone(), pool);
+            // Warm every engine first so fan-out tasks never race a cold
+            // build into a fallback-served (differently-named) answer.
+            service.wait_ready(EngineKind::ALL);
+            let batch = service.top_r_many(&specs).expect("fanned batch");
+            prop_assert_eq!(batch.len(), reference.len());
+            for (i, (want, got)) in reference.iter().zip(&batch).enumerate() {
+                assert_identical(
+                    want,
+                    got,
+                    &format!(
+                        "family {family} n {n} seed {seed}: batch slot {i} at {threads} threads"
+                    ),
+                );
+            }
+            if threads > 1 {
+                let stats = service.stats();
+                prop_assert_eq!(
+                    stats.parallel_queries, specs.len(),
+                    "every fanned query must be counted: {:?}", stats
+                );
+            }
+        }
+    }
+
+    /// Equivalence survives epoch swaps: after the same update batch, a
+    /// pooled service at every thread count answers byte-identically to a
+    /// sequential one — on the *new* graph.
+    #[test]
+    fn pooled_queries_match_sequential_across_update_epochs(
+        family in 0usize..2,
+        n in 8usize..32,
+        edge_factor in 1usize..4,
+        seed in 0u64..1_000_000,
+        k in 2u32..5,
+    ) {
+        let g = Arc::new(generate(family, n, edge_factor, seed));
+        let u = (seed % g.n() as u64) as u32;
+        let v = ((seed / 7) % g.n() as u64) as u32;
+        let updates = [
+            GraphUpdate::Insert { u, v },
+            GraphUpdate::Insert { u: u + 1, v: v + 2 },
+            GraphUpdate::Remove { u, v },
+        ];
+        let spec = QuerySpec::new(k, 3.min(g.n())).expect("valid spec");
+
+        let sequential = SearchService::from_arc_with_pool(g.clone(), Arc::new(WorkerPool::new(1)));
+        let mut applied_reference = 0;
+        for update in updates {
+            if let Ok(stats) = sequential.apply_updates(&[update]) {
+                applied_reference += stats.applied;
+            }
+        }
+        sequential.wait_ready(EngineKind::ALL);
+
+        for threads in thread_counts() {
+            let pool = Arc::new(WorkerPool::new(threads));
+            let service = SearchService::from_arc_with_pool(g.clone(), pool);
+            let mut applied = 0;
+            for update in updates {
+                if let Ok(stats) = service.apply_updates(&[update]) {
+                    applied += stats.applied;
+                }
+            }
+            prop_assert_eq!(applied, applied_reference, "update outcomes must not depend on the pool");
+            service.wait_ready(EngineKind::ALL);
+            for kind in EngineKind::ALL {
+                let want = sequential.top_r(&spec.with_engine(kind)).expect("sequential query");
+                let got = service.top_r(&spec.with_engine(kind)).expect("pooled query");
+                assert_identical(
+                    &want,
+                    &got,
+                    &format!(
+                        "family {family} n {n} seed {seed} k={k}: \
+                         {kind} after updates at {threads} threads"
+                    ),
+                );
+            }
+        }
+    }
+}
