@@ -33,6 +33,7 @@ fn comp_div_score_of(g: &CsrGraph, all: &AllEgoNetworks, v: VertexId, k: u32) ->
 /// in global ids, ordered (size desc, first vertex asc).
 pub fn components_of_ego(g: &CsrGraph, all: &AllEgoNetworks, v: VertexId) -> Vec<Vec<VertexId>> {
     let nbrs = g.neighbors(v);
+    // sd-lint: allow(no-panic) ego edges only connect members of N(v)
     let local = |x: VertexId| nbrs.binary_search(&x).expect("ego endpoint in N(v)") as u32;
     let mut dsu = Dsu::new(nbrs.len());
     for &(a, b) in all.ego_edges(v) {

@@ -175,6 +175,7 @@ impl DynamicTsd {
         }
         endpoints.sort_unstable();
         endpoints.dedup();
+        // sd-lint: allow(no-panic) endpoints was just built from exactly these forest edges
         let local = |x: VertexId| endpoints.binary_search(&x).expect("endpoint") as u32;
         let mut dsu = Dsu::new(endpoints.len());
         for &(a, b, _) in &forest[..len] {

@@ -418,7 +418,7 @@ impl Clone for TsdEngine {
         TsdEngine {
             g: self.g.clone(),
             index: self.index.clone(),
-            scratch: parking_lot::Mutex::new(Vec::new()),
+            scratch: crate::lock_order::TSD_SCRATCH.mutex(Vec::new()),
         }
     }
 }
@@ -427,7 +427,7 @@ impl TsdEngine {
     /// Builds the TSD-index of `g` (Algorithm 5).
     pub fn build(g: Arc<CsrGraph>) -> Self {
         let index = TsdIndex::build(&g);
-        TsdEngine { g, index, scratch: parking_lot::Mutex::new(Vec::new()) }
+        TsdEngine { g, index, scratch: crate::lock_order::TSD_SCRATCH.mutex(Vec::new()) }
     }
 
     /// Attaches a prebuilt index to its graph, verifying vertex counts.
@@ -435,7 +435,7 @@ impl TsdEngine {
         if index.n() != g.n() {
             return Err(SearchError::GraphMismatch { graph_n: g.n(), index_n: index.n() });
         }
-        Ok(TsdEngine { g, index, scratch: parking_lot::Mutex::new(Vec::new()) })
+        Ok(TsdEngine { g, index, scratch: crate::lock_order::TSD_SCRATCH.mutex(Vec::new()) })
     }
 
     /// The underlying index (size accounting, forests, score profiles).
@@ -454,7 +454,7 @@ impl DiversityEngine for TsdEngine {
     }
 
     fn score(&self, v: VertexId, k: u32) -> u32 {
-        self.index.score(v, k, &mut self.scratch.lock())
+        self.index.score(v, k, &mut self.scratch.lock()) // lock: tsd.scratch
     }
 
     fn social_contexts(&self, v: VertexId, k: u32) -> Vec<Vec<VertexId>> {

@@ -137,6 +137,15 @@ pub enum SearchError {
     /// Publishing an epoch costs a graph snapshot and engine invalidation,
     /// so an empty batch is a caller bug, not a no-op.
     EmptyUpdateBatch,
+    /// An internal invariant of the serving stack did not hold. Serving
+    /// paths report this instead of panicking (`sd-lint` rule `no-panic`),
+    /// so one broken invariant degrades a single response rather than the
+    /// whole process.
+    Internal {
+        /// The invariant that was violated, stated as the fact that was
+        /// expected to be true.
+        invariant: &'static str,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -168,6 +177,9 @@ impl fmt::Display for SearchError {
             }
             SearchError::EmptyUpdateBatch => {
                 write!(f, "asked to apply an empty update batch")
+            }
+            SearchError::Internal { invariant } => {
+                write!(f, "internal invariant violated: {invariant}")
             }
         }
     }

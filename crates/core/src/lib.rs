@@ -66,6 +66,7 @@ pub mod envelope;
 pub mod error;
 pub mod gct;
 pub mod hybrid;
+pub mod lock_order;
 pub mod online;
 pub mod paper;
 pub mod parallel;

@@ -67,7 +67,7 @@ pub fn all_scores_parallel(g: &CsrGraph, k: u32) -> Vec<u32> {
     let mut scores = vec![0u32; n];
     let next = std::sync::atomic::AtomicUsize::new(0);
     const CHUNK: usize = 256;
-    let slots = Mutex::new(scores.chunks_mut(CHUNK).collect::<Vec<_>>());
+    let slots = crate::lock_order::SCAN_CHUNK.mutex(scores.chunks_mut(CHUNK).collect::<Vec<_>>());
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
@@ -79,7 +79,7 @@ pub fn all_scores_parallel(g: &CsrGraph, k: u32) -> Vec<u32> {
                 }
                 // Detach this chunk's slot; chunks are claimed exactly once.
                 let slot = {
-                    let mut guard = slots.lock();
+                    let mut guard = slots.lock(); // lock: scan.chunk
                     std::mem::take(&mut guard[chunk_idx])
                 };
                 for (offset, out) in slot.iter_mut().enumerate() {
@@ -90,7 +90,7 @@ pub fn all_scores_parallel(g: &CsrGraph, k: u32) -> Vec<u32> {
             });
         }
     })
-    .expect("worker panicked");
+    .expect("worker panicked"); // sd-lint: allow(no-panic) re-raises a scoped worker's panic on the caller
     drop(slots);
     scores
 }
@@ -104,7 +104,7 @@ pub fn build_gct_parallel(g: &CsrGraph) -> GctIndex {
     let mut entries: Vec<GctEntry> = vec![GctEntry::default(); n];
     let next = std::sync::atomic::AtomicUsize::new(0);
     const CHUNK: usize = 128;
-    let slots = Mutex::new(entries.chunks_mut(CHUNK).collect::<Vec<_>>());
+    let slots = crate::lock_order::SCAN_CHUNK.mutex(entries.chunks_mut(CHUNK).collect::<Vec<_>>());
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
@@ -115,7 +115,7 @@ pub fn build_gct_parallel(g: &CsrGraph) -> GctIndex {
                     break;
                 }
                 let slot = {
-                    let mut guard = slots.lock();
+                    let mut guard = slots.lock(); // lock: scan.chunk
                     std::mem::take(&mut guard[chunk_idx])
                 };
                 for (offset, out) in slot.iter_mut().enumerate() {
@@ -128,7 +128,7 @@ pub fn build_gct_parallel(g: &CsrGraph) -> GctIndex {
             });
         }
     })
-    .expect("worker panicked");
+    .expect("worker panicked"); // sd-lint: allow(no-panic) re-raises a scoped worker's panic on the caller
     drop(slots);
     GctIndex::from_entries(entries)
 }
@@ -164,7 +164,7 @@ fn pool_scores_of(
     }
     let chunks = total.div_ceil(chunk_size);
     let slots: Arc<Vec<Mutex<Vec<u32>>>> =
-        Arc::new((0..chunks).map(|_| Mutex::new(Vec::new())).collect());
+        Arc::new((0..chunks).map(|_| crate::lock_order::SCAN_CHUNK.mutex(Vec::new())).collect());
     let mut jobs: Vec<Job> = Vec::with_capacity(chunks);
     for c in 0..chunks {
         let lo = c * chunk_size;
@@ -178,13 +178,13 @@ fn pool_scores_of(
                 let ego = EgoNetwork::extract(&g, v);
                 out.push(social_contexts_of_ego(&ego, k, EgoDecomposition::Classic).len() as u32);
             }
-            *slots[c].lock() = out;
+            *slots[c].lock() = out; // lock: scan.chunk
         }));
     }
     pool.run_all(jobs);
     let mut scores = Vec::with_capacity(total);
     for slot in slots.iter() {
-        scores.append(&mut slot.lock());
+        scores.append(&mut slot.lock()); // lock: scan.chunk
     }
     scores
 }

@@ -18,12 +18,18 @@
 //!
 //! * [`WorkerPool::submit`] — fire-and-forget, for background index builds.
 //!   Spawns a worker lazily when queued work exceeds idle capacity.
-//! * [`WorkerPool::run_all`] — structured fan-out: submits a batch, then
-//!   the **calling thread participates**, stealing queued jobs (its own or
-//!   anyone else's) while it waits. This is what makes nested use safe: a
+//! * [`WorkerPool::run_all`] — structured fan-out: the batch goes into a
+//!   batch-local queue, the shared injector gets one *ticket* per job
+//!   (a worker picking a ticket up pulls the next unclaimed batch job),
+//!   and the **calling thread participates** by claiming jobs from its
+//!   own batch while it waits. This is what makes nested use safe: a
 //!   fan-out task running on a pool worker can itself `run_all` a chunked
-//!   scan without deadlocking, because every waiter executes work instead
-//!   of parking while runnable jobs exist.
+//!   scan without deadlocking, because a caller can always drain its own
+//!   batch instead of parking. The caller never executes *foreign* work —
+//!   it may hold locks (a foreground fallback build fans out its scan
+//!   under an `engine.slot` write lock), and an arbitrary injector job
+//!   such as a queued background build re-enters those lock classes; see
+//!   `crates/core/src/lock_order.rs`.
 //!
 //! A panicking job never takes a worker down (each job runs under
 //! `catch_unwind`); [`WorkerPool::run_all`] re-raises the panic on the
@@ -172,16 +178,38 @@ impl WorkerPool {
         }
         let total = jobs.len();
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<bool>();
+        // Batch-local queue: the caller claims work from *here*, never from
+        // the shared injector. Callers reach `run_all` holding locks (a
+        // foreground fallback build holds its `engine.slot` write lock
+        // while its scan fans out), and an arbitrary injector job — say, a
+        // queued background build — re-enters those same lock classes.
+        // Running one on the caller is a lock-order inversion and, with
+        // two such callers stealing each other's builds, a deadlock; the
+        // lock-order sentinel (`lock-order-check`) catches exactly this.
+        let (batch_tx, batch_rx) = crossbeam::channel::unbounded::<Job>();
         for job in jobs {
             let done = done_tx.clone();
-            let _ = self.tx.send(Box::new(move || {
+            // The batch owner holds `done_rx` until every signal is in,
+            // so the completion send cannot fail while anyone waits on it.
+            let _ = batch_tx.send(Box::new(move || {
                 let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
-                // The batch owner holds `done_rx` until every signal is in,
-                // so this send cannot fail while anyone is waiting on it.
                 let _ = done.send(panicked);
             }));
         }
         drop(done_tx);
+        drop(batch_tx);
+        // What goes on the shared injector is one *ticket* per job: a
+        // worker that picks a ticket up pulls the next unclaimed job of
+        // this batch, if any remain. Workers start from an empty held-lock
+        // stack, so foreign work is safe there — only the caller isn't.
+        for _ in 0..total {
+            let batch_rx = batch_rx.clone();
+            let _ = self.tx.send(Box::new(move || {
+                if let Ok(job) = batch_rx.try_recv() {
+                    job();
+                }
+            }));
+        }
         self.maybe_spawn();
 
         let mut completed = 0usize;
@@ -192,20 +220,17 @@ impl WorkerPool {
                 panicked |= p;
                 continue;
             }
-            // Steal: execute *any* queued job (ours or another caller's)
-            // instead of parking. Nested `run_all` on a worker thread makes
-            // progress through exactly this arm.
-            if let Ok(job) = self.rx.try_recv() {
-                // Background jobs signal nothing; wrapped batch jobs carry
-                // their own completion send. Either way a panic here is the
-                // job's own (already contained for wrapped jobs; contained
-                // now for fire-and-forget ones).
-                let _ = catch_unwind(AssertUnwindSafe(job));
+            // Claim one of our own unclaimed jobs instead of parking. The
+            // caller alone can drain the whole batch through this arm, so
+            // `run_all` completes even if every worker is busy elsewhere —
+            // including nested `run_all` on a worker thread.
+            if let Ok(job) = batch_rx.try_recv() {
+                job(); // contains its own catch_unwind + completion send
                 self.shared.executed.fetch_add(1, Ordering::SeqCst);
                 continue;
             }
-            // Nothing stealable: every remaining job of ours is mid-flight
-            // on some other thread. Park until one reports in.
+            // Every remaining job is mid-flight on some worker. Park until
+            // one reports in.
             match done_rx.recv() {
                 Ok(p) => {
                     completed += 1;
@@ -215,6 +240,7 @@ impl WorkerPool {
             }
         }
         if panicked {
+            // sd-lint: allow(no-panic) re-raises a contained batch-job panic on the caller
             panic!("a worker-pool job panicked (batch drained before re-raise)");
         }
     }
@@ -398,6 +424,61 @@ mod tests {
         pool.run_all(jobs);
         assert!(ran_on.lock().iter().all(|&t| t == tid), "1-thread pools run inline");
         assert_eq!(pool.spawned_threads(), 0);
+    }
+
+    #[test]
+    fn run_all_never_executes_foreign_jobs_on_the_caller() {
+        // Regression: `run_all` used to steal *any* injector job while
+        // waiting, so a queued background build could run on a caller
+        // that was mid-fan-out holding an `engine.slot` write lock — a
+        // lock-order inversion (caught by the `lock-order-check`
+        // sentinel), and a deadlock once two such callers steal each
+        // other's builds. The caller must only ever claim its own batch.
+        let pool = WorkerPool::new(2);
+        let caller = std::thread::current().id();
+
+        // Occupy every worker the pool may spawn, so the foreign job is
+        // still queued when the caller starts working through its batch.
+        let (hold_tx, hold_rx) = crossbeam::channel::unbounded::<()>();
+        let parked = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            let hold_rx = hold_rx.clone();
+            let parked = parked.clone();
+            pool.submit(move || {
+                parked.fetch_add(1, Ordering::SeqCst);
+                let _ = hold_rx.recv();
+            });
+        }
+        assert!(wait_until(2000, || parked.load(Ordering::SeqCst) == 2));
+
+        // The foreign job, now at the head of the injector.
+        let foreign_ran_on = Arc::new(parking_lot::Mutex::new(None));
+        let record = foreign_ran_on.clone();
+        pool.submit(move || {
+            *record.lock() = Some(std::thread::current().id());
+        });
+
+        // With the workers parked, the caller alone drains this batch.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| {
+                let hits = hits.clone();
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.run_all(jobs);
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+
+        // Release the workers; the foreign job runs — on one of them.
+        drop(hold_tx);
+        assert!(wait_until(2000, || foreign_ran_on.lock().is_some()));
+        assert_ne!(
+            foreign_ran_on.lock().unwrap(),
+            caller,
+            "foreign work must never run on a run_all caller"
+        );
     }
 
     #[test]

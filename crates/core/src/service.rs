@@ -104,6 +104,7 @@ use crate::engine::{
 };
 use crate::envelope::{GraphFingerprint, IndexBundle, IndexEnvelope};
 use crate::error::SearchError;
+use crate::lock_order;
 use crate::pool::{self, Job, WorkerPool};
 
 /// Number of [`EngineKind::Auto`] queries served with the index-free bound
@@ -235,7 +236,7 @@ impl EpochState {
             id,
             graph,
             fingerprint,
-            slots: std::array::from_fn(|_| RwLock::new(None)),
+            slots: std::array::from_fn(|_| lock_order::ENGINE_SLOT.rwlock(None)),
             scheduled: std::array::from_fn(|_| AtomicBool::new(false)),
         }
     }
@@ -245,7 +246,7 @@ impl EpochState {
     /// lock), which is exactly the "not ready, don't wait" answer the
     /// serving path needs.
     fn cached(&self, kind: EngineKind) -> Option<Arc<dyn DiversityEngine>> {
-        self.slots[ServiceCore::slot(kind)].try_read()?.clone()
+        self.slots[ServiceCore::slot(kind)].try_read()?.clone() // lock: engine.slot
     }
 
     fn is_built(&self, kind: EngineKind) -> bool {
@@ -295,6 +296,7 @@ impl ServiceCore {
             EngineKind::Tsd => 2,
             EngineKind::Gct => 3,
             EngineKind::Hybrid => 4,
+            // sd-lint: allow(no-panic) every public entry resolves Auto via resolve_kind first
             EngineKind::Auto => unreachable!("Auto is resolved before slot lookup"),
         }
     }
@@ -302,7 +304,7 @@ impl ServiceCore {
     /// The serving epoch, pinned: the returned snapshot stays valid (and
     /// immutable) however many updates publish after this call.
     fn current(&self) -> Arc<EpochState> {
-        self.current.read().clone()
+        self.current.read().clone() // lock: epoch.ptr
     }
 
     /// The engine of `kind` in `epoch`, built on the calling thread if
@@ -314,11 +316,13 @@ impl ServiceCore {
         kind: EngineKind,
     ) -> (Arc<dyn DiversityEngine>, bool) {
         let slot = &epoch.slots[Self::slot(kind)];
-        if let Some(engine) = slot.read().as_ref() {
-            return (engine.clone(), false);
+        let cached = slot.read().clone(); // lock: engine.slot
+        if let Some(engine) = cached {
+            return (engine, false);
         }
-        let mut guard = slot.write();
-        // Double-check: another thread may have built while we waited.
+        // Double-check under the write lock: another thread may have built
+        // the engine while we waited for it.
+        let mut guard = slot.write(); // lock: engine.slot
         if let Some(engine) = guard.as_ref() {
             return (engine.clone(), false);
         }
@@ -333,7 +337,7 @@ impl ServiceCore {
     /// cached one.
     fn install(&self, epoch: &EpochState, kind: EngineKind, engine: Arc<dyn DiversityEngine>) {
         self.engines_built.fetch_add(1, Ordering::Relaxed);
-        *epoch.slots[Self::slot(kind)].write() = Some(engine);
+        *epoch.slots[Self::slot(kind)].write() = Some(engine); // lock: engine.slot
     }
 
     /// Enqueues a background build for `kind` onto the shared pool,
@@ -514,7 +518,7 @@ impl SearchService {
 
     fn from_arc_with_policy(graph: Arc<CsrGraph>, pool: Arc<WorkerPool>, scan: ScanPolicy) -> Self {
         let core = Arc::new(ServiceCore {
-            current: RwLock::new(Arc::new(EpochState::over(0, graph))),
+            current: lock_order::EPOCH_PTR.rwlock(Arc::new(EpochState::over(0, graph))),
             pool,
             scan,
             shutdown: AtomicBool::new(false),
@@ -528,7 +532,7 @@ impl SearchService {
             parallel_queries: AtomicUsize::new(0),
             queries_by_slot: std::array::from_fn(|_| AtomicUsize::new(0)),
         });
-        SearchService { core, updater: Mutex::new(None) }
+        SearchService { core, updater: lock_order::SVC_UPDATER.mutex(None) }
     }
 
     /// The graph the *current* epoch answers queries about, as a pinned
@@ -726,7 +730,7 @@ impl SearchService {
         if batch.is_empty() {
             return Err(SearchError::EmptyUpdateBatch);
         }
-        let mut retained = self.updater.lock();
+        let mut retained = self.updater.lock(); // lock: svc.updater
         let old = self.core.current();
 
         // Seed or carry the incremental maintenance state. Anything but a
@@ -737,33 +741,41 @@ impl SearchService {
         let mut carried = true;
         let mut tsd = match retained.take() {
             Some(tsd) => tsd,
-            None => match old.slots[Self::slot(EngineKind::Tsd)].read().clone() {
-                Some(engine) => {
-                    let index = engine.tsd_index().expect("TSD slot holds the TSD engine");
-                    DynamicTsd::from_index(&old.graph, index)
-                }
-                None => {
-                    // Cold start: seeding costs a full TSD build, so first
-                    // make sure the batch mutates anything at all — an
-                    // idempotent replay (all duplicates/absent removes)
-                    // must return in adjacency-copy time, not index-build
-                    // time.
-                    let mut probe = sd_graph::DynamicGraph::from_csr(&old.graph);
-                    if probe.apply_batch(batch).applied == 0 {
-                        return Ok(UpdateStats {
-                            epoch: old.id,
-                            applied: 0,
-                            rejected: batch.len(),
-                            tsd_repairs: 0,
-                            tsd_carried: false,
-                            n: old.graph.n(),
-                            m: old.graph.m(),
-                        });
+            None => {
+                // The guard is released at the end of this statement: the
+                // engine `Arc` is cloned *out* of the slot so neither seed
+                // path below (an `O(index)` copy, or a full cold-start
+                // build) runs under the slot lock, where it would stall
+                // the old epoch's builders and importers.
+                let seed = old.slots[Self::slot(EngineKind::Tsd)].read().clone(); // lock: engine.slot
+                                                                                  // A non-TSD engine in the TSD slot is impossible by
+                                                                                  // construction; should it ever happen, degrade to a cold
+                                                                                  // start instead of panicking the update path.
+                match seed.as_deref().and_then(DiversityEngine::tsd_index) {
+                    Some(index) => DynamicTsd::from_index(&old.graph, index),
+                    None => {
+                        // Cold start: seeding costs a full TSD build, so
+                        // first make sure the batch mutates anything at
+                        // all — an idempotent replay (all duplicates and
+                        // absent removes) must return in adjacency-copy
+                        // time, not index-build time.
+                        let mut probe = sd_graph::DynamicGraph::from_csr(&old.graph);
+                        if probe.apply_batch(batch).applied == 0 {
+                            return Ok(UpdateStats {
+                                epoch: old.id,
+                                applied: 0,
+                                rejected: batch.len(),
+                                tsd_repairs: 0,
+                                tsd_carried: false,
+                                n: old.graph.n(),
+                                m: old.graph.m(),
+                            });
+                        }
+                        carried = false;
+                        DynamicTsd::from_csr(&old.graph)
                     }
-                    carried = false;
-                    DynamicTsd::from_csr(&old.graph)
                 }
-            },
+            }
         };
 
         let (mut applied, mut rejected, mut repairs) = (0usize, 0usize, 0usize);
@@ -796,13 +808,20 @@ impl SearchService {
         // TSD engine so it is warm before anyone can query it.
         let graph = Arc::new(tsd.graph().to_csr());
         let next = Arc::new(EpochState::over(old.id + 1, graph.clone()));
-        let tsd_engine = TsdEngine::from_parts(graph.clone(), tsd.to_index())
-            .expect("maintained index covers exactly the maintained graph");
+        // `from_parts` only rejects an index/graph size mismatch, and both
+        // sides here come from the same maintained state; surface a broken
+        // carry as an error (nothing published, carry dropped) rather than
+        // poisoning the service with a panic.
+        let tsd_engine = TsdEngine::from_parts(graph.clone(), tsd.to_index()).map_err(|_| {
+            SearchError::Internal {
+                invariant: "the maintained TSD index covers exactly the maintained graph",
+            }
+        })?;
         self.core.install(&next, EngineKind::Tsd, Arc::new(tsd_engine));
 
         // Publish: one pointer swap. In-flight queries keep their pinned
         // epoch; everything after this line sees the new graph.
-        *self.core.current.write() = next.clone();
+        *self.core.current.write() = next.clone(); // lock: epoch.ptr
         self.core.epochs.fetch_add(1, Ordering::Relaxed);
         self.core.updates_applied.fetch_add(applied, Ordering::Relaxed);
         if carried {
@@ -879,7 +898,8 @@ impl SearchService {
         }
         // Fan out: one pool task per query, writing into its own slot so
         // results return in spec order whatever order tasks finish in.
-        let slots: Arc<Vec<BatchSlot>> = Arc::new(specs.iter().map(|_| Mutex::new(None)).collect());
+        let slots: Arc<Vec<BatchSlot>> =
+            Arc::new(specs.iter().map(|_| lock_order::BATCH_SLOT.mutex(None)).collect());
         let jobs: Vec<Job> = specs
             .iter()
             .enumerate()
@@ -888,14 +908,22 @@ impl SearchService {
                 let epoch = epoch.clone();
                 let slots = slots.clone();
                 Box::new(move || {
-                    *slots[i].lock() = Some(core.top_r_on(&epoch, &spec, true));
+                    // The query runs before the slot is locked: `batch.slot`
+                    // stays a leaf held only for the store.
+                    let result = core.top_r_on(&epoch, &spec, true);
+                    *slots[i].lock() = Some(result); // lock: batch.slot
                 }) as Job
             })
             .collect();
         self.core.pool.run_all(jobs);
         slots
             .iter()
-            .map(|slot| slot.lock().take().expect("run_all returns once every job ran"))
+            .map(|slot| {
+                let filled = slot.lock().take(); // lock: batch.slot
+                filled.unwrap_or(Err(SearchError::Internal {
+                    invariant: "run_all returns only after every batch job filled its slot",
+                }))
+            })
             .collect()
     }
 
@@ -946,7 +974,7 @@ impl SearchService {
         // success. The fingerprint — not pointer identity — is the real
         // validity condition, so an update that round-trips back to the
         // blob's exact edge set still imports.
-        let guard = self.core.current.read();
+        let guard = self.core.current.read(); // lock: epoch.ptr
         if guard.fingerprint != envelope.fingerprint {
             return Err(SearchError::FingerprintMismatch {
                 expected: guard.fingerprint,
@@ -1017,7 +1045,7 @@ impl SearchService {
         // read lock, re-verifying the fingerprint, so a concurrent
         // `apply_updates` cannot turn the import into a silent no-op
         // against a superseded epoch.
-        let guard = self.core.current.read();
+        let guard = self.core.current.read(); // lock: epoch.ptr
         if guard.fingerprint != fingerprint {
             return Err(SearchError::FingerprintMismatch {
                 expected: guard.fingerprint,

@@ -79,6 +79,7 @@ impl TcpIndex {
             // Kruskal: descending weight.
             slice.sort_unstable_by_key(|&(w, _, _)| std::cmp::Reverse(w));
             let nbrs = g.neighbors(v as VertexId);
+            // sd-lint: allow(no-panic) triangle edges only connect members of N(v)
             let local = |x: VertexId| nbrs.binary_search(&x).expect("triangle edge in N(v)");
             let mut dsu = Dsu::new(nbrs.len());
             for &(w, a, b) in slice.iter() {

@@ -47,6 +47,7 @@ impl TopRCollector {
             return true;
         }
         // Strictly-greater replacement, as in the paper.
+        // sd-lint: allow(no-panic) the heap is full here and new() asserts r >= 1
         let &Reverse((min_score, _)) = self.heap.peek().expect("full collector");
         if score > min_score {
             self.heap.pop();

@@ -137,6 +137,7 @@ impl TsdIndex {
     /// ordered (size desc, first vertex asc) like Algorithm 2's output.
     pub fn social_contexts(&self, g: &CsrGraph, v: VertexId, k: u32) -> Vec<Vec<VertexId>> {
         let nbrs = g.neighbors(v);
+        // sd-lint: allow(no-panic) forest edges only connect members of N(v)
         let local = |x: VertexId| nbrs.binary_search(&x).expect("forest endpoint in N(v)");
         let s = self.offsets[v as usize];
         let len = self.prefix_len(v, k);

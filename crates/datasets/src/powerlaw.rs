@@ -70,9 +70,11 @@ pub fn powerlaw_graph(config: &PowerLawConfig, rng: &mut impl Rng) -> CsrGraph {
                 );
                 match neighbor_pool.choose(rng) {
                     Some(&u) => u,
+                    // sd-lint: allow(no-panic) endpoints starts from the seed clique, never shrinks
                     None => *endpoints.choose(rng).expect("non-empty endpoint list"),
                 }
             } else {
+                // sd-lint: allow(no-panic) endpoints starts from the seed clique, never shrinks
                 *endpoints.choose(rng).expect("non-empty endpoint list")
             };
             if candidate != v && !targets.contains(&candidate) {

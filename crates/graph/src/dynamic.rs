@@ -130,6 +130,7 @@ impl DynamicGraph {
             return false;
         };
         self.adj[u as usize].remove(pos_u);
+        // sd-lint: allow(no-panic) the adjacency is kept symmetric and v was found in adj[u]
         let pos_v = self.adj[v as usize].binary_search(&u).expect("symmetric edge");
         self.adj[v as usize].remove(pos_v);
         self.m -= 1;

@@ -147,6 +147,7 @@ pub fn center_activation_probability(
     // Build H*: the ego-network of v plus v with its incident edges,
     // re-labelled 0..=d(v) with v last.
     let nbrs = g.neighbors(v);
+    // sd-lint: allow(no-panic) ego edges only connect members of N(v)
     let local = |x: VertexId| nbrs.binary_search(&x).expect("neighbor") as VertexId;
     let center = nbrs.len() as VertexId;
     let mut builder = GraphBuilder::with_min_vertices(nbrs.len() + 1);

@@ -92,6 +92,7 @@ pub fn ris_seeds(
         let best = (0..n)
             .filter(|&v| !picked[v])
             .max_by_key(|&v| (gain[v], std::cmp::Reverse(v)))
+            // sd-lint: allow(no-panic) fewer than n vertices are picked before each draw
             .expect("n > 0");
         picked[best] = true;
         seeds.push(best as VertexId);
@@ -121,6 +122,7 @@ pub fn degree_discount_seeds(g: &CsrGraph, p: f64, count: usize) -> Vec<VertexId
         let best = (0..n)
             .filter(|&v| !picked[v])
             .max_by(|&a, &b| dd[a].total_cmp(&dd[b]).then(b.cmp(&a)))
+            // sd-lint: allow(no-panic) fewer than n vertices are picked before each draw
             .expect("n > 0");
         picked[best] = true;
         seeds.push(best as VertexId);

@@ -52,8 +52,8 @@ pub fn bitmap_truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
         bits[u as usize].for_each_intersection(&bits[v as usize], |w| common.push(w as u32));
         for &w in &common {
             // Both edges exist and are alive: their bits are still set.
-            let e_uw = g.edge_id_between(u, w).expect("bitmap bit implies edge");
-            let e_vw = g.edge_id_between(v, w).expect("bitmap bit implies edge");
+            let e_uw = g.edge_id_between(u, w).expect("bit implies edge"); // sd-lint: allow(no-panic) a set bit in both bitmaps means the edge is live
+            let e_vw = g.edge_id_between(v, w).expect("bit implies edge"); // sd-lint: allow(no-panic) a set bit in both bitmaps means the edge is live
             buckets.decrease_key_clamped(e_uw, level);
             buckets.decrease_key_clamped(e_vw, level);
         }

@@ -1,0 +1,968 @@
+//! # sd-lint — workspace-local static analysis
+//!
+//! A source-level pass over the whole workspace enforcing the concurrency
+//! and layering conventions that keep the serving stack sound. It is
+//! deliberately a *lexer*, not a parser: source is tokenized (comments
+//! stripped but recorded, string/char/number literals collapsed to single
+//! tokens, raw strings and nested block comments handled), and every rule
+//! is a pattern over the token stream. That makes the tool dependency-free
+//! and immune to the false positives that plague regex-over-source
+//! approaches (a `thread::spawn` in a doc comment does not fire).
+//!
+//! ## Rules
+//!
+//! | rule | scope | requirement |
+//! |------|-------|-------------|
+//! | `std-sync`  | library code outside `shims/`, minus `crates/core/src/pool.rs` | no `std::sync::{Mutex, RwLock, Condvar}`, no `thread::spawn` — concurrency goes through the shims and the global pool |
+//! | `no-panic`  | `crates/*/src` minus `crates/bench` and `src/bin` | no `.unwrap()` / `.expect()` / `panic!` / `unreachable!` in non-test code |
+//! | `layering`  | `crates/graph`, `crates/truss`, `shims/*` | lower layers never name higher ones (`sd_core` from graph/truss; any `sd_*` from a shim) |
+//! | `lock-tag`  | `crates/core/src` | every lock acquisition carries a trailing `// lock: <class>` naming a class declared in `crates/core/src/lock_order.rs`, whose declarations must be in strictly increasing rank order |
+//!
+//! `#[cfg(test)]` / `#[test]` items are exempt from `std-sync`, `no-panic`
+//! and `lock-tag` (tests legitimately spawn threads, unwrap, and take
+//! un-tagged locks); `layering` applies everywhere.
+//!
+//! ## Suppression
+//!
+//! Any finding can be silenced at its site with an inline annotation on
+//! the same line or the line immediately above:
+//!
+//! ```text
+//! // sd-lint: allow(<rule>) <justification>
+//! ```
+//!
+//! The justification is mandatory — an empty one is itself a violation —
+//! and every suppression that fired is recorded in the [`Report`] so the
+//! waiver surface stays reviewable. A stale annotation that suppresses
+//! nothing is also a violation (`unused-allow`): waivers must not outlive
+//! the code they excuse.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The rule identifiers accepted by `allow(...)` annotations.
+pub const RULE_NAMES: [&str; 4] = ["std-sync", "no-panic", "layering", "lock-tag"];
+
+/// One finding that survived suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired (one of [`RULE_NAMES`], or the meta-rules
+    /// `bad-annotation` / `unused-allow`).
+    pub rule: String,
+    /// Path relative to the scanned root, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What is wrong and what the fix direction is.
+    pub message: String,
+}
+
+/// One `sd-lint: allow` annotation that suppressed a finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule the annotation waived.
+    pub rule: String,
+    /// Path relative to the scanned root, `/`-separated.
+    pub file: String,
+    /// Line of the suppressed finding.
+    pub line: u32,
+    /// The annotation's mandatory justification.
+    pub justification: String,
+}
+
+/// The outcome of [`run`]: what fired, what was waived, what was scanned.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, in (file, line) order.
+    pub violations: Vec<Violation>,
+    /// Findings waived by `sd-lint: allow` annotations, in (file, line)
+    /// order.
+    pub suppressed: Vec<Suppression>,
+    /// Number of `.rs` files tokenized.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is clean (exit code 0).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TokKind {
+    Ident,
+    Punct,
+    /// String, char, or numeric literal. For strings, `text` is the
+    /// (unescaped-enough) content; for numbers, the raw spelling.
+    Literal,
+}
+
+#[derive(Clone, Debug)]
+struct Tok {
+    line: u32,
+    kind: TokKind,
+    text: String,
+}
+
+#[derive(Debug, Default)]
+struct Lexed {
+    tokens: Vec<Tok>,
+    /// Line comments as `(line, text-after-slashes)`, doc comments
+    /// included. Block comments are stripped without being recorded —
+    /// annotations and lock tags are line-comment-only by design.
+    comments: Vec<(u32, String)>,
+}
+
+fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push((line, chars[start..j].iter().collect()));
+            i = j;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            // Nested block comment.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+        } else if c == '"' {
+            let (end, text, newlines) = lex_quoted(&chars, i);
+            out.tokens.push(Tok { line, kind: TokKind::Literal, text });
+            line += newlines;
+            i = end;
+        } else if c == '\'' {
+            // Lifetime or char literal. `'a` (lifetime) has no closing
+            // quote right after its one "payload" char; `'a'` and `'\n'`
+            // do.
+            let is_char = i + 1 < n
+                && (chars[i + 1] == '\\'
+                    || (i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\''));
+            if is_char {
+                let mut j = i + 1;
+                if chars[j] == '\\' {
+                    j += 2; // skip the escape introducer + escaped char
+                }
+                while j < n && chars[j] != '\'' {
+                    j += 1; // covers `'x'` and multi-char escapes like `'\u{1F600}'`
+                }
+                out.tokens.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+                i = (j + 1).min(n);
+            } else {
+                // Lifetime quote: drop it; the name lexes as an ident.
+                i += 1;
+            }
+        } else if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if j < n && chars[j] == '.' && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Tok {
+                line,
+                kind: TokKind::Literal,
+                text: chars[i..j].iter().collect(),
+            });
+            i = j;
+        } else if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let word: String = chars[i..j].iter().collect();
+            // Raw / byte string prefixes and raw identifiers.
+            if matches!(word.as_str(), "r" | "b" | "br")
+                && j < n
+                && (chars[j] == '"' || chars[j] == '#')
+            {
+                let mut hashes = 0usize;
+                let mut k = j;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    let (end, newlines) = raw_string_end(&chars, k + 1, hashes);
+                    out.tokens.push(Tok { line, kind: TokKind::Literal, text: String::new() });
+                    line += newlines;
+                    i = end;
+                    continue;
+                }
+                if word == "r"
+                    && hashes == 1
+                    && k < n
+                    && (chars[k].is_alphanumeric() || chars[k] == '_')
+                {
+                    // Raw identifier `r#type`: token is the bare name.
+                    let mut m = k;
+                    while m < n && (chars[m].is_alphanumeric() || chars[m] == '_') {
+                        m += 1;
+                    }
+                    out.tokens.push(Tok {
+                        line,
+                        kind: TokKind::Ident,
+                        text: chars[k..m].iter().collect(),
+                    });
+                    i = m;
+                    continue;
+                }
+            }
+            out.tokens.push(Tok { line, kind: TokKind::Ident, text: word });
+            i = j;
+        } else {
+            out.tokens.push(Tok { line, kind: TokKind::Punct, text: c.to_string() });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` literal starting at the opening quote; returns
+/// (index past the closing quote, content, newlines crossed).
+fn lex_quoted(chars: &[char], start: usize) -> (usize, String, u32) {
+    let n = chars.len();
+    let mut j = start + 1;
+    let mut text = String::new();
+    let mut newlines = 0u32;
+    while j < n {
+        match chars[j] {
+            '\\' => {
+                if j + 1 < n {
+                    if chars[j + 1] == '\n' {
+                        newlines += 1;
+                    }
+                    text.push(chars[j + 1]);
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            ch => {
+                if ch == '\n' {
+                    newlines += 1;
+                }
+                text.push(ch);
+                j += 1;
+            }
+        }
+    }
+    (j, text, newlines)
+}
+
+/// Finds the end of a raw string body (`j` is just past the opening
+/// quote): a `"` followed by `hashes` `#`s. Returns (index past the
+/// terminator, newlines crossed).
+fn raw_string_end(chars: &[char], mut j: usize, hashes: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut newlines = 0u32;
+    while j < n {
+        if chars[j] == '\n' {
+            newlines += 1;
+            j += 1;
+            continue;
+        }
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut h = 0usize;
+            while k < n && h < hashes && chars[k] == '#' {
+                h += 1;
+                k += 1;
+            }
+            if h == hashes {
+                return (k, newlines);
+            }
+        }
+        j += 1;
+    }
+    (n, newlines)
+}
+
+// ---------------------------------------------------------------------------
+// Test-region mask
+
+/// Marks every token belonging to a `#[test]` / `#[cfg(test)]`-attributed
+/// item (attributes included, `#[cfg(not(test))]` excluded): from the
+/// attribute's `#` through the item's closing `}` or `;`.
+fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[" {
+            let attr_start = i;
+            let mut is_test = false;
+            let mut j = i;
+            // Consume the run of consecutive outer attributes.
+            loop {
+                let mut depth = 0usize;
+                let mut saw_test = false;
+                let mut saw_not = false;
+                let mut k = j + 1;
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "test" if tokens[k].kind == TokKind::Ident => saw_test = true,
+                        "not" if tokens[k].kind == TokKind::Ident => saw_not = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if saw_test && !saw_not {
+                    is_test = true;
+                }
+                j = (k + 1).min(tokens.len());
+                let more =
+                    j + 1 < tokens.len() && tokens[j].text == "#" && tokens[j + 1].text == "[";
+                if !more {
+                    break;
+                }
+            }
+            if is_test {
+                // Skip the attributed item: up to its first body `{` and
+                // that brace's match, or a `;` for braceless items.
+                let mut k = j;
+                let mut end = tokens.len();
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "{" => {
+                            let mut brace = 1usize;
+                            k += 1;
+                            while k < tokens.len() && brace > 0 {
+                                match tokens[k].text.as_str() {
+                                    "{" => brace += 1,
+                                    "}" => brace -= 1,
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            end = k;
+                            break;
+                        }
+                        ";" => {
+                            end = k + 1;
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                for m in mask.iter_mut().take(end).skip(attr_start) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    justification: String,
+    line: u32,
+    used: bool,
+}
+
+/// The parse of one line comment: an allow annotation, a malformed
+/// `sd-lint:` comment, or neither.
+enum CommentKind {
+    Allow { rule: String, justification: String },
+    Malformed,
+    Other,
+}
+
+fn classify_comment(text: &str) -> CommentKind {
+    let t = text.trim();
+    let Some(rest) = t.strip_prefix("sd-lint:") else {
+        return CommentKind::Other;
+    };
+    let rest = rest.trim_start();
+    if let Some(inner) = rest.strip_prefix("allow(") {
+        if let Some(close) = inner.find(')') {
+            return CommentKind::Allow {
+                rule: inner[..close].trim().to_string(),
+                justification: inner[close + 1..].trim().to_string(),
+            };
+        }
+    }
+    CommentKind::Malformed
+}
+
+/// The `// lock: <class>` tag on a line, if any.
+fn lock_tag(text: &str) -> Option<&str> {
+    let t = text.trim();
+    let rest = t.strip_prefix("lock:")?;
+    Some(rest.trim())
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis state
+
+struct FileCtx {
+    rel: String,
+    lexed: Lexed,
+    mask: Vec<bool>,
+    allows: Vec<Allow>,
+    /// `line -> lock class` from trailing `// lock:` tags.
+    lock_tags: BTreeMap<u32, String>,
+}
+
+impl FileCtx {
+    fn new(rel: String, src: &str) -> (Self, Vec<Violation>) {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let mut allows = Vec::new();
+        let mut lock_tags = BTreeMap::new();
+        let mut violations = Vec::new();
+        for (cline, text) in &lexed.comments {
+            match classify_comment(text) {
+                CommentKind::Allow { rule, justification } => {
+                    if !RULE_NAMES.contains(&rule.as_str()) {
+                        violations.push(Violation {
+                            rule: "bad-annotation".into(),
+                            file: rel.clone(),
+                            line: *cline,
+                            message: format!(
+                                "allow names unknown rule `{rule}` (rules: {})",
+                                RULE_NAMES.join(", ")
+                            ),
+                        });
+                    } else if justification.is_empty() {
+                        violations.push(Violation {
+                            rule: "bad-annotation".into(),
+                            file: rel.clone(),
+                            line: *cline,
+                            message: format!(
+                                "allow({rule}) has no justification — say why the waiver is sound"
+                            ),
+                        });
+                    } else {
+                        allows.push(Allow { rule, justification, line: *cline, used: false });
+                    }
+                }
+                CommentKind::Malformed => violations.push(Violation {
+                    rule: "bad-annotation".into(),
+                    file: rel.clone(),
+                    line: *cline,
+                    message:
+                        "malformed annotation — expected `sd-lint: allow(<rule>) <justification>`"
+                            .into(),
+                }),
+                CommentKind::Other => {
+                    if let Some(class) = lock_tag(text) {
+                        lock_tags.insert(*cline, class.to_string());
+                    }
+                }
+            }
+        }
+        (FileCtx { rel, lexed, mask, allows, lock_tags }, violations)
+    }
+
+    fn tokens(&self) -> &[Tok] {
+        &self.lexed.tokens
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.lexed.tokens.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize, word: &str) -> bool {
+        self.lexed.tokens.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == word)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule scopes
+
+fn is_library_source(rel: &str) -> bool {
+    (rel.starts_with("crates/") && rel.contains("/src/"))
+        || rel.starts_with("src/")
+        || (rel.starts_with("tools/") && rel.contains("/src/"))
+}
+
+fn in_std_sync_scope(rel: &str) -> bool {
+    is_library_source(rel) && !rel.starts_with("shims/") && rel != "crates/core/src/pool.rs"
+}
+
+fn in_no_panic_scope(rel: &str) -> bool {
+    rel.starts_with("crates/")
+        && rel.contains("/src/")
+        && !rel.contains("/bin/")
+        && !rel.starts_with("crates/bench/")
+}
+
+fn in_lock_tag_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/")
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+
+const SYNC_BANNED: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+fn rule_std_sync(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !in_std_sync_scope(&ctx.rel) {
+        return;
+    }
+    let toks = ctx.tokens();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ctx.mask[i] {
+            i += 1;
+            continue;
+        }
+        if ctx.is_ident(i, "sync") && ctx.text(i + 1) == ":" && ctx.text(i + 2) == ":" {
+            if SYNC_BANNED.contains(&ctx.text(i + 3)) {
+                out.push(Violation {
+                    rule: "std-sync".into(),
+                    file: ctx.rel.clone(),
+                    line: toks[i + 3].line,
+                    message: format!(
+                        "`std::sync::{}` outside shims/ — use the parking_lot shim so the \
+                         lock-order sentinel sees it",
+                        ctx.text(i + 3)
+                    ),
+                });
+            } else if ctx.text(i + 3) == "{" {
+                // use-list: `use std::sync::{Arc, Mutex, …}`
+                let mut depth = 1usize;
+                let mut j = i + 4;
+                while j < toks.len() && depth > 0 {
+                    match ctx.text(j) {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        name if SYNC_BANNED.contains(&name) && toks[j].kind == TokKind::Ident => {
+                            out.push(Violation {
+                                rule: "std-sync".into(),
+                                file: ctx.rel.clone(),
+                                line: toks[j].line,
+                                message: format!(
+                                    "`std::sync::{name}` outside shims/ — use the parking_lot \
+                                     shim so the lock-order sentinel sees it"
+                                ),
+                            });
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        if ctx.is_ident(i, "thread")
+            && ctx.text(i + 1) == ":"
+            && ctx.text(i + 2) == ":"
+            && ctx.is_ident(i + 3, "spawn")
+        {
+            out.push(Violation {
+                rule: "std-sync".into(),
+                file: ctx.rel.clone(),
+                line: toks[i + 3].line,
+                message: "`thread::spawn` outside the worker pool — route work through \
+                          `sd_core::pool` so it shares the process-wide thread budget"
+                    .into(),
+            });
+        }
+        i += 1;
+    }
+}
+
+fn rule_no_panic(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !in_no_panic_scope(&ctx.rel) {
+        return;
+    }
+    let toks = ctx.tokens();
+    for i in 0..toks.len() {
+        if ctx.mask[i] {
+            continue;
+        }
+        if ctx.text(i) == "."
+            && (ctx.is_ident(i + 1, "unwrap") || ctx.is_ident(i + 1, "expect"))
+            && ctx.text(i + 2) == "("
+            && !ctx.mask[i + 1]
+        {
+            out.push(Violation {
+                rule: "no-panic".into(),
+                file: ctx.rel.clone(),
+                line: toks[i + 1].line,
+                message: format!(
+                    "`.{}()` in library code — return a typed error (e.g. \
+                     `SearchError::Internal`) or annotate why it cannot fail",
+                    ctx.text(i + 1)
+                ),
+            });
+        }
+        if (ctx.is_ident(i, "panic") || ctx.is_ident(i, "unreachable")) && ctx.text(i + 1) == "!" {
+            out.push(Violation {
+                rule: "no-panic".into(),
+                file: ctx.rel.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "`{}!` in library code — return a typed error or annotate why the \
+                     branch is impossible",
+                    ctx.text(i)
+                ),
+            });
+        }
+    }
+}
+
+fn rule_layering(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let lower_layer =
+        ctx.rel.starts_with("crates/graph/src") || ctx.rel.starts_with("crates/truss/src");
+    let shim = ctx.rel.starts_with("shims/") && ctx.rel.contains("/src/");
+    if !lower_layer && !shim {
+        return;
+    }
+    for tok in ctx.tokens() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        if lower_layer && tok.text == "sd_core" {
+            out.push(Violation {
+                rule: "layering".into(),
+                file: ctx.rel.clone(),
+                line: tok.line,
+                message: "graph/truss layer names `sd_core` — the dependency only points \
+                          the other way"
+                    .into(),
+            });
+        }
+        if shim && tok.text.starts_with("sd_") {
+            out.push(Violation {
+                rule: "layering".into(),
+                file: ctx.rel.clone(),
+                line: tok.line,
+                message: format!(
+                    "shim names workspace crate `{}` — shims must stay drop-in replaceable \
+                     by the real crates.io packages",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+/// A lock class declaration parsed out of `crates/core/src/lock_order.rs`.
+#[derive(Clone, Debug)]
+struct DeclaredClass {
+    name: String,
+    rank: u8,
+}
+
+const LOCK_ORDER_FILE: &str = "crates/core/src/lock_order.rs";
+
+/// Extracts `LockClass::new(<rank>, "<name>")` declarations in file order,
+/// and flags any rank that is not strictly above its predecessor — the
+/// declaration order *is* the canonical hierarchy.
+fn parse_lock_classes(ctx: &FileCtx, out: &mut Vec<Violation>) -> Vec<DeclaredClass> {
+    let toks = ctx.tokens();
+    let mut classes: Vec<DeclaredClass> = Vec::new();
+    for i in 0..toks.len() {
+        if ctx.mask[i] || !ctx.is_ident(i, "LockClass") {
+            continue;
+        }
+        if !(ctx.text(i + 1) == ":"
+            && ctx.text(i + 2) == ":"
+            && ctx.is_ident(i + 3, "new")
+            && ctx.text(i + 4) == "(")
+        {
+            continue;
+        }
+        let (Some(rank_tok), Some(name_tok)) = (toks.get(i + 5), toks.get(i + 7)) else {
+            continue;
+        };
+        if rank_tok.kind != TokKind::Literal || name_tok.kind != TokKind::Literal {
+            continue;
+        }
+        let digits: String = rank_tok.text.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let Ok(rank) = digits.parse::<u8>() else { continue };
+        if let Some(prev) = classes.last() {
+            if rank <= prev.rank {
+                out.push(Violation {
+                    rule: "lock-tag".into(),
+                    file: ctx.rel.clone(),
+                    line: rank_tok.line,
+                    message: format!(
+                        "lock class `{}` (rank {rank}) declared after `{}` (rank {}) — \
+                         declaration order is the hierarchy, ranks must strictly increase",
+                        name_tok.text, prev.name, prev.rank
+                    ),
+                });
+            }
+        }
+        classes.push(DeclaredClass { name: name_tok.text.clone(), rank });
+    }
+    classes
+}
+
+const ACQUIRE_METHODS: [&str; 5] = ["lock", "read", "write", "try_read", "try_write"];
+
+fn rule_lock_tag(ctx: &FileCtx, classes: &[DeclaredClass], out: &mut Vec<Violation>) {
+    if !in_lock_tag_scope(&ctx.rel) || ctx.rel == LOCK_ORDER_FILE {
+        return;
+    }
+    let toks = ctx.tokens();
+    for i in 0..toks.len() {
+        if ctx.text(i) != "." || ctx.text(i + 2) != "(" {
+            continue;
+        }
+        let Some(method) = toks.get(i + 1) else { continue };
+        if method.kind != TokKind::Ident
+            || !ACQUIRE_METHODS.contains(&method.text.as_str())
+            || ctx.mask[i + 1]
+        {
+            continue;
+        }
+        match ctx.lock_tags.get(&method.line) {
+            None => out.push(Violation {
+                rule: "lock-tag".into(),
+                file: ctx.rel.clone(),
+                line: method.line,
+                message: format!(
+                    "`.{}()` acquisition without a trailing `// lock: <class>` tag naming \
+                     its class from {LOCK_ORDER_FILE}",
+                    method.text
+                ),
+            }),
+            Some(class) if !classes.iter().any(|c| &c.name == class) => out.push(Violation {
+                rule: "lock-tag".into(),
+                file: ctx.rel.clone(),
+                line: method.line,
+                message: format!("tag names `{class}`, which {LOCK_ORDER_FILE} does not declare"),
+            }),
+            Some(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<(String, std::path::PathBuf)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+}
+
+/// Lints every `.rs` file under `root` and returns what fired, what was
+/// suppressed, and how much was scanned.
+pub fn run(root: &Path) -> Report {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files);
+    files.sort();
+
+    let mut ctxs: Vec<FileCtx> = Vec::new();
+    let mut raw: Vec<Violation> = Vec::new();
+    for (rel, path) in &files {
+        let Ok(src) = std::fs::read_to_string(path) else { continue };
+        let (ctx, annotation_violations) = FileCtx::new(rel.clone(), &src);
+        raw.extend(annotation_violations);
+        ctxs.push(ctx);
+    }
+    let files_scanned = ctxs.len();
+
+    // The hierarchy declaration is global state for rule `lock-tag`.
+    let mut classes = Vec::new();
+    for ctx in &ctxs {
+        if ctx.rel == LOCK_ORDER_FILE {
+            classes = parse_lock_classes(ctx, &mut raw);
+        }
+    }
+
+    for ctx in &ctxs {
+        rule_std_sync(ctx, &mut raw);
+        rule_no_panic(ctx, &mut raw);
+        rule_layering(ctx, &mut raw);
+        rule_lock_tag(ctx, &classes, &mut raw);
+    }
+
+    // Suppression: an allow on the finding's line or the line above it
+    // waives one rule at that site. Unused allows are themselves findings.
+    let mut report = Report { files_scanned, ..Report::default() };
+    let mut allow_index: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
+    for ctx in ctxs {
+        allow_index.insert(ctx.rel.clone(), ctx.allows);
+    }
+    for v in raw {
+        let allows = allow_index.get_mut(&v.file);
+        // Same-line annotations take precedence over preceding-line ones so
+        // two annotated findings on adjacent lines each use their own waiver.
+        let matching = allows.and_then(|list| {
+            let same = list.iter().position(|a| a.rule == v.rule && a.line == v.line);
+            same.or_else(|| list.iter().position(|a| a.rule == v.rule && a.line + 1 == v.line))
+                .map(|p| &mut list[p])
+        });
+        match matching {
+            Some(a) => {
+                a.used = true;
+                report.suppressed.push(Suppression {
+                    rule: v.rule,
+                    file: v.file,
+                    line: v.line,
+                    justification: a.justification.clone(),
+                });
+            }
+            None => report.violations.push(v),
+        }
+    }
+    for (file, allows) in allow_index {
+        for a in allows {
+            if !a.used {
+                report.violations.push(Violation {
+                    rule: "unused-allow".into(),
+                    file: file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) suppresses nothing — the finding it excused is gone, \
+                         remove the annotation",
+                        a.rule
+                    ),
+                });
+            }
+        }
+    }
+    report.violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.suppressed.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_produce_code_tokens() {
+        let src = r##"
+// thread::spawn in a line comment
+/* std::sync::Mutex in a block /* nested */ comment */
+let s = "thread::spawn(std::sync::Mutex)";
+let r = r#"panic! inside a raw string"#;
+let c = 'x';
+let lt: &'static str = s;
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"spawn".to_string()));
+        assert!(!ids.contains(&"Mutex".to_string()));
+        assert!(ids.contains(&"static".to_string()), "lifetime name still lexes");
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1, "only the line comment is recorded");
+    }
+
+    #[test]
+    fn lexer_tracks_lines_through_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_items_but_not_cfg_not_test() {
+        let src = r#"
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { y.unwrap(); }
+}
+#[cfg(not(test))]
+fn also_live() { z.unwrap(); }
+"#;
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let unwraps: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true, false]);
+    }
+
+    #[test]
+    fn classify_comment_variants() {
+        assert!(matches!(
+            classify_comment(" sd-lint: allow(no-panic) infallible by construction"),
+            CommentKind::Allow { rule, justification }
+                if rule == "no-panic" && justification == "infallible by construction"
+        ));
+        assert!(matches!(classify_comment(" sd-lint: allow(no-panic"), CommentKind::Malformed));
+        assert!(matches!(classify_comment(" just prose"), CommentKind::Other));
+        assert_eq!(lock_tag(" lock: epoch.ptr"), Some("epoch.ptr"));
+        assert_eq!(lock_tag(" locked: nope"), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! Command-line front end for the workspace lint. See the library docs
+//! and `tools/sd-lint/README.md` for the rule catalogue.
+//!
+//! Usage: `cargo run -p sd-lint [-- --root <dir>]` — defaults to the
+//! current directory, which under `cargo run` is the workspace root.
+//! Exits 0 on a clean tree, 1 if any violation survives suppression.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("sd-lint: --root needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: sd-lint [--root <dir>]");
+                return;
+            }
+            other => {
+                eprintln!("sd-lint: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = sd_lint::run(&root);
+    for v in &report.violations {
+        println!("error[{}]: {}:{} — {}", v.rule, v.file, v.line, v.message);
+    }
+    if !report.suppressed.is_empty() {
+        println!("{} suppressed finding(s):", report.suppressed.len());
+        for s in &report.suppressed {
+            println!("  allow[{}] {}:{} — {}", s.rule, s.file, s.line, s.justification);
+        }
+    }
+    println!(
+        "sd-lint: {} file(s) scanned, {} violation(s), {} suppressed",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    );
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}

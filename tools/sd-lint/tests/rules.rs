@@ -1,0 +1,213 @@
+//! Fixture tests: each rule must fire on a seeded violation and stay
+//! quiet on the equivalent clean input. Fixtures are written to a unique
+//! temp directory shaped like a miniature workspace so the path-based
+//! rule scopes apply.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static NEXT: AtomicU32 = AtomicU32::new(0);
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        let root =
+            std::env::temp_dir().join(format!("sd-lint-fixture-{}-{id}", std::process::id()));
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, src: &str) -> &Self {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture files live in a dir"))
+            .expect("create fixture dir");
+        std::fs::write(path, src).expect("write fixture file");
+        self
+    }
+
+    fn run(&self) -> sd_lint::Report {
+        sd_lint::run(&self.root)
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn rules_fired(report: &sd_lint::Report) -> Vec<&str> {
+    report.violations.iter().map(|v| v.rule.as_str()).collect()
+}
+
+/// A minimal lock_order.rs so `lock-tag` has a class registry.
+const LOCK_ORDER: &str = r#"
+pub struct LockClass { rank: u8, name: &'static str }
+impl LockClass {
+    pub const fn new(rank: u8, name: &'static str) -> Self { LockClass { rank, name } }
+}
+pub const EPOCH_PTR: LockClass = LockClass::new(20, "epoch.ptr");
+pub const ENGINE_SLOT: LockClass = LockClass::new(30, "engine.slot");
+"#;
+
+#[test]
+fn std_sync_fires_outside_shims_and_stays_quiet_inside() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/bad.rs",
+        "use std::sync::{Arc, Mutex};\nfn go() { std::thread::spawn(|| {}); }\n",
+    )
+    .write("shims/parking_lot/src/lib.rs", "use std::sync::Mutex;\nuse std::sync::Condvar;\n")
+    .write("crates/core/src/pool.rs", "use std::sync::Condvar;\n");
+    let report = fx.run();
+    assert_eq!(rules_fired(&report), vec!["std-sync", "std-sync"]);
+    assert_eq!(report.violations[0].file, "crates/core/src/bad.rs");
+}
+
+#[test]
+fn std_sync_ignores_test_code_comments_and_strings() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/ok.rs",
+        r#"
+// std::sync::Mutex is fine in prose
+const DOC: &str = "std::sync::Mutex";
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+    #[test]
+    fn spawns() { std::thread::spawn(|| {}); }
+}
+"#,
+    );
+    assert!(fx.run().is_clean());
+}
+
+#[test]
+fn no_panic_fires_on_each_banned_form() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/graph/src/bad.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.expect(\"y\") }\nfn h() { panic!(\"boom\") }\nfn i() { unreachable!() }\n",
+    );
+    let report = fx.run();
+    assert_eq!(rules_fired(&report), vec!["no-panic"; 4]);
+}
+
+#[test]
+fn no_panic_exempts_tests_benches_and_bins() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/graph/src/ok.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n#[test]\nfn t() { None::<u8>.unwrap(); }\n",
+    )
+    .write("crates/bench/src/lib.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n")
+    .write("crates/core/src/bin/tool.rs", "fn main() { None::<u8>.unwrap(); }\n")
+    .write("crates/graph/benches/b.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    assert!(fx.run().is_clean());
+}
+
+#[test]
+fn layering_fires_for_graph_naming_core_and_shim_naming_workspace() {
+    let fx = Fixture::new();
+    fx.write("crates/graph/src/bad.rs", "use sd_core::SearchService;\n")
+        .write("shims/rayon/src/lib.rs", "use sd_graph::CsrGraph;\n");
+    let report = fx.run();
+    assert_eq!(rules_fired(&report), vec!["layering", "layering"]);
+}
+
+#[test]
+fn layering_quiet_on_clean_dependencies() {
+    let fx = Fixture::new();
+    fx.write("crates/graph/src/ok.rs", "use sd_datasets::load;\n")
+        .write("crates/core/src/ok.rs", "use sd_graph::CsrGraph;\n")
+        .write("shims/rayon/src/lib.rs", "use std::marker::PhantomData;\n");
+    assert!(fx.run().is_clean());
+}
+
+#[test]
+fn lock_tag_requires_tag_and_declared_class() {
+    let fx = Fixture::new();
+    fx.write("crates/core/src/lock_order.rs", LOCK_ORDER).write(
+        "crates/core/src/svc.rs",
+        r#"
+fn f(m: &parking_lot::Mutex<u8>) {
+    let untagged = m.lock();
+    let unknown = m.lock(); // lock: made.up
+    let good = m.lock(); // lock: epoch.ptr
+    drop((untagged, unknown, good));
+}
+"#,
+    );
+    let report = fx.run();
+    assert_eq!(rules_fired(&report), vec!["lock-tag", "lock-tag"]);
+    assert!(report.violations[1].message.contains("made.up"));
+}
+
+#[test]
+fn lock_tag_enforces_declaration_rank_order() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/lock_order.rs",
+        r#"
+pub struct LockClass { rank: u8, name: &'static str }
+impl LockClass {
+    pub const fn new(rank: u8, name: &'static str) -> Self { LockClass { rank, name } }
+}
+pub const ENGINE_SLOT: LockClass = LockClass::new(30, "engine.slot");
+pub const EPOCH_PTR: LockClass = LockClass::new(20, "epoch.ptr");
+"#,
+    );
+    let report = fx.run();
+    assert_eq!(rules_fired(&report), vec!["lock-tag"]);
+    assert!(report.violations[0].message.contains("strictly increase"));
+}
+
+#[test]
+fn allow_suppresses_and_is_reported() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/graph/src/ok.rs",
+        "fn f(x: Option<u8>) -> u8 {\n    // sd-lint: allow(no-panic) index is in range by construction\n    x.unwrap()\n}\nfn g(x: Option<u8>) -> u8 { x.unwrap() } // sd-lint: allow(no-panic) same-line waiver\n",
+    );
+    let report = fx.run();
+    assert!(report.is_clean(), "both findings waived: {:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 2);
+    assert_eq!(report.suppressed[0].justification, "index is in range by construction");
+}
+
+#[test]
+fn allow_without_justification_or_unused_is_a_violation() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/graph/src/bad.rs",
+        "// sd-lint: allow(no-panic)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n// sd-lint: allow(std-sync) nothing here uses std sync\nfn g() {}\n",
+    );
+    let report = fx.run();
+    let mut rules = rules_fired(&report);
+    rules.sort_unstable();
+    // Empty justification -> bad-annotation AND the unwrap still fires;
+    // the std-sync allow matches nothing -> unused-allow.
+    assert_eq!(rules, vec!["bad-annotation", "no-panic", "unused-allow"]);
+}
+
+#[test]
+fn shipped_tree_is_clean() {
+    // The acceptance bar: running over the real workspace reports zero
+    // violations. CARGO_MANIFEST_DIR is tools/sd-lint, two up is the root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = sd_lint::run(root);
+    assert!(
+        report.is_clean(),
+        "sd-lint must pass on the shipped tree, got: {:#?}",
+        report.violations
+    );
+    assert!(report.files_scanned > 40, "sanity: the real workspace was scanned");
+}
