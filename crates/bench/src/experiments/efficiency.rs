@@ -315,14 +315,22 @@ pub fn fig12(ctx: &ExpContext) {
 /// `bench-compare`). Committed to the repo per PR, so the bench trajectory
 /// is part of history rather than an artifact that evaporates with CI
 /// retention.
-pub const BENCH_OUT: &str = "BENCH_pr7.json";
+pub const BENCH_OUT: &str = "BENCH_pr8.json";
+
+/// Where superseded datapoints retire to. When a PR renames [`BENCH_OUT`],
+/// the previous file moves here instead of being deleted, and
+/// `bench-compare` prints the whole trajectory — every retired datapoint,
+/// the committed baseline, and the fresh measurement side by side.
+pub const BENCH_HISTORY_DIR: &str = "bench/history";
 
 /// `bench-json`: the perf-smoke datapoint the CI lane archives. One small
 /// end-to-end measurement pass — cold-fallback first-query latency, index
 /// builds, per-engine query latency, a served `apply_updates` batch (the
-/// PR-5 live-update path, with its ops/s throughput), and the
-/// PR-6 parallel `top_r_many` fan-out vs its single-threaded reference —
-/// written as machine-readable JSON to [`BENCH_OUT`] in the working
+/// PR-5 live-update path, with its ops/s throughput), the PR-6 parallel
+/// `top_r_many` fan-out vs its single-threaded reference, and the PR-8
+/// loopback TCP round trip through `sd-server` (framing + routing +
+/// batching overhead on top of the raw query) — written as
+/// machine-readable JSON to [`BENCH_OUT`] in the working
 /// directory, so the bench trajectory accumulates comparable artifacts per
 /// run.
 ///
@@ -362,7 +370,7 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
     // index is constructed exactly once and then reused for the query
     // measurements below (`wait_ready` on an unscheduled kind builds on
     // the calling thread, so the timing is the build).
-    let service = SearchService::from_arc(shared.clone());
+    let service = Arc::new(SearchService::from_arc(shared.clone()));
     let (_, tsd_build) = time_it(|| service.wait_ready([EngineKind::Tsd]));
     let (_, gct_build) = time_it(|| service.wait_ready([EngineKind::Gct]));
     let (_, hybrid_build) = time_it(|| service.wait_ready([EngineKind::Hybrid]));
@@ -428,8 +436,34 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
     }
     let speedup = many_seq.as_secs_f64() / many_par.as_secs_f64().max(1e-9);
 
+    // The PR-8 datapoint: one warmed query round trip through the whole
+    // serving stack over loopback TCP — frame encode, fingerprint
+    // routing, the batching window, the query itself, and the response
+    // decode. The delta against the matching `top_r_*_ms` figure is the
+    // serving overhead the front-end adds.
+    let registry = Arc::new(sd_server::TenantRegistry::new(sd_server::BatchLimits::default()));
+    let tenant_key = registry.register(Arc::clone(&service)).expect("fresh registry");
+    let server = sd_server::Server::start(
+        sd_server::ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() },
+        registry,
+    )
+    .expect("bind loopback");
+    let mut client = sd_server::Client::connect(server.local_addr()).expect("connect loopback");
+    let wire_query = sd_server::WireQuery { k: 4, r: 100.min(n) as u64, engine: EngineKind::Tsd };
+    client.query(tenant_key, 0, vec![wire_query]).expect("warmup round trip");
+    const ROUND_TRIPS: usize = 32;
+    let (_, wire_elapsed) = time_it(|| {
+        for _ in 0..ROUND_TRIPS {
+            let resp = client.query(tenant_key, 0, vec![wire_query]).expect("round trip");
+            assert_eq!(resp.outcomes.len(), 1, "single-query frame answers one slot");
+        }
+    });
+    drop(client);
+    server.shutdown();
+    let round_trip_ms = wire_elapsed.as_secs_f64() * 1e3 / ROUND_TRIPS as f64;
+
     format!(
-        "{{\n  \"schema\": \"sd-bench-smoke/3\",\n  \"dataset\": \"{}\",\n  \
+        "{{\n  \"schema\": \"sd-bench-smoke/4\",\n  \"dataset\": \"{}\",\n  \
          \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \"machine_cores\": {},\n  \
          \"build\": {{\n    \
          \"tsd_ms\": {:.3},\n    \"gct_ms\": {:.3},\n    \"hybrid_ms\": {:.3}\n  }},\n  \
@@ -439,7 +473,8 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
          \"apply_ms\": {:.3},\n    \"ops_per_s\": {:.1}\n  }},\n  \"parallel\": {{\n    \
          \"batch_queries\": {},\n    \
          \"top_r_many_seq_ms\": {:.3},\n    \"top_r_many_pool4_ms\": {:.3},\n    \
-         \"speedup_x\": {:.3}\n  }}\n}}\n",
+         \"speedup_x\": {:.3}\n  }},\n  \"server\": {{\n    \
+         \"round_trips\": {},\n    \"wire_round_trip_ms\": {:.3}\n  }}\n}}\n",
         dataset.name,
         ctx.scale,
         sd_core::default_pool_threads(),
@@ -458,6 +493,8 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
         many_seq.as_secs_f64() * 1e3,
         many_par.as_secs_f64() * 1e3,
         speedup,
+        ROUND_TRIPS,
+        round_trip_ms,
     )
 }
 
@@ -473,11 +510,14 @@ const COMPARE_SLACK_MS: f64 = 25.0;
 /// missing or was produced at a different `--scale`, or if a committed
 /// `_ms` key vanished from the fresh measurement (schema drift would
 /// otherwise un-gate a metric silently). Run it *before* `bench-json`,
-/// which overwrites the committed file.
+/// which overwrites the committed file. Before gating it prints the full
+/// trajectory: every retired datapoint in [`BENCH_HISTORY_DIR`], the
+/// committed baseline, and the fresh run side by side.
 pub fn bench_compare(ctx: &ExpContext) {
     let committed = std::fs::read_to_string(BENCH_OUT)
         .unwrap_or_else(|e| panic!("bench-compare needs the committed {BENCH_OUT} baseline: {e}"));
     let fresh = measure_bench_smoke(ctx);
+    print_trajectory(&committed, &fresh);
     match compare_smoke(&committed, &fresh) {
         Ok(report) => println!("{report}\n[bench-compare] OK: no metric beyond 2x + slack"),
         Err(failures) => {
@@ -488,6 +528,69 @@ pub fn bench_compare(ctx: &ExpContext) {
             std::process::exit(1);
         }
     }
+}
+
+/// The PR number embedded in a retired datapoint's filename
+/// (`BENCH_pr7.json` → 7); lexicographic order would put pr10 before pr6.
+fn pr_number(name: &str) -> u64 {
+    name.chars().filter(|c| c.is_ascii_digit()).collect::<String>().parse().unwrap_or(0)
+}
+
+/// Prints the full bench trajectory: every retired datapoint under
+/// [`BENCH_HISTORY_DIR`] (oldest first), the committed [`BENCH_OUT`]
+/// baseline, and the fresh measurement, one column per datapoint. A `-`
+/// marks a metric that did not exist yet (or no longer exists) in that
+/// schema generation — the trajectory spans schema versions on purpose.
+fn print_trajectory(committed: &str, fresh: &str) {
+    let mut columns: Vec<(String, String)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(BENCH_HISTORY_DIR) {
+        let mut retired: Vec<(String, String)> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+                    return None;
+                }
+                let doc = std::fs::read_to_string(entry.path()).ok()?;
+                let label = name.trim_start_matches("BENCH_").trim_end_matches(".json").to_string();
+                Some((label, doc))
+            })
+            .collect();
+        retired.sort_by_key(|(label, _)| pr_number(label));
+        columns.extend(retired);
+    }
+    columns.push(("committed".to_string(), committed.to_string()));
+    columns.push(("fresh".to_string(), fresh.to_string()));
+
+    // Row order: the fresh document's metrics first (the current schema),
+    // then any metric that only older generations carried.
+    let mut keys: Vec<String> = Vec::new();
+    for doc in std::iter::once(fresh).chain(columns.iter().map(|(_, doc)| doc.as_str())) {
+        for (key, _) in numeric_fields(doc) {
+            if key.ends_with("_ms") && !keys.iter().any(|k| k == &key) {
+                keys.push(key);
+            }
+        }
+    }
+
+    let mut out = format!("{:<28}", "trajectory (ms)");
+    for (label, _) in &columns {
+        out.push_str(&format!(" {label:>10}"));
+    }
+    out.push('\n');
+    let parsed: Vec<std::collections::HashMap<String, f64>> =
+        columns.iter().map(|(_, doc)| numeric_fields(doc).into_iter().collect()).collect();
+    for key in &keys {
+        out.push_str(&format!("{key:<28}"));
+        for fields in &parsed {
+            match fields.get(key) {
+                Some(v) => out.push_str(&format!(" {v:>10.3}")),
+                None => out.push_str(&format!(" {:>10}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    println!("[bench-compare] datapoint trajectory ({} columns):\n{out}", columns.len());
 }
 
 /// Every `"key": <number>` pair in a flat-enough JSON document, in order.

@@ -16,16 +16,31 @@
 //!
 //! ## The hierarchy
 //!
-//! | rank | class         | guards                                               |
-//! |------|---------------|------------------------------------------------------|
-//! | 10   | `svc.updater` | the retained [`crate::dynamic::DynamicTsd`] carry; serializes `apply_updates` |
-//! | 20   | `epoch.ptr`   | the serving-epoch pointer swap                       |
-//! | 30   | `engine.slot` | one engine cache slot of an epoch                    |
-//! | 40   | `batch.slot`  | one result slot of a `top_r_many` fan-out            |
-//! | 50   | `scan.chunk`  | one output chunk of a data-parallel scan             |
-//! | 60   | `tsd.scratch` | the TSD engine's per-query scratch buffer            |
+//! | rank | class             | guards                                               |
+//! |------|-------------------|------------------------------------------------------|
+//! | 3    | `server.tenants`  | the `sd-server` tenant routing table                 |
+//! | 5    | `server.conns`    | the `sd-server` live-connection table                |
+//! | 6    | `server.batch`    | one tenant's query-coalescing accumulator            |
+//! | 8    | `server.inflight` | the per-epoch in-flight gauge draining consults      |
+//! | 10   | `svc.updater`     | the retained [`crate::dynamic::DynamicTsd`] carry; serializes `apply_updates` |
+//! | 20   | `epoch.ptr`       | the serving-epoch pointer swap                       |
+//! | 30   | `engine.slot`     | one engine cache slot of an epoch                    |
+//! | 40   | `batch.slot`      | one result slot of a `top_r_many` fan-out            |
+//! | 50   | `scan.chunk`      | one output chunk of a data-parallel scan             |
+//! | 60   | `tsd.scratch`     | the TSD engine's per-query scratch buffer            |
+//!
+//! The `server.*` classes live in this file (not in `sd-server`) because
+//! the hierarchy must stay total and single-sourced across every crate
+//! that locks: a class declared elsewhere could silently tie with one
+//! here. They rank *below* every service class so the network layer may
+//! hold its own locks across any `SearchService` entry point — the stats
+//! verb, for example, walks the tenant table under `server.tenants` while
+//! each `ServiceStats` snapshot pins `epoch.ptr` inside.
 //!
 //! The load-bearing edges, i.e. the nestings the code actually performs:
+//!
+//! - `server.tenants → epoch.ptr` — the stats verb snapshots every
+//!   tenant's service while holding the routing-table read lock.
 //!
 //! - `svc.updater → epoch.ptr` — `apply_updates` publishes the next epoch
 //!   while holding the updater carry.
@@ -80,6 +95,24 @@ impl LockClass {
 // verifies ranks are strictly increasing top to bottom, so "where does
 // this class sit" has exactly one answer — this file, read downward.
 
+/// The `sd-server` tenant routing table ([`GraphFingerprint`] → service).
+///
+/// [`GraphFingerprint`]: crate::GraphFingerprint
+pub const SERVER_TENANTS: LockClass = LockClass::new(3, "server.tenants");
+
+/// The `sd-server` live-connection table (admission counts and the
+/// force-close list graceful shutdown falls back to).
+pub const SERVER_CONNS: LockClass = LockClass::new(5, "server.conns");
+
+/// One tenant's query-coalescing accumulator: concurrent connections park
+/// queries here and a single leader flushes them as one
+/// [`crate::SearchService::top_r_many`] batch.
+pub const SERVER_BATCH: LockClass = LockClass::new(6, "server.batch");
+
+/// The `sd-server` in-flight gauge: which epochs still have queries or
+/// update batches executing, consulted by epoch-aware draining.
+pub const SERVER_INFLIGHT: LockClass = LockClass::new(8, "server.inflight");
+
 /// Serializes [`crate::SearchService::apply_updates`] batches and guards
 /// the retained incremental-TSD carry.
 pub const SVC_UPDATER: LockClass = LockClass::new(10, "svc.updater");
@@ -105,7 +138,18 @@ mod tests {
 
     #[test]
     fn ranks_are_strictly_increasing_in_declaration_order() {
-        let classes = [SVC_UPDATER, EPOCH_PTR, ENGINE_SLOT, BATCH_SLOT, SCAN_CHUNK, TSD_SCRATCH];
+        let classes = [
+            SERVER_TENANTS,
+            SERVER_CONNS,
+            SERVER_BATCH,
+            SERVER_INFLIGHT,
+            SVC_UPDATER,
+            EPOCH_PTR,
+            ENGINE_SLOT,
+            BATCH_SLOT,
+            SCAN_CHUNK,
+            TSD_SCRATCH,
+        ];
         for pair in classes.windows(2) {
             assert!(
                 pair[0].rank() < pair[1].rank(),

@@ -148,6 +148,15 @@ impl WorkerPool {
         self.shared.executed.load(Ordering::SeqCst)
     }
 
+    /// Jobs sitting in the shared injector queue right now, not yet picked
+    /// up by any worker — the backlog signal `sd-server`'s admission
+    /// control sheds on. Instantaneous and advisory: the value may be
+    /// stale by the time the caller acts on it, which is fine for a
+    /// load-shedding threshold.
+    pub fn queued_jobs(&self) -> usize {
+        self.rx.len()
+    }
+
     /// Enqueues a fire-and-forget job (the background-build entry point).
     /// Never blocks; spawns a worker if the queue is outgrowing idle
     /// capacity. On a 1-thread pool the job runs on the single lazily

@@ -884,6 +884,18 @@ impl SearchService {
     /// byte-identical to the sequential path — each task runs the same
     /// per-query code against the same pinned epoch.
     pub fn top_r_many(&self, specs: &[QuerySpec]) -> Result<Vec<TopRResult>, SearchError> {
+        self.top_r_many_pinned(specs).map(|(_, results)| results)
+    }
+
+    /// [`Self::top_r_many`], also reporting *which* epoch the batch pinned:
+    /// the returned id is exactly the snapshot every query in the batch ran
+    /// against. Remote callers (`sd-server`) stamp responses with it so a
+    /// client can tell its answers came from one published epoch even while
+    /// updates land concurrently.
+    pub fn top_r_many_pinned(
+        &self,
+        specs: &[QuerySpec],
+    ) -> Result<(u64, Vec<TopRResult>), SearchError> {
         let epoch = self.core.current();
         for spec in specs {
             spec.config().check_against(epoch.graph.n())?;
@@ -894,7 +906,9 @@ impl SearchService {
             self.core.queries_served.fetch_max(AUTO_WARMUP_QUERIES, Ordering::Relaxed);
         }
         if specs.len() < FANOUT_MIN_SPECS || self.core.pool.max_threads() <= 1 {
-            return specs.iter().map(|spec| self.core.top_r_on(&epoch, spec, false)).collect();
+            let results: Result<Vec<TopRResult>, SearchError> =
+                specs.iter().map(|spec| self.core.top_r_on(&epoch, spec, false)).collect();
+            return results.map(|r| (epoch.id, r));
         }
         // Fan out: one pool task per query, writing into its own slot so
         // results return in spec order whatever order tasks finish in.
@@ -916,7 +930,7 @@ impl SearchService {
             })
             .collect();
         self.core.pool.run_all(jobs);
-        slots
+        let results: Result<Vec<TopRResult>, SearchError> = slots
             .iter()
             .map(|slot| {
                 let filled = slot.lock().take(); // lock: batch.slot
@@ -924,7 +938,8 @@ impl SearchService {
                     invariant: "run_all returns only after every batch job filled its slot",
                 }))
             })
-            .collect()
+            .collect();
+        results.map(|r| (epoch.id, r))
     }
 
     /// Serializes the engine of `kind` (building it first if needed — this

@@ -1,0 +1,116 @@
+//! Admission control: the pure decision logic for when to shed.
+//!
+//! Three pressure points, three typed sheds — all surfaced to clients as
+//! a [`Verb::Overloaded`](crate::proto::Verb::Overloaded) frame rather
+//! than a hang or a silent drop:
+//!
+//! 1. **Connections** — the acceptor refuses a connection past the
+//!    configured limit (the refused socket still gets the Overloaded
+//!    frame before close, so the client learns *why*).
+//! 2. **Build queue** — a query frame is shed when the routed tenant's
+//!    worker pool already has more queued jobs than the threshold:
+//!    adding fan-out tickets behind a deep backlog of index builds would
+//!    only grow tail latency, so the client is told to retry instead.
+//! 3. **Query queue** — a query frame is shed when the tenant's
+//!    coalescing accumulator is full (see
+//!    [`Batcher`](crate::batch::Batcher)).
+//!
+//! The decisions live here as pure functions over sampled pressure
+//! values so they are testable without sockets; the server samples the
+//! pressures and maps rejections onto [`OverloadInfo`] frames.
+
+use crate::proto::{OverloadInfo, OverloadReason};
+
+/// Admission thresholds; crossing any of them sheds with the matching
+/// [`OverloadReason`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionLimits {
+    /// Most simultaneously open connections.
+    pub max_connections: usize,
+    /// Most queued (not yet running) worker-pool jobs a query frame may
+    /// be admitted behind.
+    pub max_build_queue: usize,
+    /// Retry hint attached to every shed, in milliseconds.
+    pub retry_after_ms: u32,
+}
+
+impl Default for AdmissionLimits {
+    fn default() -> Self {
+        AdmissionLimits { max_connections: 256, max_build_queue: 64, retry_after_ms: 50 }
+    }
+}
+
+impl AdmissionLimits {
+    /// Decides whether a fresh connection may be admitted given the
+    /// current open-connection count (the new one not yet counted).
+    pub fn admit_connection(&self, active: usize) -> Result<(), OverloadInfo> {
+        if active >= self.max_connections {
+            return Err(OverloadInfo {
+                reason: OverloadReason::Connections,
+                measured: active as u64,
+                limit: self.max_connections as u64,
+                retry_after_ms: self.retry_after_ms,
+            });
+        }
+        Ok(())
+    }
+
+    /// Decides whether a query frame may be admitted given the routed
+    /// tenant's sampled worker-pool backlog.
+    pub fn admit_query(&self, queued_jobs: usize) -> Result<(), OverloadInfo> {
+        if queued_jobs > self.max_build_queue {
+            return Err(OverloadInfo {
+                reason: OverloadReason::BuildQueue,
+                measured: queued_jobs as u64,
+                limit: self.max_build_queue as u64,
+                retry_after_ms: self.retry_after_ms,
+            });
+        }
+        Ok(())
+    }
+
+    /// Maps a batcher queue-full rejection onto the wire shed type.
+    pub fn queue_full(&self, rejection: crate::batch::QueueFull) -> OverloadInfo {
+        OverloadInfo {
+            reason: OverloadReason::QueryQueue,
+            measured: rejection.pending,
+            limit: rejection.limit,
+            retry_after_ms: self.retry_after_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::QueueFull;
+
+    #[test]
+    fn connection_admission_boundary() {
+        let limits = AdmissionLimits { max_connections: 2, ..AdmissionLimits::default() };
+        assert!(limits.admit_connection(0).is_ok());
+        assert!(limits.admit_connection(1).is_ok());
+        let shed = limits.admit_connection(2).expect_err("at the limit");
+        assert_eq!(shed.reason, OverloadReason::Connections);
+        assert_eq!((shed.measured, shed.limit), (2, 2));
+    }
+
+    #[test]
+    fn build_queue_admission_boundary() {
+        let limits =
+            AdmissionLimits { max_build_queue: 4, retry_after_ms: 9, ..Default::default() };
+        assert!(limits.admit_query(0).is_ok());
+        assert!(limits.admit_query(4).is_ok(), "at the threshold still admits");
+        let shed = limits.admit_query(5).expect_err("above the threshold");
+        assert_eq!(shed.reason, OverloadReason::BuildQueue);
+        assert_eq!((shed.measured, shed.limit, shed.retry_after_ms), (5, 4, 9));
+    }
+
+    #[test]
+    fn queue_full_maps_to_query_queue_reason() {
+        let limits = AdmissionLimits { retry_after_ms: 25, ..Default::default() };
+        let info = limits.queue_full(QueueFull { pending: 17, limit: 16 });
+        assert_eq!(info.reason, OverloadReason::QueryQueue);
+        assert_eq!((info.measured, info.limit, info.retry_after_ms), (17, 16, 25));
+    }
+}

@@ -1,0 +1,387 @@
+//! Query coalescing: concurrent connections park their queries in a
+//! per-tenant accumulator and a single **leader** flushes them as one
+//! [`SearchService::top_r_many`] batch, fanning the whole coalesced set
+//! onto the shared worker pool at once.
+//!
+//! The shape is group commit. The first thread to find the accumulator
+//! leaderless becomes leader: it waits one batch window (so concurrent
+//! arrivals can pile in), drains everything pending, and executes it as
+//! one pinned-epoch batch. Followers just park on their reply channel —
+//! the leader delivers. Queries that arrive *during* the flush are
+//! handled by a continuation the leader submits to the tenant's worker
+//! pool before resigning: leadership hops to a pool thread instead of
+//! looping on a connection thread, so no client is starved by its own
+//! connection leading batches for everyone else, and no parked query
+//! ever waits for a fresh arrival to wake the accumulator.
+//!
+//! Deadlines are enforced at flush time: a query whose deadline passed
+//! while parked is answered [`BatchReply::Expired`] without running, and
+//! its frame-mates still run — the partial-batch contract.
+//!
+//! A batch executes all-or-nothing inside the service (`top_r_many`
+//! surfaces the first per-query error as a batch error), which must not
+//! let one connection poison another's coalesced queries: on a
+//! batch-level error the leader falls back to per-query execution, so
+//! only the offending query fails.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use sd_core::lock_order::SERVER_BATCH;
+use sd_core::{QuerySpec, SearchError, SearchService, TopRResult};
+
+use crate::registry::Inflight;
+
+/// Sizing and pacing for a tenant's [`Batcher`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchLimits {
+    /// How long a leader waits before flushing, so concurrent arrivals
+    /// coalesce. Zero flushes immediately (still coalescing whatever is
+    /// already parked).
+    pub window: Duration,
+    /// Most queries allowed to park; beyond it new arrivals are shed
+    /// with a typed queue-full rejection.
+    pub max_pending: usize,
+}
+
+impl Default for BatchLimits {
+    fn default() -> Self {
+        BatchLimits { window: Duration::from_micros(500), max_pending: 1024 }
+    }
+}
+
+/// One parked query's reply.
+#[derive(Clone, Debug)]
+pub enum BatchReply {
+    /// The query ran; `epoch` is the snapshot the whole batch pinned.
+    Answered {
+        /// Epoch the batch executed against.
+        epoch: u64,
+        /// The query's result.
+        result: TopRResult,
+    },
+    /// The query failed; its batch-mates were unaffected.
+    Failed(SearchError),
+    /// The deadline passed before the query ran.
+    Expired,
+}
+
+struct Pending {
+    spec: QuerySpec,
+    deadline: Option<Instant>,
+    reply: Sender<BatchReply>,
+}
+
+struct Accumulator {
+    pending: Vec<Pending>,
+    /// Whether some thread (or pool continuation) currently owns
+    /// flushing; at most one leader exists per batcher.
+    leader_active: bool,
+}
+
+/// Counters the server's `stats` verb exports (snapshot of independent
+/// relaxed atomics, like [`sd_core::ServiceStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Queries that entered the accumulator.
+    pub queries_batched: u64,
+    /// `top_r_many` flushes those queries coalesced into.
+    pub batches_executed: u64,
+    /// Queries answered [`BatchReply::Expired`].
+    pub expired: u64,
+    /// Queries shed because the accumulator was full.
+    pub shed_queue_full: u64,
+}
+
+/// The typed queue-full rejection [`Batcher::submit_many`] sheds with.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueFull {
+    /// Queries parked when the submission was rejected.
+    pub pending: u64,
+    /// The configured cap.
+    pub limit: u64,
+}
+
+/// A tenant's query-coalescing accumulator. See the [module docs](self).
+pub struct Batcher {
+    state: Mutex<Accumulator>,
+    limits: BatchLimits,
+    inflight: Arc<Inflight>,
+    queries_batched: AtomicU64,
+    batches_executed: AtomicU64,
+    expired: AtomicU64,
+    shed_queue_full: AtomicU64,
+}
+
+impl Batcher {
+    /// A batcher honoring `limits`, reporting execution to `inflight`.
+    pub fn new(limits: BatchLimits, inflight: Arc<Inflight>) -> Self {
+        Batcher {
+            state: SERVER_BATCH.mutex(Accumulator { pending: Vec::new(), leader_active: false }),
+            limits,
+            inflight,
+            queries_batched: AtomicU64::new(0),
+            batches_executed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            queries_batched: self.queries_batched.load(Ordering::Relaxed),
+            batches_executed: self.batches_executed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queries currently parked.
+    pub fn pending(&self) -> usize {
+        self.state.lock().pending.len() // lock: server.batch
+    }
+
+    /// Parks `specs` (one frame's queries, all sharing `deadline`),
+    /// coalesces them with whatever else arrives, and blocks until every
+    /// one has a reply — in `specs` order. Shed atomically with
+    /// [`QueueFull`] if parking them would overflow the accumulator:
+    /// either the whole frame is admitted or none of it.
+    pub fn submit_many(
+        self: &Arc<Self>,
+        service: &Arc<SearchService>,
+        specs: Vec<QuerySpec>,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<BatchReply>, QueueFull> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut receivers = Vec::with_capacity(specs.len());
+        let lead = {
+            let mut state = self.state.lock(); // lock: server.batch
+            if state.pending.len().saturating_add(specs.len()) > self.limits.max_pending {
+                let info = QueueFull {
+                    pending: state.pending.len() as u64,
+                    limit: self.limits.max_pending as u64,
+                };
+                self.shed_queue_full.fetch_add(specs.len() as u64, Ordering::Relaxed);
+                return Err(info);
+            }
+            for spec in specs {
+                let (tx, rx) = unbounded();
+                state.pending.push(Pending { spec, deadline, reply: tx });
+                receivers.push(rx);
+            }
+            if state.leader_active {
+                false
+            } else {
+                state.leader_active = true;
+                true
+            }
+        };
+        if lead {
+            self.lead(service);
+        }
+        Ok(receivers
+            .into_iter()
+            .map(|rx| {
+                rx.recv().unwrap_or(BatchReply::Failed(SearchError::Internal {
+                    invariant: "the batch leader replies to every parked query",
+                }))
+            })
+            .collect())
+    }
+
+    /// Leader duty: wait the window, flush once, then either resign (if
+    /// the accumulator emptied) or hand leadership to a worker-pool
+    /// continuation for the next flush.
+    fn lead(self: &Arc<Self>, service: &Arc<SearchService>) {
+        if !self.limits.window.is_zero() {
+            std::thread::sleep(self.limits.window);
+        }
+        let batch = {
+            let mut state = self.state.lock(); // lock: server.batch
+            std::mem::take(&mut state.pending)
+        };
+        if !batch.is_empty() {
+            self.execute(service, batch);
+        }
+        let handoff = {
+            let mut state = self.state.lock(); // lock: server.batch
+            if state.pending.is_empty() {
+                state.leader_active = false;
+                false
+            } else {
+                true // stay leader on paper; a pool continuation takes over
+            }
+        };
+        if handoff {
+            let this = Arc::clone(self);
+            let svc = Arc::clone(service);
+            service.pool().submit(move || this.lead(&svc));
+        }
+    }
+
+    /// Flushes one drained batch: expire, execute, deliver.
+    fn execute(&self, service: &Arc<SearchService>, batch: Vec<Pending>) {
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        let mut expired = 0u64;
+        for entry in batch {
+            match entry.deadline {
+                Some(d) if d <= now => {
+                    expired += 1;
+                    let _ = entry.reply.send(BatchReply::Expired);
+                }
+                _ => live.push(entry),
+            }
+        }
+        self.queries_batched.fetch_add(live.len() as u64 + expired, Ordering::Relaxed);
+        self.expired.fetch_add(expired, Ordering::Relaxed);
+        if live.is_empty() {
+            return;
+        }
+        self.batches_executed.fetch_add(1, Ordering::Relaxed);
+        let _guard = self.inflight.begin(service.epoch());
+        let specs: Vec<QuerySpec> = live.iter().map(|p| p.spec).collect();
+        match service.top_r_many_pinned(&specs) {
+            Ok((epoch, results)) => {
+                for (entry, result) in live.iter().zip(results) {
+                    let _ = entry.reply.send(BatchReply::Answered { epoch, result });
+                }
+            }
+            Err(_) => {
+                // Batch-level failure: one query's error (say, its `r`
+                // exceeds the tenant's vertex count) poisoned the
+                // all-or-nothing call. Isolate it: run each query alone
+                // so only the offender fails.
+                for entry in live {
+                    let epoch = service.epoch();
+                    let reply = match service.top_r(&entry.spec) {
+                        Ok(result) => BatchReply::Answered { epoch, result },
+                        Err(err) => BatchReply::Failed(err),
+                    };
+                    let _ = entry.reply.send(reply);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TenantRegistry;
+    use sd_core::{paper_figure1_graph, EngineKind};
+
+    fn tenant_with(
+        limits: BatchLimits,
+    ) -> (Arc<SearchService>, Arc<crate::registry::Tenant>, TenantRegistry) {
+        let reg = TenantRegistry::new(limits);
+        let (graph, _, _) = paper_figure1_graph();
+        let svc = Arc::new(SearchService::new(graph));
+        let key = reg.register(svc.clone()).expect("register");
+        let tenant = reg.lookup(&key).expect("tenant");
+        (svc, tenant, reg)
+    }
+
+    #[test]
+    fn single_query_round_trips() {
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::ZERO, max_pending: 8 });
+        let spec = QuerySpec::new(3, 4).expect("spec").with_engine(EngineKind::Online);
+        let replies = tenant.batcher.submit_many(&svc, vec![spec], None).expect("admitted");
+        assert_eq!(replies.len(), 1);
+        let BatchReply::Answered { epoch, result } = &replies[0] else {
+            panic!("expected answer, got {replies:?}");
+        };
+        assert_eq!(*epoch, 0);
+        let expected = svc.top_r(&spec).expect("in-process");
+        assert_eq!(result.entries, expected.entries);
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_into_one_batch() {
+        // A wide window makes coalescing deterministic: the follower
+        // parks long before the leader's flush fires.
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::from_millis(300), max_pending: 64 });
+        let spec = QuerySpec::new(3, 2).expect("spec").with_engine(EngineKind::Online);
+        let follower = {
+            let svc = svc.clone();
+            let tenant = tenant.clone();
+            std::thread::spawn(move || {
+                // Give the leader time to take the accumulator first.
+                std::thread::sleep(Duration::from_millis(60));
+                tenant.batcher.submit_many(&svc, vec![spec, spec], None)
+            })
+        };
+        let lead_replies =
+            tenant.batcher.submit_many(&svc, vec![spec], None).expect("leader admitted");
+        let follow_replies = follower.join().expect("join").expect("follower admitted");
+        assert_eq!(lead_replies.len(), 1);
+        assert_eq!(follow_replies.len(), 2);
+        let stats = tenant.batcher.stats();
+        assert_eq!(stats.queries_batched, 3);
+        assert_eq!(stats.batches_executed, 1, "three queries, one coalesced flush");
+        for reply in lead_replies.iter().chain(&follow_replies) {
+            assert!(matches!(reply, BatchReply::Answered { epoch: 0, .. }), "got {reply:?}");
+        }
+    }
+
+    #[test]
+    fn queue_overflow_is_shed_atomically() {
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::ZERO, max_pending: 2 });
+        let spec = QuerySpec::new(3, 1).expect("spec");
+        let err = tenant
+            .batcher
+            .submit_many(&svc, vec![spec; 3], None)
+            .expect_err("3 queries over a 2-cap accumulator");
+        assert_eq!(err.limit, 2);
+        assert_eq!(tenant.batcher.stats().shed_queue_full, 3);
+        assert_eq!(tenant.batcher.pending(), 0, "nothing half-admitted");
+        // A fitting frame still goes through afterwards.
+        let ok = tenant.batcher.submit_many(&svc, vec![spec, spec], None).expect("fits");
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_queries_skip_execution_but_mates_run() {
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::from_millis(40), max_pending: 8 });
+        let spec = QuerySpec::new(3, 2).expect("spec");
+        // Deadline already in the past: expires at flush. A second frame
+        // without a deadline coalesces into the same flush and runs.
+        let past = Instant::now() - Duration::from_millis(1);
+        let follower = {
+            let svc = svc.clone();
+            let tenant = tenant.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tenant.batcher.submit_many(&svc, vec![spec], None)
+            })
+        };
+        let expired = tenant.batcher.submit_many(&svc, vec![spec], Some(past)).expect("admitted");
+        assert!(matches!(expired[0], BatchReply::Expired), "got {expired:?}");
+        let ran = follower.join().expect("join").expect("admitted");
+        assert!(matches!(ran[0], BatchReply::Answered { .. }), "got {ran:?}");
+        assert_eq!(tenant.batcher.stats().expired, 1);
+    }
+
+    #[test]
+    fn invalid_query_fails_alone_not_its_batch_mates() {
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::ZERO, max_pending: 8 });
+        let good = QuerySpec::new(3, 2).expect("spec");
+        let bad = QuerySpec::new(3, 10_000).expect("spec"); // r ≫ n: rejected at run time
+        let replies =
+            tenant.batcher.submit_many(&svc, vec![good, bad, good], None).expect("admitted");
+        assert!(matches!(replies[0], BatchReply::Answered { .. }), "got {:?}", replies[0]);
+        assert!(matches!(replies[1], BatchReply::Failed(_)), "got {:?}", replies[1]);
+        assert!(matches!(replies[2], BatchReply::Answered { .. }), "got {:?}", replies[2]);
+    }
+}

@@ -1,0 +1,211 @@
+//! `sd-serve`: the structural diversity search server.
+//!
+//! ```text
+//! sd-serve serve [ADDR]     host the paper's two fixture graphs on ADDR
+//!                           (default 127.0.0.1:7071) until a Shutdown
+//!                           frame arrives
+//! sd-serve selftest         start a server on an ephemeral port, drive it
+//!                           with a scripted client, verify the answers
+//!                           against in-process results, exit 0/1 — the CI
+//!                           smoke for the release build
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sd_core::{paper_figure18_graph, paper_figure1_graph, GraphFingerprint, SearchService};
+use sd_graph::GraphUpdate;
+use sd_server::{
+    BatchLimits, Client, QueryOutcome, Server, ServerConfig, TenantRegistry, WireQuery,
+};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sd-serve serve [ADDR]");
+    eprintln!("       sd-serve selftest");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7071")),
+        Some("selftest") => selftest(),
+        _ => usage(),
+    }
+}
+
+fn fp_str(fp: GraphFingerprint) -> String {
+    format!("n={} m={} checksum={:#018x}", fp.n, fp.m, fp.edge_checksum)
+}
+
+/// Builds the demo registry: the paper's Figure 1 and Figure 18 graphs
+/// as two tenants.
+fn demo_registry() -> (Arc<TenantRegistry>, GraphFingerprint, GraphFingerprint) {
+    let registry = Arc::new(TenantRegistry::new(BatchLimits::default()));
+    let (fig1, _, _) = paper_figure1_graph();
+    let (fig18, _, _) = paper_figure18_graph();
+    let key1 = registry
+        .register(Arc::new(SearchService::new(fig1)))
+        .expect("fresh registry: figure 1 fingerprint free");
+    let key18 = registry
+        .register(Arc::new(SearchService::new(fig18)))
+        .expect("fresh registry: figure 18 fingerprint free");
+    (registry, key1, key18)
+}
+
+fn serve(addr: &str) -> ExitCode {
+    let (registry, key1, key18) = demo_registry();
+    let config = ServerConfig { addr: addr.to_string(), ..ServerConfig::default() };
+    let server = match Server::start(config, registry) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("sd-serve: cannot bind {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sd-serve: listening on {}", server.local_addr());
+    println!("  tenant figure-1  {}", fp_str(key1));
+    println!("  tenant figure-18 {}", fp_str(key18));
+    println!("  send a Shutdown frame (or `sd-serve selftest`-style client) to stop");
+    let report = server.join();
+    println!(
+        "sd-serve: drained ({} connections joined, {} forced, within grace: {})",
+        report.connections_joined, report.forced_closes, report.within_grace
+    );
+    ExitCode::SUCCESS
+}
+
+/// One assertion of the scripted self-test.
+fn check(ok: bool, what: &str, failures: &mut u32) {
+    if ok {
+        println!("  ok   {what}");
+    } else {
+        println!("  FAIL {what}");
+        *failures += 1;
+    }
+}
+
+fn selftest() -> ExitCode {
+    let mut failures = 0u32;
+    let (registry, key1, key18) = demo_registry();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        drain_grace: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(config, Arc::clone(&registry)) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("sd-serve selftest: cannot bind: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("sd-serve selftest on {addr}");
+
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("sd-serve selftest: cannot connect: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Queries against both tenants must byte-match the in-process answers.
+    for (name, key, k, r) in [("figure-1", key1, 3, 4), ("figure-18", key18, 4, 3)] {
+        let tenant = registry.lookup(&key).expect("registered above");
+        let expected = tenant
+            .service
+            .top_r(&WireQuery::new(k, r).to_spec().expect("valid spec"))
+            .expect("in-process answer");
+        match client.query(key, 0, vec![WireQuery::new(k, r)]) {
+            Ok(resp) => {
+                let answered = matches!(
+                    resp.outcomes.first(),
+                    Some(QueryOutcome::Answered(entries)) if *entries == expected.entries
+                );
+                check(
+                    answered,
+                    &format!("{name} query k={k} r={r} matches in-process"),
+                    &mut failures,
+                );
+            }
+            Err(err) => check(false, &format!("{name} query failed: {err}"), &mut failures),
+        }
+    }
+
+    // A live update over the wire publishes a new epoch…
+    match client.update(key1, vec![GraphUpdate::Insert { u: 0, v: 16 }]) {
+        Ok(resp) => {
+            check(resp.applied == 1, "update applied over the wire", &mut failures);
+            check(resp.epoch >= 1, "update published a new epoch", &mut failures);
+        }
+        Err(err) => check(false, &format!("update failed: {err}"), &mut failures),
+    }
+    // …and queries keep matching the (now updated) in-process service.
+    {
+        let tenant = registry.lookup(&key1).expect("registered above");
+        let spec = WireQuery::new(3, 4).to_spec().expect("valid spec");
+        let expected = tenant.service.top_r(&spec).expect("in-process answer");
+        match client.query(key1, 0, vec![WireQuery::new(3, 4)]) {
+            Ok(resp) => check(
+                matches!(
+                    resp.outcomes.first(),
+                    Some(QueryOutcome::Answered(entries)) if *entries == expected.entries
+                ),
+                "post-update query matches in-process",
+                &mut failures,
+            ),
+            Err(err) => check(false, &format!("post-update query failed: {err}"), &mut failures),
+        }
+    }
+
+    // Routing by an unknown fingerprint is a typed error, not a hang.
+    let bogus = GraphFingerprint { n: 1, m: 1, edge_checksum: 0xBAD };
+    check(
+        matches!(
+            client.query(bogus, 0, vec![WireQuery::new(2, 1)]),
+            Err(sd_server::ServeError::Rejected(e))
+                if e.code == sd_server::ErrorCode::UnknownTenant
+        ),
+        "unknown fingerprint answered UnknownTenant",
+        &mut failures,
+    );
+
+    // Stats verbs answer in both scopes.
+    match client.server_stats() {
+        Ok(stats) => {
+            check(stats.tenants == 2, "server stats sees both tenants", &mut failures);
+            check(stats.requests_served >= 4, "server stats counts requests", &mut failures);
+        }
+        Err(err) => check(false, &format!("server stats failed: {err}"), &mut failures),
+    }
+    match client.tenant_stats(key1) {
+        Ok(stats) => {
+            check(stats.epoch >= 1, "tenant stats reflects the update epoch", &mut failures);
+            check(
+                stats.fingerprint != key1,
+                "tenant stats reports the drifted current fingerprint",
+                &mut failures,
+            );
+        }
+        Err(err) => check(false, &format!("tenant stats failed: {err}"), &mut failures),
+    }
+
+    // Graceful shutdown over the wire drains cleanly.
+    match client.shutdown() {
+        Ok(()) => check(true, "shutdown acknowledged", &mut failures),
+        Err(err) => check(false, &format!("shutdown failed: {err}"), &mut failures),
+    }
+    let report = server.join();
+    check(report.within_grace, "drain finished within grace", &mut failures);
+
+    if failures == 0 {
+        println!("sd-serve selftest: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("sd-serve selftest: {failures} FAILURES");
+        ExitCode::FAILURE
+    }
+}

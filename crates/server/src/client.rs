@@ -1,0 +1,183 @@
+//! A small blocking `sd-wire` client: one connection, one frame in
+//! flight. The loopback tests and `sd-serve selftest` drive the server
+//! through it; it is deliberately simple rather than pooled or pipelined.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use bytes::Bytes;
+use sd_core::GraphFingerprint;
+use sd_graph::GraphUpdate;
+
+use crate::proto::{
+    server_scope, ErrorResponse, Frame, OverloadInfo, QueryRequest, QueryResponse, Request,
+    Response, ServerStatsWire, StatsResponse, TenantStatsWire, UpdateRequest, UpdateResponse, Verb,
+    WireError, WireQuery, FRAME_HEADER_BYTES,
+};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The socket failed (connect, read, or write).
+    Io(io::Error),
+    /// The server's response frame did not decode.
+    Wire(WireError),
+    /// The server answered with a typed [`Verb::Error`] frame.
+    Rejected(ErrorResponse),
+    /// The server shed the request with a [`Verb::Overloaded`] frame.
+    Overloaded(OverloadInfo),
+    /// The server answered with a well-formed frame of the wrong kind
+    /// for the request that was sent.
+    UnexpectedResponse {
+        /// The verb the response frame carried.
+        got: Verb,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Wire(e) => write!(f, "malformed response: {e}"),
+            ServeError::Rejected(e) => write!(f, "server error ({:?}): {}", e.code, e.message),
+            ServeError::Overloaded(o) => write!(
+                f,
+                "overloaded ({:?}): measured {} over limit {}, retry in {} ms",
+                o.reason, o.measured, o.limit, o.retry_after_ms
+            ),
+            ServeError::UnexpectedResponse { got } => {
+                write!(f, "unexpected response verb {:?}", got)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+/// One blocking connection to an `sd-serve` instance.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Writes raw bytes to the connection — the adversarial tests use
+    /// this to send deliberately malformed frames.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.stream, bytes)
+    }
+
+    /// Reads and decodes one response frame.
+    pub fn read_response(&mut self) -> Result<Response, ServeError> {
+        let frame = self.read_frame()?;
+        Ok(Response::from_frame(&frame)?)
+    }
+
+    /// Reads one raw frame off the connection.
+    pub fn read_frame(&mut self) -> Result<Frame, ServeError> {
+        let mut header_bytes = [0u8; FRAME_HEADER_BYTES];
+        io::Read::read_exact(&mut self.stream, &mut header_bytes)?;
+        let header = Frame::decode_header(&header_bytes)?;
+        let mut payload = vec![0u8; header.payload_len as usize];
+        io::Read::read_exact(&mut self.stream, &mut payload)?;
+        Ok(Frame::new(header.verb, header.fingerprint, Bytes::from(payload)))
+    }
+
+    /// Sends one request frame and reads the response frame.
+    pub fn roundtrip(&mut self, frame: &Frame) -> Result<Response, ServeError> {
+        self.send_bytes(frame.encode().as_ref())?;
+        self.read_response()
+    }
+
+    fn request(
+        &mut self,
+        request: &Request,
+        fingerprint: GraphFingerprint,
+    ) -> Result<Response, ServeError> {
+        match self.roundtrip(&request.to_frame(fingerprint))? {
+            Response::Error(e) => Err(ServeError::Rejected(e)),
+            Response::Overloaded(o) => Err(ServeError::Overloaded(o)),
+            other => Ok(other),
+        }
+    }
+
+    /// Runs a batch of queries against the tenant routed by
+    /// `fingerprint`. `deadline_ms` of 0 means no deadline.
+    pub fn query(
+        &mut self,
+        fingerprint: GraphFingerprint,
+        deadline_ms: u32,
+        queries: Vec<WireQuery>,
+    ) -> Result<QueryResponse, ServeError> {
+        let request = Request::Query(QueryRequest { deadline_ms, queries });
+        match self.request(&request, fingerprint)? {
+            Response::Query(resp) => Ok(resp),
+            other => Err(ServeError::UnexpectedResponse { got: other.to_frame(fingerprint).verb }),
+        }
+    }
+
+    /// Applies a batch of edge updates to the tenant routed by
+    /// `fingerprint` (one new epoch).
+    pub fn update(
+        &mut self,
+        fingerprint: GraphFingerprint,
+        updates: Vec<GraphUpdate>,
+    ) -> Result<UpdateResponse, ServeError> {
+        let request = Request::Update(UpdateRequest { updates });
+        match self.request(&request, fingerprint)? {
+            Response::Update(resp) => Ok(resp),
+            other => Err(ServeError::UnexpectedResponse { got: other.to_frame(fingerprint).verb }),
+        }
+    }
+
+    /// Fetches one tenant's live counters.
+    pub fn tenant_stats(
+        &mut self,
+        fingerprint: GraphFingerprint,
+    ) -> Result<TenantStatsWire, ServeError> {
+        match self.request(&Request::Stats, fingerprint)? {
+            Response::Stats(StatsResponse::Tenant(t)) => Ok(t),
+            other => Err(ServeError::UnexpectedResponse { got: other.to_frame(fingerprint).verb }),
+        }
+    }
+
+    /// Fetches the whole-server counters (the all-zero fingerprint
+    /// scope).
+    pub fn server_stats(&mut self) -> Result<ServerStatsWire, ServeError> {
+        match self.request(&Request::Stats, server_scope())? {
+            Response::Stats(StatsResponse::Server(s)) => Ok(s),
+            other => {
+                Err(ServeError::UnexpectedResponse { got: other.to_frame(server_scope()).verb })
+            }
+        }
+    }
+
+    /// Asks the server to begin graceful shutdown. The connection closes
+    /// after the acknowledgement.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Shutdown, server_scope())? {
+            Response::Shutdown => Ok(()),
+            other => {
+                Err(ServeError::UnexpectedResponse { got: other.to_frame(server_scope()).verb })
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! `sd-server`: the network front-end for the structural diversity
+//! serving stack.
+//!
+//! [`sd_core::SearchService`] answers top-r structural diversity queries
+//! (Huang, Huang & Xu, ICDE 2021) in-process. This crate puts it behind
+//! a TCP listener speaking **`sd-wire`**, a length-prefixed binary frame
+//! protocol with the same adversarial decode discipline as the on-disk
+//! [`sd_core::IndexEnvelope`]: magic, version, fingerprint routing, and
+//! every length validated before it is trusted.
+//!
+//! The serving pipeline, front to back:
+//!
+//! - [`proto`] — the wire format: [`Frame`] headers,
+//!   request/response payloads, typed [`WireError`]s.
+//! - [`server`] — the thread-per-connection front-end with graceful,
+//!   epoch-aware draining.
+//! - [`registry`] — multi-tenant routing: one service per graph, keyed by
+//!   the [`GraphFingerprint`](sd_core::GraphFingerprint) it was
+//!   registered under.
+//! - [`batch`] — group-commit query coalescing: concurrent connections'
+//!   queries flush as one [`top_r_many`](sd_core::SearchService::top_r_many)
+//!   fan-out on the shared worker pool.
+//! - [`admission`] — typed load shedding: connection, build-queue, and
+//!   query-queue pressure all answer
+//!   [`Overloaded`](proto::Response::Overloaded), never a hang.
+//! - [`client`] — a small blocking client, used by the loopback tests and
+//!   `sd-serve selftest`.
+//!
+//! Locking: the server's four lock classes (`server.tenants`,
+//! `server.conns`, `server.batch`, `server.inflight`) rank below every
+//! service-layer class in [`sd_core::lock_order`], so a connection thread
+//! may hold server state across any `SearchService` entry point; the
+//! `lock-order-check` sentinel enforces it at runtime.
+
+pub mod admission;
+pub mod batch;
+pub mod client;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use admission::AdmissionLimits;
+pub use batch::{BatchLimits, BatchReply, BatchStats, Batcher, QueueFull};
+pub use client::{Client, ServeError};
+pub use proto::{
+    server_scope, ErrorCode, ErrorResponse, Frame, OverloadInfo, OverloadReason, QueryOutcome,
+    QueryRequest, QueryResponse, Request, Response, ServerStatsWire, StatsResponse,
+    TenantStatsWire, UpdateRequest, UpdateResponse, Verb, WireError, WireQuery, FRAME_HEADER_BYTES,
+    MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+};
+pub use registry::{Inflight, InflightGuard, Tenant, TenantRegistry};
+pub use server::{DrainReport, Server, ServerConfig};

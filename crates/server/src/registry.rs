@@ -1,0 +1,242 @@
+//! Multi-tenant routing: one [`sd_core::SearchService`] per graph, keyed
+//! by the [`GraphFingerprint`] it was registered under.
+//!
+//! The routing key is the fingerprint of the graph **at registration
+//! time** and never changes: `apply_updates` batches drift the tenant's
+//! *current* fingerprint (a new epoch is a new edge set), and re-keying
+//! on every update would race every client that learned the key a moment
+//! earlier. Clients route by the stable registration key and read the
+//! current fingerprint back from the `stats` verb when they care.
+//!
+//! A frame whose fingerprint matches no registered tenant is answered
+//! with a typed `UnknownTenant` error — the wrong-graph analogue of
+//! [`sd_core::SearchError::FingerprintMismatch`] on the envelope path.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use sd_core::lock_order::{SERVER_INFLIGHT, SERVER_TENANTS};
+use sd_core::{GraphFingerprint, SearchService};
+
+use crate::batch::Batcher;
+use crate::BatchLimits;
+
+/// One registered tenant: its service plus the query-coalescing batcher
+/// all connections routing to it share.
+pub struct Tenant {
+    /// The fingerprint this tenant is routed by (fixed at registration).
+    pub key: GraphFingerprint,
+    /// The tenant's search service.
+    pub service: Arc<SearchService>,
+    /// The tenant's shared query batcher.
+    pub batcher: Arc<Batcher>,
+}
+
+/// Gauge of work currently executing, bucketed by the epoch it started
+/// against. Graceful shutdown drains against this: it waits until every
+/// epoch bucket — current *and* superseded — has emptied, so a query
+/// pinned to an old snapshot is never abandoned mid-flight.
+pub struct Inflight {
+    by_epoch: Mutex<Vec<(u64, usize)>>,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight { by_epoch: SERVER_INFLIGHT.mutex(Vec::new()) }
+    }
+
+    fn table(&self) -> &Mutex<Vec<(u64, usize)>> {
+        &self.by_epoch
+    }
+
+    /// Records one unit of work starting against `epoch`; the guard ends
+    /// it on drop (panic-safe).
+    pub fn begin(self: &Arc<Self>, epoch: u64) -> InflightGuard {
+        let mut table = self.table().lock(); // lock: server.inflight
+        match table.iter_mut().find(|(e, _)| *e == epoch) {
+            Some((_, count)) => *count += 1,
+            None => table.push((epoch, 1)),
+        }
+        drop(table);
+        InflightGuard { gauge: Arc::clone(self), epoch }
+    }
+
+    fn end(&self, epoch: u64) {
+        let mut table = self.table().lock(); // lock: server.inflight
+        if let Some(pos) = table.iter().position(|(e, _)| *e == epoch) {
+            table[pos].1 -= 1;
+            if table[pos].1 == 0 {
+                table.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Work units currently executing, summed over every epoch.
+    pub fn total(&self) -> usize {
+        self.table().lock().iter().map(|(_, c)| c).sum() // lock: server.inflight
+    }
+
+    /// `(epoch, executing)` pairs for every epoch with live work, oldest
+    /// epoch first.
+    pub fn snapshot(&self) -> Vec<(u64, usize)> {
+        let mut pairs = self.table().lock().clone(); // lock: server.inflight
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+/// RAII marker for one in-flight work unit; dropping it (normally or
+/// during unwind) retires the unit from the gauge.
+pub struct InflightGuard {
+    gauge: Arc<Inflight>,
+    epoch: u64,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.gauge.end(self.epoch);
+    }
+}
+
+/// The tenant table: registration, fingerprint routing, and the shared
+/// in-flight gauge draining consults.
+pub struct TenantRegistry {
+    tenants: RwLock<Vec<Arc<Tenant>>>,
+    inflight: Arc<Inflight>,
+    limits: BatchLimits,
+}
+
+impl TenantRegistry {
+    /// An empty registry whose tenants batch under `limits`.
+    pub fn new(limits: BatchLimits) -> Self {
+        TenantRegistry {
+            tenants: SERVER_TENANTS.rwlock(Vec::new()),
+            inflight: Arc::new(Inflight::new()),
+            limits,
+        }
+    }
+
+    /// Registers `service` under its **current** fingerprint and returns
+    /// that routing key. Fails if the key is already taken — two tenants
+    /// under one fingerprint would make routing ambiguous.
+    pub fn register(
+        &self,
+        service: Arc<SearchService>,
+    ) -> Result<GraphFingerprint, GraphFingerprint> {
+        let key = service.fingerprint();
+        let tenant = Arc::new(Tenant {
+            key,
+            service,
+            batcher: Arc::new(Batcher::new(self.limits, Arc::clone(&self.inflight))),
+        });
+        let mut tenants = self.tenants.write(); // lock: server.tenants
+        if tenants.iter().any(|t| t.key == key) {
+            return Err(key);
+        }
+        tenants.push(tenant);
+        Ok(key)
+    }
+
+    /// The tenant routed by `key`, if registered.
+    pub fn lookup(&self, key: &GraphFingerprint) -> Option<Arc<Tenant>> {
+        let tenants = self.tenants.read(); // lock: server.tenants
+        tenants.iter().find(|t| t.key == *key).cloned()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.read().len() // lock: server.tenants
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every tenant, in registration order.
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        self.tenants.read().clone() // lock: server.tenants
+    }
+
+    /// Runs `visit` over every tenant **while holding the routing-table
+    /// read lock** — the stats verb uses this so one response sees one
+    /// consistent tenant set. Each visit typically pins the tenant's
+    /// epoch pointer inside, which is the documented
+    /// `server.tenants → epoch.ptr` hierarchy edge.
+    pub fn for_each(&self, mut visit: impl FnMut(&Tenant)) {
+        let tenants = self.tenants.read(); // lock: server.tenants
+        for tenant in tenants.iter() {
+            visit(tenant);
+        }
+    }
+
+    /// The gauge of work currently executing across all tenants.
+    pub fn inflight(&self) -> &Arc<Inflight> {
+        &self.inflight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_core::paper_figure1_graph;
+
+    fn figure1_service() -> Arc<SearchService> {
+        let (graph, _, _) = paper_figure1_graph();
+        Arc::new(SearchService::new(graph))
+    }
+
+    fn registry() -> TenantRegistry {
+        TenantRegistry::new(BatchLimits::default())
+    }
+
+    #[test]
+    fn register_and_lookup_round_trip() {
+        let reg = registry();
+        assert!(reg.is_empty());
+        let svc = figure1_service();
+        let key = reg.register(svc.clone()).expect("first registration");
+        assert_eq!(key, svc.fingerprint());
+        assert_eq!(reg.len(), 1);
+        let tenant = reg.lookup(&key).expect("registered");
+        assert_eq!(tenant.key, key);
+        assert!(reg.lookup(&GraphFingerprint { n: 1, m: 2, edge_checksum: 3 }).is_none());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let reg = registry();
+        let svc = figure1_service();
+        let key = reg.register(svc.clone()).expect("first");
+        let twin = figure1_service();
+        assert_eq!(reg.register(twin), Err(key), "same fingerprint, ambiguous route");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_epochs_independently() {
+        let gauge = Arc::new(Inflight::new());
+        let a = gauge.begin(0);
+        let b = gauge.begin(0);
+        let c = gauge.begin(3);
+        assert_eq!(gauge.total(), 3);
+        assert_eq!(gauge.snapshot(), vec![(0, 2), (3, 1)]);
+        drop(b);
+        assert_eq!(gauge.snapshot(), vec![(0, 1), (3, 1)]);
+        drop(a);
+        drop(c);
+        assert_eq!(gauge.total(), 0);
+        assert!(gauge.snapshot().is_empty());
+    }
+
+    #[test]
+    fn inflight_guard_survives_unwind() {
+        let gauge = Arc::new(Inflight::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = gauge.begin(7);
+            panic!("query died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(gauge.total(), 0, "guard retired the unit during unwind");
+    }
+}

@@ -1,0 +1,373 @@
+//! Loopback end-to-end suite: a real `Server` on 127.0.0.1, real TCP
+//! clients, two tenants, concurrent batched queries racing live updates —
+//! wire answers must byte-match in-process answers for the epoch each
+//! response reports. Plus the operational paths: every admission shed is
+//! a typed `Overloaded`, deadlines produce partial batches, and graceful
+//! shutdown drains accepted requests.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sd_core::{
+    paper_figure18_graph, paper_figure1_graph, EngineKind, GraphFingerprint, QuerySpec,
+    SearchService, TopREntry, WorkerPool,
+};
+use sd_graph::GraphUpdate;
+use sd_server::{
+    AdmissionLimits, BatchLimits, Client, ErrorCode, OverloadReason, QueryOutcome, Response,
+    ServeError, Server, ServerConfig, TenantRegistry, WireQuery,
+};
+
+fn figure1_service() -> Arc<SearchService> {
+    let (graph, _, _) = paper_figure1_graph();
+    Arc::new(SearchService::new(graph))
+}
+
+fn figure18_service() -> Arc<SearchService> {
+    let (graph, _, _) = paper_figure18_graph();
+    Arc::new(SearchService::new(graph))
+}
+
+fn start(
+    batch: BatchLimits,
+    admission: AdmissionLimits,
+    services: Vec<Arc<SearchService>>,
+) -> (Server, Vec<GraphFingerprint>) {
+    let registry = Arc::new(TenantRegistry::new(batch));
+    let keys = services
+        .into_iter()
+        .map(|svc| registry.register(svc).expect("unique fingerprint"))
+        .collect();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        admission,
+        drain_grace: Duration::from_secs(20),
+        poll_interval: Duration::from_millis(5),
+    };
+    (Server::start(config, registry).expect("bind"), keys)
+}
+
+/// The tentpole E2E: two tenants, several client threads firing batched
+/// queries while another client applies live updates over TCP. Every
+/// QueryOk reports the exact epoch it pinned; a client-side replica
+/// applying the same update batches reproduces every epoch's expected
+/// answer, and all observed (epoch, entries) pairs must byte-match it.
+#[test]
+fn concurrent_queries_and_updates_match_in_process_answers() {
+    let (server, keys) = start(
+        BatchLimits::default(),
+        AdmissionLimits::default(),
+        vec![figure1_service(), figure18_service()],
+    );
+    let addr = server.local_addr();
+    let (key1, key18) = (keys[0], keys[1]);
+    // Pin a concrete engine on both sides: Auto's warmup heuristic is
+    // history-dependent, and different engines may break score ties
+    // differently — byte-matching needs the same engine everywhere.
+    let spec1 = QuerySpec::new(3, 4).unwrap().with_engine(EngineKind::Online);
+    let spec18 = QuerySpec::new(4, 3).unwrap().with_engine(EngineKind::Online);
+    let wire1 = WireQuery { k: 3, r: 4, engine: EngineKind::Online };
+    let wire18 = WireQuery { k: 4, r: 3, engine: EngineKind::Online };
+
+    // Client-side replica of tenant 1: applies the same update batches in
+    // the same order, so its epoch numbering and answers match the
+    // server's tenant exactly.
+    let replica = figure1_service();
+    let expected1: Arc<Mutex<HashMap<u64, Vec<TopREntry>>>> = Arc::new(Mutex::new(HashMap::new()));
+    expected1.lock().unwrap().insert(0, replica.top_r(&spec1).unwrap().entries);
+    let expected18 = figure18_service().top_r(&spec18).unwrap().entries;
+
+    const UPDATE_BATCHES: u64 = 6;
+    let updater = {
+        let replica = replica.clone();
+        let expected1 = expected1.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("updater connect");
+            for i in 0..UPDATE_BATCHES {
+                // Toggle a non-paper edge: every batch applies, so every
+                // batch publishes exactly one epoch on both sides.
+                let batch = if i % 2 == 0 {
+                    vec![GraphUpdate::Insert { u: 0, v: 40 }]
+                } else {
+                    vec![GraphUpdate::Remove { u: 0, v: 40 }]
+                };
+                let resp = client.update(key1, batch.clone()).expect("wire update");
+                assert_eq!(resp.applied, 1);
+                assert_eq!(resp.epoch, i + 1, "wire epochs are sequential");
+                let mirror = replica.apply_updates(&batch).expect("replica update");
+                assert_eq!(mirror.epoch, resp.epoch, "replica tracks wire epochs");
+                expected1
+                    .lock()
+                    .unwrap()
+                    .insert(resp.epoch, replica.top_r(&spec1).unwrap().entries);
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        })
+    };
+
+    // Tenant-1 queriers: collect observed (epoch, entries) pairs and
+    // verify after every thread joined — no races with the updater's
+    // bookkeeping.
+    let mut queriers = Vec::new();
+    for _ in 0..2 {
+        queriers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("querier connect");
+            let mut observed = Vec::new();
+            for _ in 0..20 {
+                let resp = client.query(key1, 0, vec![wire1]).expect("wire query");
+                assert_eq!(resp.outcomes.len(), 1);
+                let QueryOutcome::Answered(entries) = resp.outcomes.into_iter().next().unwrap()
+                else {
+                    panic!("expected an answer");
+                };
+                observed.push((resp.epoch, entries));
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            observed
+        }));
+    }
+    // Tenant-18 querier: no updates there, so every answer is epoch 0 and
+    // byte-identical — multi-tenant routing does not bleed across graphs.
+    let quiet = {
+        let expected18 = expected18.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("quiet connect");
+            for _ in 0..15 {
+                let resp = client.query(key18, 0, vec![wire18]).expect("wire query");
+                assert_eq!(resp.epoch, 0, "tenant 18 never updated");
+                let QueryOutcome::Answered(entries) = &resp.outcomes[0] else {
+                    panic!("expected an answer");
+                };
+                assert_eq!(entries, &expected18, "tenant 18 answers never drift");
+            }
+        })
+    };
+
+    updater.join().expect("updater");
+    quiet.join().expect("quiet querier");
+    let expected1 = expected1.lock().unwrap();
+    let mut checked = 0usize;
+    for handle in queriers {
+        for (epoch, entries) in handle.join().expect("querier") {
+            let want = expected1
+                .get(&epoch)
+                .unwrap_or_else(|| panic!("answer pinned unpublished epoch {epoch}"));
+            assert_eq!(&entries, want, "epoch {epoch} answer byte-matches in-process");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 40, "every query verified against its epoch");
+    drop(expected1);
+
+    let stats = server.stats();
+    assert!(stats.queries_batched >= 55, "tenant batchers saw the queries");
+    assert!(stats.batches_executed >= 1);
+    let report = server.shutdown();
+    assert!(report.within_grace);
+}
+
+#[test]
+fn connection_limit_sheds_with_typed_overloaded_frame() {
+    let (server, keys) = start(
+        BatchLimits { window: Duration::ZERO, ..BatchLimits::default() },
+        AdmissionLimits { max_connections: 1, retry_after_ms: 7, ..AdmissionLimits::default() },
+        vec![figure1_service()],
+    );
+    let addr = server.local_addr();
+    // First client occupies the single slot (a query proves it is live).
+    let mut first = Client::connect(addr).expect("first connect");
+    first.query(keys[0], 0, vec![WireQuery::new(3, 2)]).expect("admitted");
+    // Second client is shed with the typed frame, not a hang or a bare
+    // close.
+    let mut second = Client::connect(addr).expect("tcp connect still succeeds");
+    let resp = second.read_response().expect("typed shed frame");
+    let Response::Overloaded(info) = resp else { panic!("expected Overloaded, got {resp:?}") };
+    assert_eq!(info.reason, OverloadReason::Connections);
+    assert_eq!((info.measured, info.limit, info.retry_after_ms), (1, 1, 7));
+    // The shed connection is closed afterwards…
+    assert!(second.read_response().is_err());
+    // …and the admitted one keeps working.
+    first.query(keys[0], 0, vec![WireQuery::new(3, 2)]).expect("still admitted");
+    let report = server.shutdown();
+    assert!(report.within_grace);
+}
+
+#[test]
+fn deep_build_queue_sheds_queries_with_typed_overloaded_frame() {
+    // A 1-thread private pool the test can park at will.
+    let (graph, _, _) = paper_figure1_graph();
+    let service = Arc::new(SearchService::with_pool(graph, Arc::new(WorkerPool::new(1))));
+    let (server, keys) = start(
+        BatchLimits { window: Duration::ZERO, ..BatchLimits::default() },
+        AdmissionLimits { max_build_queue: 0, retry_after_ms: 11, ..AdmissionLimits::default() },
+        vec![service.clone()],
+    );
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Park the pool's only worker and stack a job behind it: the queue
+    // depth is now above the 0-job admission threshold.
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    service.pool().submit(move || {
+        let _ = release_rx.recv();
+    });
+    service.pool().submit(|| {});
+    let err =
+        client.query(keys[0], 0, vec![WireQuery::new(3, 2)]).expect_err("shed behind the backlog");
+    let ServeError::Overloaded(info) = err else { panic!("expected Overloaded, got {err:?}") };
+    assert_eq!(info.reason, OverloadReason::BuildQueue);
+    assert!(info.measured >= 1);
+    assert_eq!((info.limit, info.retry_after_ms), (0, 11));
+
+    // Release the backlog; once it drains the same query is admitted.
+    release_tx.send(()).expect("release");
+    for _ in 0..200 {
+        if service.pool().queued_jobs() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let resp = client.query(keys[0], 0, vec![WireQuery::new(3, 2)]).expect("admitted again");
+    assert!(matches!(resp.outcomes[0], QueryOutcome::Answered(_)));
+    let report = server.shutdown();
+    assert!(report.within_grace);
+}
+
+#[test]
+fn full_query_queue_sheds_whole_frames_with_typed_overloaded_frame() {
+    let (server, keys) = start(
+        BatchLimits { window: Duration::from_millis(300), max_pending: 1 },
+        AdmissionLimits { retry_after_ms: 13, ..AdmissionLimits::default() },
+        vec![figure1_service()],
+    );
+    let addr = server.local_addr();
+    let key = keys[0];
+    // Leader frame: parks its one query and sleeps the batch window.
+    let leader = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("leader connect");
+        client.query(key, 0, vec![WireQuery::new(3, 2)]).expect("leader admitted")
+    });
+    std::thread::sleep(Duration::from_millis(80));
+    // Second frame while the leader's query still occupies the 1-slot
+    // accumulator: shed atomically.
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client.query(key, 0, vec![WireQuery::new(3, 2)]).expect_err("accumulator full");
+    let ServeError::Overloaded(info) = err else { panic!("expected Overloaded, got {err:?}") };
+    assert_eq!(info.reason, OverloadReason::QueryQueue);
+    assert_eq!((info.measured, info.limit, info.retry_after_ms), (1, 1, 13));
+    // The shed did not hurt the parked leader.
+    let resp = leader.join().expect("leader thread");
+    assert!(matches!(resp.outcomes[0], QueryOutcome::Answered(_)));
+    let report = server.shutdown();
+    assert!(report.within_grace);
+}
+
+#[test]
+fn expired_deadline_yields_partial_batch_not_a_drop() {
+    let (server, keys) = start(
+        BatchLimits { window: Duration::from_millis(150), ..BatchLimits::default() },
+        AdmissionLimits::default(),
+        vec![figure1_service()],
+    );
+    let addr = server.local_addr();
+    let key = keys[0];
+    // Frame A: 1 ms deadline against a 150 ms batch window — expired by
+    // flush time.
+    let doomed = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.query(key, 1, vec![WireQuery::new(3, 2), WireQuery::new(3, 3)]).expect("admitted")
+    });
+    std::thread::sleep(Duration::from_millis(40));
+    // Frame B: no deadline, coalesces behind A and runs normally.
+    let mut client = Client::connect(addr).expect("connect");
+    let lively = client.query(key, 0, vec![WireQuery::new(3, 2)]).expect("admitted");
+
+    let resp = doomed.join().expect("doomed thread");
+    assert_eq!(resp.outcomes.len(), 2, "expired queries still get outcome slots");
+    assert!(
+        resp.outcomes.iter().all(|o| matches!(o, QueryOutcome::Expired)),
+        "got {:?}",
+        resp.outcomes
+    );
+    assert!(matches!(lively.outcomes[0], QueryOutcome::Answered(_)), "mate frame ran");
+    let report = server.shutdown();
+    assert!(report.within_grace);
+}
+
+#[test]
+fn invalid_query_fails_its_slot_but_frame_mates_answer() {
+    let (server, keys) = start(
+        BatchLimits { window: Duration::ZERO, ..BatchLimits::default() },
+        AdmissionLimits::default(),
+        vec![figure1_service()],
+    );
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let resp = client
+        .query(
+            keys[0],
+            0,
+            vec![
+                WireQuery::new(3, 2),
+                WireQuery::new(1, 2),     // k < 2: rejected at spec resolution
+                WireQuery::new(3, 9_999), // r > n: rejected at execution
+                WireQuery::new(3, 1),
+            ],
+        )
+        .expect("frame admitted");
+    assert!(matches!(resp.outcomes[0], QueryOutcome::Answered(_)), "got {:?}", resp.outcomes[0]);
+    let QueryOutcome::Failed { code, .. } = &resp.outcomes[1] else {
+        panic!("expected failure, got {:?}", resp.outcomes[1]);
+    };
+    assert_eq!(*code, ErrorCode::BadRequest);
+    assert!(matches!(resp.outcomes[2], QueryOutcome::Failed { .. }), "got {:?}", resp.outcomes[2]);
+    assert!(matches!(resp.outcomes[3], QueryOutcome::Answered(_)), "got {:?}", resp.outcomes[3]);
+    let report = server.shutdown();
+    assert!(report.within_grace);
+}
+
+#[test]
+fn graceful_shutdown_drains_the_inflight_query() {
+    let (server, keys) = start(
+        BatchLimits { window: Duration::from_millis(250), ..BatchLimits::default() },
+        AdmissionLimits::default(),
+        vec![figure1_service()],
+    );
+    let addr = server.local_addr();
+    let key = keys[0];
+    let expected = figure1_service()
+        .top_r(&QuerySpec::new(3, 4).unwrap().with_engine(EngineKind::Online))
+        .unwrap()
+        .entries;
+
+    // A slow in-flight query: accepted, parked in the 250 ms batch window.
+    let inflight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .query(key, 0, vec![WireQuery { k: 3, r: 4, engine: EngineKind::Online }])
+            .expect("accepted before drain")
+    });
+    std::thread::sleep(Duration::from_millis(60));
+
+    // Trigger graceful shutdown over the wire while that query is parked.
+    let mut admin = Client::connect(addr).expect("admin connect");
+    admin.shutdown().expect("shutdown acknowledged");
+    assert!(server.is_draining());
+
+    // The accepted query still completes with the right answer.
+    let resp = inflight.join().expect("inflight thread");
+    let QueryOutcome::Answered(entries) = &resp.outcomes[0] else {
+        panic!("drained query must be answered, got {:?}", resp.outcomes[0]);
+    };
+    assert_eq!(entries, &expected, "drained answer byte-matches in-process");
+
+    let report = server.shutdown();
+    assert!(report.within_grace, "drain finished without force-closes: {report:?}");
+    assert_eq!(report.forced_closes, 0);
+
+    // The listener is gone: new connections are refused (or die
+    // instantly), not silently queued.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => assert!(late.read_response().is_err(), "post-drain socket must be dead"),
+    }
+}

@@ -15,8 +15,8 @@
 //! |------|-------|-------------|
 //! | `std-sync`  | library code outside `shims/`, minus `crates/core/src/pool.rs` | no `std::sync::{Mutex, RwLock, Condvar}`, no `thread::spawn` — concurrency goes through the shims and the global pool |
 //! | `no-panic`  | `crates/*/src` minus `crates/bench` and `src/bin` | no `.unwrap()` / `.expect()` / `panic!` / `unreachable!` in non-test code |
-//! | `layering`  | `crates/graph`, `crates/truss`, `shims/*` | lower layers never name higher ones (`sd_core` from graph/truss; any `sd_*` from a shim) |
-//! | `lock-tag`  | `crates/core/src` | every lock acquisition carries a trailing `// lock: <class>` naming a class declared in `crates/core/src/lock_order.rs`, whose declarations must be in strictly increasing rank order |
+//! | `layering`  | `crates/graph`, `crates/truss`, `crates/core`, `shims/*` | lower layers never name higher ones (`sd_core` from graph/truss; `sd_server` from any engine crate; any `sd_*` from a shim) |
+//! | `lock-tag`  | `crates/core/src`, `crates/server/src` | every lock acquisition carries a trailing `// lock: <class>` naming a class declared in `crates/core/src/lock_order.rs`, whose declarations must be in strictly increasing rank order |
 //!
 //! `#[cfg(test)]` / `#[test]` items are exempt from `std-sync`, `no-panic`
 //! and `lock-tag` (tests legitimately spawn threads, unwrap, and take
@@ -544,7 +544,7 @@ fn in_no_panic_scope(rel: &str) -> bool {
 }
 
 fn in_lock_tag_scope(rel: &str) -> bool {
-    rel.starts_with("crates/core/src/")
+    rel.starts_with("crates/core/src/") || rel.starts_with("crates/server/src/")
 }
 
 // ---------------------------------------------------------------------------
@@ -661,13 +661,26 @@ fn rule_no_panic(ctx: &FileCtx, out: &mut Vec<Violation>) {
 fn rule_layering(ctx: &FileCtx, out: &mut Vec<Violation>) {
     let lower_layer =
         ctx.rel.starts_with("crates/graph/src") || ctx.rel.starts_with("crates/truss/src");
+    // Everything below the serving front-end: the engine layers must never
+    // reach up into `sd_server`.
+    let below_server = lower_layer || ctx.rel.starts_with("crates/core/src");
     let shim = ctx.rel.starts_with("shims/") && ctx.rel.contains("/src/");
-    if !lower_layer && !shim {
+    if !below_server && !shim {
         return;
     }
     for tok in ctx.tokens() {
         if tok.kind != TokKind::Ident {
             continue;
+        }
+        if below_server && tok.text == "sd_server" {
+            out.push(Violation {
+                rule: "layering".into(),
+                file: ctx.rel.clone(),
+                line: tok.line,
+                message: "engine layer names `sd_server` — the serving front-end sits on \
+                          top of the engine, never the other way around"
+                    .into(),
+            });
         }
         if lower_layer && tok.text == "sd_core" {
             out.push(Violation {

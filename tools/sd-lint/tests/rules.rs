@@ -168,6 +168,37 @@ pub const EPOCH_PTR: LockClass = LockClass::new(20, "epoch.ptr");
 }
 
 #[test]
+fn lock_tag_covers_the_server_crate() {
+    // PR 7 scoped lock-tag to crates/core only; the serving front-end takes
+    // just as many locks and must carry the same discipline.
+    let fx = Fixture::new();
+    fx.write("crates/core/src/lock_order.rs", LOCK_ORDER).write(
+        "crates/server/src/registry.rs",
+        r#"
+fn f(m: &parking_lot::Mutex<u8>) {
+    let untagged = m.lock();
+    let good = m.lock(); // lock: epoch.ptr
+    drop((untagged, good));
+}
+"#,
+    );
+    let report = fx.run();
+    assert_eq!(rules_fired(&report), vec!["lock-tag"]);
+    assert!(report.violations[0].file.starts_with("crates/server/"));
+}
+
+#[test]
+fn layering_fires_for_engine_crates_naming_the_server() {
+    let fx = Fixture::new();
+    fx.write("crates/core/src/bad.rs", "use sd_server::TenantRegistry;\n")
+        .write("crates/truss/src/bad.rs", "fn f() { sd_server::helper(); }\n")
+        .write("crates/server/src/ok.rs", "use sd_core::SearchService;\n");
+    let report = fx.run();
+    assert_eq!(rules_fired(&report), vec!["layering", "layering"]);
+    assert!(report.violations.iter().all(|v| v.message.contains("sd_server")));
+}
+
+#[test]
 fn allow_suppresses_and_is_reported() {
     let fx = Fixture::new();
     fx.write(
