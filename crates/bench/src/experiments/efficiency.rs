@@ -315,7 +315,7 @@ pub fn fig12(ctx: &ExpContext) {
 /// `bench-compare`). Committed to the repo per PR, so the bench trajectory
 /// is part of history rather than an artifact that evaporates with CI
 /// retention.
-pub const BENCH_OUT: &str = "BENCH_pr8.json";
+pub const BENCH_OUT: &str = "BENCH_pr9.json";
 
 /// Where superseded datapoints retire to. When a PR renames [`BENCH_OUT`],
 /// the previous file moves here instead of being deleted, and
@@ -389,8 +389,9 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
         ));
     }
 
-    // The live-update path: one served batch of inserts + removes, with
-    // the incremental TSD carry doing the index maintenance.
+    // The live-update path: one served batch of inserts + removes against
+    // the fully-warm service, so the publish takes every carry path —
+    // incremental TSD, in-place GCT repair, inline Hybrid rebuild.
     let mut rng = {
         use rand::SeedableRng;
         rand::rngs::StdRng::seed_from_u64(0xBE7C)
@@ -463,13 +464,14 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
     let round_trip_ms = wire_elapsed.as_secs_f64() * 1e3 / ROUND_TRIPS as f64;
 
     format!(
-        "{{\n  \"schema\": \"sd-bench-smoke/4\",\n  \"dataset\": \"{}\",\n  \
+        "{{\n  \"schema\": \"sd-bench-smoke/5\",\n  \"dataset\": \"{}\",\n  \
          \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \"machine_cores\": {},\n  \
          \"build\": {{\n    \
          \"tsd_ms\": {:.3},\n    \"gct_ms\": {:.3},\n    \"hybrid_ms\": {:.3}\n  }},\n  \
          \"cold\": {{\n    \"fallback_first_query_ms\": {:.3}\n  }},\n  \
          \"query\": {{\n{}\n  }},\n  \"update\": {{\n    \"batch_ops\": {},\n    \
          \"applied\": {},\n    \"tsd_repairs\": {},\n    \"tsd_carried\": {},\n    \
+         \"gct_repairs\": {},\n    \"gct_carried\": {},\n    \"hybrid_carried\": {},\n    \
          \"apply_ms\": {:.3},\n    \"ops_per_s\": {:.1}\n  }},\n  \"parallel\": {{\n    \
          \"batch_queries\": {},\n    \
          \"top_r_many_seq_ms\": {:.3},\n    \"top_r_many_pool4_ms\": {:.3},\n    \
@@ -487,6 +489,9 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
         update_stats.applied,
         update_stats.tsd_repairs,
         update_stats.tsd_carried,
+        update_stats.gct_repairs,
+        update_stats.gct_carried,
+        update_stats.hybrid_carried,
         update_elapsed.as_secs_f64() * 1e3,
         update_ops_per_s,
         parallel_specs.len(),
@@ -504,22 +509,45 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
 /// regression.
 const COMPARE_SLACK_MS: f64 = 25.0;
 
-/// `bench-compare`: the trend gate. Re-measures the perf smoke and fails
-/// (process exit 1) if any `_ms` figure regressed beyond 2× the committed
-/// [`BENCH_OUT`] value (+`COMPARE_SLACK_MS`), if the committed file is
-/// missing or was produced at a different `--scale`, or if a committed
-/// `_ms` key vanished from the fresh measurement (schema drift would
-/// otherwise un-gate a metric silently). Run it *before* `bench-json`,
-/// which overwrites the committed file. Before gating it prints the full
-/// trajectory: every retired datapoint in [`BENCH_HISTORY_DIR`], the
-/// committed baseline, and the fresh run side by side.
+/// Which way a gated metric is allowed to drift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GateDirection {
+    /// Wall times (`*_ms`): regression = growing.
+    LowerIsBetter,
+    /// Rates and ratios (`*ops_per_s`, `*_x`): regression = shrinking.
+    HigherIsBetter,
+}
+
+/// The gate direction a key's suffix implies, or `None` for ungated
+/// numeric fields (counts, scales, core counts).
+fn gate_direction(key: &str) -> Option<GateDirection> {
+    if key.ends_with("_ms") {
+        Some(GateDirection::LowerIsBetter)
+    } else if key.ends_with("ops_per_s") || key.ends_with("_x") {
+        Some(GateDirection::HigherIsBetter)
+    } else {
+        None
+    }
+}
+
+/// `bench-compare`: the trend gate, direction-aware. Re-measures the perf
+/// smoke and fails (process exit 1) if any `_ms` figure regressed beyond
+/// 2× the committed [`BENCH_OUT`] value (+`COMPARE_SLACK_MS`), if any
+/// throughput/speedup figure (`*ops_per_s`, `*_x`) *dropped* below half
+/// its committed value, if the committed file is missing or was produced
+/// at a different `--scale`, or if a committed gated key vanished from
+/// the fresh measurement (schema drift would otherwise un-gate a metric
+/// silently). Run it *before* `bench-json`, which overwrites the
+/// committed file. Before gating it prints the full trajectory: every
+/// retired datapoint in [`BENCH_HISTORY_DIR`], the committed baseline,
+/// and the fresh run side by side.
 pub fn bench_compare(ctx: &ExpContext) {
     let committed = std::fs::read_to_string(BENCH_OUT)
         .unwrap_or_else(|e| panic!("bench-compare needs the committed {BENCH_OUT} baseline: {e}"));
     let fresh = measure_bench_smoke(ctx);
     print_trajectory(&committed, &fresh);
     match compare_smoke(&committed, &fresh) {
-        Ok(report) => println!("{report}\n[bench-compare] OK: no metric beyond 2x + slack"),
+        Ok(report) => println!("{report}\n[bench-compare] OK: no metric past its gate"),
         Err(failures) => {
             eprintln!("[bench-compare] REGRESSION vs committed {BENCH_OUT}:");
             for f in failures {
@@ -567,13 +595,13 @@ fn print_trajectory(committed: &str, fresh: &str) {
     let mut keys: Vec<String> = Vec::new();
     for doc in std::iter::once(fresh).chain(columns.iter().map(|(_, doc)| doc.as_str())) {
         for (key, _) in numeric_fields(doc) {
-            if key.ends_with("_ms") && !keys.iter().any(|k| k == &key) {
+            if gate_direction(&key).is_some() && !keys.iter().any(|k| k == &key) {
                 keys.push(key);
             }
         }
     }
 
-    let mut out = format!("{:<28}", "trajectory (ms)");
+    let mut out = format!("{:<28}", "trajectory");
     for (label, _) in &columns {
         out.push_str(&format!(" {label:>10}"));
     }
@@ -636,17 +664,31 @@ fn compare_smoke(committed: &str, fresh: &str) -> Result<String, Vec<String>> {
         return Err(failures);
     }
 
-    for (key, committed_ms) in base.iter().filter(|(k, _)| k.ends_with("_ms")) {
+    for (key, committed_v) in base.iter() {
+        let Some(direction) = gate_direction(key) else { continue };
         match new.get(key) {
             None => failures.push(format!("{key}: present in baseline, missing from fresh run")),
-            Some(&fresh_ms) => {
-                report.push_str(&format!("{key:<28} {committed_ms:>10.3} {fresh_ms:>10.3}\n"));
-                if fresh_ms > committed_ms * 2.0 + COMPARE_SLACK_MS {
-                    failures.push(format!(
-                        "{key}: {fresh_ms:.3}ms vs committed {committed_ms:.3}ms \
-                         (threshold {:.3}ms)",
-                        committed_ms * 2.0 + COMPARE_SLACK_MS
-                    ));
+            Some(&fresh_v) => {
+                report.push_str(&format!("{key:<28} {committed_v:>10.3} {fresh_v:>10.3}\n"));
+                match direction {
+                    GateDirection::LowerIsBetter => {
+                        if fresh_v > committed_v * 2.0 + COMPARE_SLACK_MS {
+                            failures.push(format!(
+                                "{key}: {fresh_v:.3}ms vs committed {committed_v:.3}ms \
+                                 (threshold {:.3}ms)",
+                                committed_v * 2.0 + COMPARE_SLACK_MS
+                            ));
+                        }
+                    }
+                    GateDirection::HigherIsBetter => {
+                        if fresh_v < committed_v / 2.0 {
+                            failures.push(format!(
+                                "{key}: dropped to {fresh_v:.3} vs committed {committed_v:.3} \
+                                 (floor {:.3})",
+                                committed_v / 2.0
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -740,11 +782,33 @@ mod tests {
     }
 
     #[test]
-    fn non_ms_keys_are_not_gated() {
-        // A worse speedup ratio alone is hardware-dependent; only wall
-        // times gate.
+    fn throughput_keys_gate_in_the_inverted_direction() {
+        // A *rise* in a higher-is-better metric is an improvement and
+        // passes, however large...
         let fresh = BASE.replace("\"speedup_x\": 1.8", "\"speedup_x\": 90.0");
         assert!(compare_smoke(BASE, &fresh).is_ok());
+        // ...while halving it (and worse) is a regression.
+        let fresh = BASE.replace("\"speedup_x\": 1.8", "\"speedup_x\": 0.4");
+        let failures = compare_smoke(BASE, &fresh).unwrap_err();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("speedup_x"), "{failures:?}");
+    }
+
+    #[test]
+    fn ops_per_s_drop_fails_and_rise_passes() {
+        let base = BASE.replace("\"speedup_x\": 1.8", "\"ops_per_s\": 1000.0");
+        let improved = base.replace("\"ops_per_s\": 1000.0", "\"ops_per_s\": 4000.0");
+        assert!(compare_smoke(&base, &improved).is_ok());
+        let regressed = base.replace("\"ops_per_s\": 1000.0", "\"ops_per_s\": 450.0");
+        let failures = compare_smoke(&base, &regressed).unwrap_err();
+        assert!(failures[0].contains("ops_per_s"), "{failures:?}");
+    }
+
+    #[test]
+    fn vanished_throughput_keys_fail_schema_drift_too() {
+        let fresh = BASE.replace("\"speedup_x\": 1.8", "\"speedup\": 1.8");
+        let failures = compare_smoke(BASE, &fresh).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("speedup_x")), "{failures:?}");
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! the exact index. Equivalence with a from-scratch rebuild is
 //! property-tested under random edit scripts (`tests/dynamic_updates.rs`).
 
-use sd_graph::{CsrGraph, Dsu, DynamicGraph, GraphUpdate, VertexId};
+use std::sync::Arc;
+
+use sd_graph::{CowStats, CsrGraph, Dsu, DynamicGraph, GraphUpdate, VertexId};
 use sd_truss::truss_decomposition;
 
 use crate::egonet::EgoNetwork;
@@ -49,9 +51,16 @@ pub struct DynamicTsd {
 impl DynamicTsd {
     /// Builds from a static graph (equivalent to `TsdIndex::build`).
     pub fn from_csr(g: &CsrGraph) -> Self {
-        let graph = DynamicGraph::from_csr(g);
-        let mut index = DynamicTsd { graph, forests: vec![Vec::new(); g.n()] };
-        for v in 0..g.n() as VertexId {
+        Self::from_shared_csr(Arc::new(g.clone()))
+    }
+
+    /// Builds from a shared static graph, adopting it as copy-on-write
+    /// adjacency storage (no per-vertex list is copied until edited).
+    pub fn from_shared_csr(g: Arc<CsrGraph>) -> Self {
+        let n = g.n();
+        let graph = DynamicGraph::from_base(g);
+        let mut index = DynamicTsd { graph, forests: vec![Vec::new(); n] };
+        for v in 0..n as VertexId {
             index.rebuild_vertex(v);
         }
         index
@@ -73,9 +82,29 @@ impl DynamicTsd {
     /// than `g` — the caller pairs an index with the graph it was built
     /// from (the fingerprinted envelope layer enforces this upstream).
     pub fn from_index(g: &CsrGraph, index: &TsdIndex) -> Self {
+        Self::from_shared_index(Arc::new(g.clone()), index)
+    }
+
+    /// [`Self::from_index`] over a shared graph: the carry is `O(index
+    /// size)` for the forests plus `O(n)` copy-on-write slots — the
+    /// adjacency itself stays shared with `g` until edits touch it, so a
+    /// retained updater no longer doubles the graph's memory.
+    pub fn from_shared_index(g: Arc<CsrGraph>, index: &TsdIndex) -> Self {
         debug_assert_eq!(g.n(), index.n(), "index and graph vertex counts must agree");
         let forests = (0..g.n() as VertexId).map(|v| index.forest(v).collect()).collect();
-        DynamicTsd { graph: DynamicGraph::from_csr(g), forests }
+        DynamicTsd { graph: DynamicGraph::from_base(g), forests }
+    }
+
+    /// Re-arms copy-on-write sharing against a freshly published CSR
+    /// snapshot of this graph (see [`DynamicGraph::rebase`]); owned
+    /// overlay vectors accumulated during the last batch are released.
+    pub fn rebase(&mut self, g: Arc<CsrGraph>) {
+        self.graph.rebase(g);
+    }
+
+    /// Shared-vs-owned accounting for the underlying COW adjacency.
+    pub fn cow_stats(&self) -> CowStats {
+        self.graph.cow_stats()
     }
 
     /// Snapshots the maintained forests as a static [`TsdIndex`] — the
@@ -95,10 +124,33 @@ impl DynamicTsd {
     /// rejected (duplicate/self-loop insert, absent remove); an applied
     /// update always repairs at least its two endpoints.
     pub fn apply(&mut self, update: GraphUpdate) -> usize {
-        match update {
-            GraphUpdate::Insert { u, v } => self.insert_edge(u, v),
-            GraphUpdate::Remove { u, v } => self.remove_edge(u, v),
+        let mut affected = Vec::new();
+        self.apply_into(update, &mut affected)
+    }
+
+    /// [`Self::apply`], additionally appending every repaired vertex to
+    /// `affected` (with repetitions across updates; callers dedup). This
+    /// is the hook a co-maintained index (e.g. a dynamic GCT) uses to
+    /// repair exactly the same ego-networks without re-deriving the
+    /// affected region.
+    pub fn apply_into(&mut self, update: GraphUpdate, affected: &mut Vec<VertexId>) -> usize {
+        let (u, v) = update.endpoints();
+        let applied = match update {
+            GraphUpdate::Insert { .. } => {
+                if !self.graph.insert_edge(u, v) {
+                    return 0;
+                }
+                if self.forests.len() < self.graph.n() {
+                    self.forests.resize(self.graph.n(), Vec::new());
+                }
+                true
+            }
+            GraphUpdate::Remove { .. } => self.graph.remove_edge(u, v),
+        };
+        if !applied {
+            return 0;
         }
+        self.repair_into(u, v, affected)
     }
 
     /// Read access to the maintained graph.
@@ -114,33 +166,26 @@ impl DynamicTsd {
     /// Inserts edge `{u, v}` and repairs the affected forests.
     /// Returns the number of ego-networks rebuilt (0 for no-op inserts).
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> usize {
-        if !self.graph.insert_edge(u, v) {
-            return 0;
-        }
-        if self.forests.len() < self.graph.n() {
-            self.forests.resize(self.graph.n(), Vec::new());
-        }
-        self.repair(u, v)
+        self.apply(GraphUpdate::Insert { u, v })
     }
 
     /// Deletes edge `{u, v}` and repairs the affected forests.
     /// Returns the number of ego-networks rebuilt (0 if absent).
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> usize {
-        if !self.graph.remove_edge(u, v) {
-            return 0;
-        }
-        self.repair(u, v)
+        self.apply(GraphUpdate::Remove { u, v })
     }
 
-    /// Rebuilds the forests of `u`, `v`, and their common neighbors.
-    fn repair(&mut self, u: VertexId, v: VertexId) -> usize {
-        let mut affected = self.graph.common_neighbors(u, v);
+    /// Rebuilds the forests of `u`, `v`, and their common neighbors,
+    /// appending each repaired vertex to `affected`.
+    fn repair_into(&mut self, u: VertexId, v: VertexId, affected: &mut Vec<VertexId>) -> usize {
+        let start = affected.len();
+        affected.extend(self.graph.common_neighbors(u, v));
         affected.push(u);
         affected.push(v);
-        for &w in &affected {
-            self.rebuild_vertex(w);
+        for &v in &affected[start..] {
+            self.rebuild_vertex(v);
         }
-        affected.len()
+        affected.len() - start
     }
 
     /// Recomputes the forest of a single vertex from its current ego-network.
@@ -304,6 +349,38 @@ mod tests {
         assert!(dynamic.apply(GraphUpdate::Remove { u: 2, v: 5 }) >= 2);
         let now = dynamic.graph().to_csr();
         assert_eq!(dynamic.to_index(), TsdIndex::build(&now), "carried index == full rebuild");
+    }
+
+    #[test]
+    fn apply_into_reports_exactly_the_repaired_egos() {
+        let (g, _, _) = paper_figure1_graph();
+        let mut dynamic = DynamicTsd::from_csr(&g);
+        let mut affected = Vec::new();
+        let rebuilt = dynamic.apply_into(GraphUpdate::Remove { u: 2, v: 5 }, &mut affected);
+        assert_eq!(rebuilt, affected.len());
+        assert!(affected.contains(&2) && affected.contains(&5), "endpoints always repaired");
+        // Rejected updates repair (and report) nothing.
+        assert_eq!(dynamic.apply_into(GraphUpdate::Remove { u: 2, v: 5 }, &mut affected), 0);
+        assert_eq!(affected.len(), rebuilt, "rejected update appended nothing");
+    }
+
+    #[test]
+    fn shared_carry_keeps_adjacency_cow_until_edits() {
+        let (g, _, _) = paper_figure1_graph();
+        let shared = Arc::new(g);
+        let built = TsdIndex::build(&shared);
+        let mut dynamic = DynamicTsd::from_shared_index(shared.clone(), &built);
+        let before = dynamic.cow_stats();
+        assert_eq!(before.owned, 0, "carry materializes no adjacency");
+        assert_eq!(before.shared, shared.n());
+        dynamic.insert_edge(1, 6);
+        assert!(dynamic.cow_stats().owned >= 2, "edit materializes only touched slots");
+        assert!(dynamic.cow_stats().shared >= shared.n() - 6);
+        // Rebase against the published snapshot releases the overlay.
+        let snapshot = Arc::new(dynamic.graph().to_csr());
+        dynamic.rebase(snapshot.clone());
+        assert_eq!(dynamic.cow_stats().owned, 0);
+        assert_eq!(dynamic.to_index(), TsdIndex::build(&snapshot), "index survives the rebase");
     }
 
     #[test]

@@ -291,6 +291,15 @@ pub trait DiversityEngine: std::fmt::Debug + Send + Sync {
     fn tsd_index(&self) -> Option<&TsdIndex> {
         None
     }
+
+    /// The engine's [`GctIndex`], if it is the GCT engine — the analogous
+    /// carry hook: [`crate::SearchService::apply_updates`] seeds a
+    /// [`crate::gct::DynamicGct`] from it and repairs only the affected
+    /// ego-networks instead of re-decomposing the whole graph. Every
+    /// other engine returns `None`.
+    fn gct_index(&self) -> Option<&GctIndex> {
+        None
+    }
 }
 
 /// Algorithm 3 behind the trait: the index-free full scan.
@@ -404,10 +413,14 @@ impl DiversityEngine for BoundEngine {
 }
 
 /// Algorithms 5–6 behind the trait: the TSD-index.
+///
+/// The index is held behind an [`Arc`] so an epoch can keep the same
+/// `TsdIndex` reachable from its own state (and hand it to the Hybrid
+/// carry path) without a second copy.
 #[derive(Debug)]
 pub struct TsdEngine {
     g: Arc<CsrGraph>,
-    index: TsdIndex,
+    index: Arc<TsdIndex>,
     /// Reusable endpoint buffer for `TsdIndex::score`, so per-vertex score
     /// sweeps through the trait don't allocate per call.
     scratch: parking_lot::Mutex<Vec<VertexId>>,
@@ -426,12 +439,19 @@ impl Clone for TsdEngine {
 impl TsdEngine {
     /// Builds the TSD-index of `g` (Algorithm 5).
     pub fn build(g: Arc<CsrGraph>) -> Self {
-        let index = TsdIndex::build(&g);
+        let index = Arc::new(TsdIndex::build(&g));
         TsdEngine { g, index, scratch: crate::lock_order::TSD_SCRATCH.mutex(Vec::new()) }
     }
 
     /// Attaches a prebuilt index to its graph, verifying vertex counts.
     pub fn from_parts(g: Arc<CsrGraph>, index: TsdIndex) -> Result<Self, SearchError> {
+        Self::from_shared(g, Arc::new(index))
+    }
+
+    /// As [`Self::from_parts`] for an index that is already shared — the
+    /// epoch-publish path hands the same `Arc` to the engine, the epoch
+    /// state, and the Hybrid rebuild without copying the forests.
+    pub fn from_shared(g: Arc<CsrGraph>, index: Arc<TsdIndex>) -> Result<Self, SearchError> {
         if index.n() != g.n() {
             return Err(SearchError::GraphMismatch { graph_n: g.n(), index_n: index.n() });
         }
@@ -441,6 +461,11 @@ impl TsdEngine {
     /// The underlying index (size accounting, forests, score profiles).
     pub fn index(&self) -> &TsdIndex {
         &self.index
+    }
+
+    /// The underlying index, shared (the epoch-carry handle).
+    pub fn shared_index(&self) -> Arc<TsdIndex> {
+        self.index.clone()
     }
 }
 
@@ -525,6 +550,10 @@ impl DiversityEngine for GctEngine {
 
     fn to_bytes(&self) -> Result<Bytes, SearchError> {
         Ok(self.index.to_bytes())
+    }
+
+    fn gct_index(&self) -> Option<&GctIndex> {
+        Some(&self.index)
     }
 }
 

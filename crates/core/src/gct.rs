@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use sd_graph::{CsrGraph, Dsu, VertexId};
+use sd_graph::{CsrGraph, Dsu, DynamicGraph, VertexId};
 use sd_truss::{truss_decomposition, vertex_trussness, TrussDecomposition};
 
 use crate::bound::finish_entries;
@@ -45,6 +45,18 @@ pub struct GctEntry {
 }
 
 impl GctEntry {
+    /// The entry of an isolated vertex — identical to what
+    /// [`Self::from_ego`] produces for an empty ego-network (the offsets
+    /// array keeps its leading sentinel 0).
+    pub fn empty() -> Self {
+        GctEntry {
+            sn_tau: Vec::new(),
+            sn_offsets: vec![0],
+            sn_vertices: Vec::new(),
+            se: Vec::new(),
+        }
+    }
+
     /// Number of supernodes.
     pub fn supernodes(&self) -> usize {
         self.sn_tau.len()
@@ -402,6 +414,66 @@ pub fn gct_entry_for(g: &CsrGraph, v: VertexId) -> GctEntry {
     GctEntry::from_ego(&ego, &decomposition, &tau_v)
 }
 
+/// Builds one GCT entry from a mutable graph's current state — the repair
+/// primitive of [`DynamicGct`], sharing the sorted-merge ego kernel with
+/// the dynamic TSD path.
+pub fn dynamic_gct_entry_for(g: &DynamicGraph, v: VertexId) -> GctEntry {
+    let ego = crate::dynamic::extract_ego_dynamic(g, v);
+    let decomposition = truss_decomposition(&ego.graph);
+    let tau_v = vertex_trussness(&ego.graph, &decomposition);
+    GctEntry::from_ego(&ego, &decomposition, &tau_v)
+}
+
+/// A GCT-index that stays consistent under affected-region repair.
+///
+/// The GCT entry of vertex `v` is a pure function of `v`'s ego-network,
+/// so the *same* affected set the dynamic TSD derives for an update batch
+/// (endpoints + common neighbors per applied edit; see
+/// [`DynamicTsd::apply_into`](crate::dynamic::DynamicTsd::apply_into))
+/// bounds exactly which entries an update can change — re-decomposing
+/// only those restores the full index. The structure holds no adjacency
+/// of its own: callers lend the [`DynamicGraph`] the TSD updater already
+/// maintains, so carrying GCT across epochs costs `O(index)` entries and
+/// zero extra graph memory.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicGct {
+    entries: Vec<GctEntry>,
+}
+
+impl DynamicGct {
+    /// Adopts an already-built static [`GctIndex`] without recomputing
+    /// anything (`O(index size)` entry copy — the epoch-carry path).
+    pub fn from_index(index: &GctIndex) -> Self {
+        DynamicGct { entries: index.entries.clone() }
+    }
+
+    /// Number of indexed vertices.
+    pub fn n(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Re-decomposes the ego-networks of `affected` vertices against the
+    /// graph's current state, growing the entry table if the batch added
+    /// vertices. Returns the number of entries rebuilt. Callers pass a
+    /// deduplicated affected set; repairing a vertex twice is correct but
+    /// wasted work.
+    pub fn repair(&mut self, g: &DynamicGraph, affected: &[VertexId]) -> usize {
+        if self.entries.len() < g.n() {
+            self.entries.resize(g.n(), GctEntry::empty());
+        }
+        for &v in affected {
+            self.entries[v as usize] = dynamic_gct_entry_for(g, v);
+        }
+        affected.len()
+    }
+
+    /// Snapshots the maintained entries as a static [`GctIndex`] — equal
+    /// to `GctIndex::build` of the current graph at none of its cost.
+    pub fn to_index(&self) -> GctIndex {
+        GctIndex { entries: self.entries.clone() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +507,30 @@ mod tests {
                 assert_eq!(index.score(v, k), truth[v as usize], "v={v} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn dynamic_gct_repair_matches_full_rebuild() {
+        let (g, _, _) = paper_figure1_graph();
+        let built = GctIndex::build(&g);
+        let mut gct = DynamicGct::from_index(&built);
+        assert_eq!(gct.to_index(), built, "carry reproduces the static index exactly");
+        // Drive the graph with the TSD updater and repair the same region.
+        let mut tsd = crate::dynamic::DynamicTsd::from_csr(&g);
+        let mut affected = Vec::new();
+        for update in [
+            sd_graph::GraphUpdate::Insert { u: 1, v: 6 },
+            sd_graph::GraphUpdate::Remove { u: 2, v: 5 },
+            sd_graph::GraphUpdate::Insert { u: 0, v: 20 }, // grows the vertex set
+        ] {
+            tsd.apply_into(update, &mut affected);
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let repaired = gct.repair(tsd.graph(), &affected);
+        assert_eq!(repaired, affected.len());
+        let rebuilt = GctIndex::build(&tsd.graph().to_csr());
+        assert_eq!(gct.to_index(), rebuilt, "affected-region repair == full rebuild");
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub use envelope::{
     BUNDLE_MAGIC, BUNDLE_VERSION, ENVELOPE_HEADER_BYTES, ENVELOPE_MAGIC, ENVELOPE_VERSION,
 };
 pub use error::{DecodeError, SearchError};
-pub use gct::{GctIndex, BITMAP_FALLBACK_THRESHOLD};
+pub use gct::{DynamicGct, GctIndex, BITMAP_FALLBACK_THRESHOLD};
 pub use hybrid::HybridIndex;
 pub use online::all_scores;
 pub use paper::{paper_figure18_graph, paper_figure1_edges, paper_figure1_graph};
@@ -99,7 +99,8 @@ pub use pool::{default_threads as default_pool_threads, Job, WorkerPool, MAX_POO
 pub use score::{score, social_contexts, EgoDecomposition};
 pub use sd_graph::GraphUpdate;
 pub use service::{
-    SearchService, ServiceStats, UpdateStats, AUTO_SMALL_GRAPH_EDGES, AUTO_WARMUP_QUERIES,
+    SearchService, ServiceStats, UpdateStats, UpdaterCow, AUTO_SMALL_GRAPH_EDGES,
+    AUTO_WARMUP_QUERIES,
 };
 pub use tcp::{ktruss_communities, TcpIndex};
 pub use topr::TopRCollector;

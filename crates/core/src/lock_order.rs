@@ -22,7 +22,7 @@
 //! | 5    | `server.conns`    | the `sd-server` live-connection table                |
 //! | 6    | `server.batch`    | one tenant's query-coalescing accumulator            |
 //! | 8    | `server.inflight` | the per-epoch in-flight gauge draining consults      |
-//! | 10   | `svc.updater`     | the retained [`crate::dynamic::DynamicTsd`] carry; serializes `apply_updates` |
+//! | 10   | `svc.updater`     | the retained carry state (COW [`crate::dynamic::DynamicTsd`] + [`crate::gct::DynamicGct`]); serializes `apply_updates` |
 //! | 20   | `epoch.ptr`       | the serving-epoch pointer swap                       |
 //! | 30   | `engine.slot`     | one engine cache slot of an epoch                    |
 //! | 40   | `batch.slot`      | one result slot of a `top_r_many` fan-out            |
@@ -114,7 +114,8 @@ pub const SERVER_BATCH: LockClass = LockClass::new(6, "server.batch");
 pub const SERVER_INFLIGHT: LockClass = LockClass::new(8, "server.inflight");
 
 /// Serializes [`crate::SearchService::apply_updates`] batches and guards
-/// the retained incremental-TSD carry.
+/// the retained carry state: the COW incremental-TSD graph plus the
+/// dynamic GCT entry table that repairs in place across publishes.
 pub const SVC_UPDATER: LockClass = LockClass::new(10, "svc.updater");
 
 /// The serving-epoch pointer: readers pin a snapshot, updates swap it.

@@ -95,17 +95,20 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
-use sd_graph::{CsrGraph, GraphUpdate};
+use sd_graph::{CowStats, CsrGraph, GraphUpdate, VertexId};
 
 use crate::config::TopRResult;
 use crate::dynamic::DynamicTsd;
 use crate::engine::{
-    build_engine_in, decode_engine, DiversityEngine, EngineKind, QuerySpec, ScanPolicy, TsdEngine,
+    build_engine_in, decode_engine, DiversityEngine, EngineKind, GctEngine, HybridEngine,
+    QuerySpec, ScanPolicy, TsdEngine,
 };
 use crate::envelope::{GraphFingerprint, IndexBundle, IndexEnvelope};
 use crate::error::SearchError;
+use crate::gct::DynamicGct;
 use crate::lock_order;
 use crate::pool::{self, Job, WorkerPool};
+use crate::tsd::TsdIndex;
 
 /// Number of [`EngineKind::Auto`] queries served with the index-free bound
 /// engine before the service decides the query stream is worth an index
@@ -157,6 +160,14 @@ pub struct ServiceStats {
     /// repaired per affected ego-network from retained state — rather than
     /// built from scratch. At most one less than `epochs`.
     pub incremental_tsd_carries: usize,
+    /// Epoch publications whose Hybrid engine was rebuilt inline from the
+    /// carried TSD-index (`O(n · profile)` sweep, no decomposition)
+    /// instead of re-entering the background build queue.
+    pub hybrid_carries: usize,
+    /// GCT entries repaired in place by affected-region re-decomposition
+    /// across all update batches (the incremental alternative to a full
+    /// background GCT rebuild).
+    pub gct_repairs: usize,
     /// Successful queries answered per concrete engine, in
     /// [`EngineKind::ALL`] order. Fallback-served queries count toward the
     /// engine that actually answered ([`EngineKind::Online`] or
@@ -204,6 +215,17 @@ pub struct UpdateStats {
     /// (an earlier batch's [`DynamicTsd`] or an already-built TSD engine)
     /// rather than seeded by a from-scratch build in this call.
     pub tsd_carried: bool,
+    /// GCT entries repaired in place for this batch. 0 when no GCT state
+    /// was retained or seedable, when the affected region exceeded the
+    /// repair threshold (full rebuild fallback), or when the batch
+    /// published nothing.
+    pub gct_repairs: usize,
+    /// Whether the new epoch's GCT engine was published warm from
+    /// affected-region repair.
+    pub gct_carried: bool,
+    /// Whether the new epoch's Hybrid engine was rebuilt inline from the
+    /// carried TSD-index.
+    pub hybrid_carried: bool,
     /// Vertex count of the published graph.
     pub n: usize,
     /// Edge count of the published graph.
@@ -225,6 +247,13 @@ struct EpochState {
     /// this epoch, so a cold-start spike of N threads produces one queue
     /// entry, not N.
     scheduled: [AtomicBool; 5],
+    /// The TSD-index this epoch was published with, when it came through
+    /// the update path — the same `Arc` the pre-installed TSD engine
+    /// holds. Keeping it reachable from the epoch lets a later cold
+    /// Hybrid request rebuild inline via `HybridIndex::build_from_tsd`
+    /// instead of paying a from-scratch background build. `None` for
+    /// epoch 0 and for epochs whose TSD was never materialized.
+    carried_tsd: Option<Arc<TsdIndex>>,
 }
 
 impl EpochState {
@@ -238,6 +267,7 @@ impl EpochState {
             fingerprint,
             slots: std::array::from_fn(|_| lock_order::ENGINE_SLOT.rwlock(None)),
             scheduled: std::array::from_fn(|_| AtomicBool::new(false)),
+            carried_tsd: None,
         }
     }
 
@@ -284,6 +314,8 @@ struct ServiceCore {
     epochs: AtomicUsize,
     updates_applied: AtomicUsize,
     incremental_tsd_carries: AtomicUsize,
+    hybrid_carries: AtomicUsize,
+    gct_repairs: AtomicUsize,
     parallel_queries: AtomicUsize,
     queries_by_slot: [AtomicUsize; 5],
 }
@@ -326,8 +358,16 @@ impl ServiceCore {
         if let Some(engine) = guard.as_ref() {
             return (engine.clone(), false);
         }
-        let engine: Arc<dyn DiversityEngine> =
-            Arc::from(build_engine_in(kind, epoch.graph.clone(), self.scan.clone()));
+        // A Hybrid build on an epoch that carries its TSD-index skips the
+        // from-scratch decomposition: `build_from_tsd` is an `O(n ·
+        // profile)` sweep over the index the epoch already holds.
+        let engine: Arc<dyn DiversityEngine> = match (kind, &epoch.carried_tsd) {
+            (EngineKind::Hybrid, Some(tsd)) => {
+                self.hybrid_carries.fetch_add(1, Ordering::Relaxed);
+                Arc::new(HybridEngine::from_tsd(epoch.graph.clone(), tsd))
+            }
+            _ => Arc::from(build_engine_in(kind, epoch.graph.clone(), self.scan.clone())),
+        };
         self.engines_built.fetch_add(1, Ordering::Relaxed);
         *guard = Some(engine.clone());
         (engine, true)
@@ -456,10 +496,47 @@ impl ServiceCore {
 /// service's internal core `Arc`, which it releases when it finishes.
 pub struct SearchService {
     core: Arc<ServiceCore>,
-    /// Serializes writers and retains the incremental TSD maintenance
-    /// state between batches. Held only by [`Self::apply_updates`] — the
-    /// query path never touches it.
-    updater: Mutex<Option<DynamicTsd>>,
+    /// Serializes writers and retains the incremental maintenance state
+    /// between batches. Held only by [`Self::apply_updates`] (and the
+    /// read-only [`Self::updater_cow`] diagnostic) — the query path never
+    /// touches it.
+    updater: Mutex<Option<UpdaterState>>,
+}
+
+/// The state [`SearchService::apply_updates`] retains between batches:
+/// the incrementally maintained TSD-index (which owns the mutable
+/// copy-on-write graph) and, once seeded, the co-maintained GCT entries
+/// (which borrow that graph at repair time — no second adjacency).
+struct UpdaterState {
+    tsd: DynamicTsd,
+    /// `None` until a batch finds a built GCT engine to seed from, and
+    /// reset to `None` when an affected region exceeds
+    /// [`gct_repair_threshold`] (the entries would be stale; the next
+    /// batch re-seeds from the background rebuild it triggered).
+    gct: Option<DynamicGct>,
+}
+
+/// Largest affected region (distinct ego-networks) worth repairing in
+/// place for GCT. Past this, per-entry re-decomposition approaches the
+/// cost of the batched full rebuild (which shares triangle listing across
+/// vertices), so the updater drops its GCT state and falls back to the
+/// background build queue. The floor keeps small graphs always on the
+/// repair path.
+fn gct_repair_threshold(n: usize) -> usize {
+    (n / 4).max(64)
+}
+
+/// Copy-on-write diagnostics for the retained updater
+/// ([`SearchService::updater_cow`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdaterCow {
+    /// Shared-vs-owned adjacency slot accounting.
+    pub stats: CowStats,
+    /// Whether every shared slot serves the current epoch's CSR storage
+    /// verbatim (pointer + length identity, not just equal contents) —
+    /// i.e. the updater is genuinely aliasing the published graph rather
+    /// than holding a private copy.
+    pub aliases_current_epoch: bool,
 }
 
 impl std::fmt::Debug for SearchService {
@@ -529,6 +606,8 @@ impl SearchService {
             epochs: AtomicUsize::new(1),
             updates_applied: AtomicUsize::new(0),
             incremental_tsd_carries: AtomicUsize::new(0),
+            hybrid_carries: AtomicUsize::new(0),
+            gct_repairs: AtomicUsize::new(0),
             parallel_queries: AtomicUsize::new(0),
             queries_by_slot: std::array::from_fn(|_| AtomicUsize::new(0)),
         });
@@ -576,12 +655,35 @@ impl SearchService {
             epochs: self.core.epochs.load(Ordering::Relaxed),
             updates_applied: self.core.updates_applied.load(Ordering::Relaxed),
             incremental_tsd_carries: self.core.incremental_tsd_carries.load(Ordering::Relaxed),
+            hybrid_carries: self.core.hybrid_carries.load(Ordering::Relaxed),
+            gct_repairs: self.core.gct_repairs.load(Ordering::Relaxed),
             queries_by_engine: std::array::from_fn(|i| {
                 self.core.queries_by_slot[i].load(Ordering::Relaxed)
             }),
             pool_threads: self.core.pool.spawned_threads(),
             parallel_queries: self.core.parallel_queries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Copy-on-write diagnostics for the retained updater: `None` when no
+    /// update session is active (nothing retained yet), otherwise the
+    /// shared/owned slot split plus whether the shared slots genuinely
+    /// alias the current epoch's CSR storage. Acquires `svc.updater` then
+    /// `epoch.ptr`, the same order as [`Self::apply_updates`].
+    pub fn updater_cow(&self) -> Option<UpdaterCow> {
+        let retained = self.updater.lock(); // lock: svc.updater
+        let state = retained.as_ref()?;
+        let epoch = self.core.current();
+        let g = state.tsd.graph();
+        let csr = &epoch.graph;
+        let aliases_current_epoch = g.n() == csr.n()
+            && (0..g.n() as VertexId).all(|v| {
+                !g.is_cow_shared(v) || {
+                    let (ours, theirs) = (g.neighbors(v), csr.neighbors(v));
+                    ours.as_ptr() == theirs.as_ptr() && ours.len() == theirs.len()
+                }
+            });
+        Some(UpdaterCow { stats: g.cow_stats(), aliases_current_epoch })
     }
 
     /// The worker pool this service schedules onto — the process-wide pool
@@ -702,19 +804,29 @@ impl SearchService {
     /// next epoch — **without blocking concurrent queries**, which keep
     /// serving from whatever epoch they pinned.
     ///
-    /// The heart of the call is the *incremental TSD carry*: instead of
-    /// rebuilding the TSD-index for the new graph (`O(Σ ρ_v · m_v)` over
-    /// all vertices), the service retains a [`DynamicTsd`] across batches —
-    /// seeded, the first time, from the current epoch's already-built TSD
-    /// engine when there is one — and repairs only the ego-networks an
-    /// update actually touches (its endpoints and their common neighbors,
-    /// the Section 5.3 strategy). The repaired index is then snapshotted
-    /// (`O(index size)` copy, no decomposition) and pre-installed in the
-    /// new epoch, so TSD queries never go cold across an update. Of the
-    /// other engines: the O(1) index-free kinds that were live are derived
-    /// inline, and live GCT/Hybrid engines are re-enqueued onto the
-    /// background build queue (they serve via the fallback until their
-    /// rebuild lands).
+    /// The heart of the call is the *incremental carry*: instead of
+    /// rebuilding indexes for the new graph, the service retains
+    /// maintenance state across batches and repairs only the ego-networks
+    /// an update actually touches (its endpoints and their common
+    /// neighbors, the Section 5.3 strategy) —
+    ///
+    /// * **TSD** is maintained by a retained [`DynamicTsd`] — seeded, the
+    ///   first time, from the current epoch's already-built TSD engine —
+    ///   whose repaired forests are snapshotted (`O(index size)`, no
+    ///   decomposition) and pre-installed in the new epoch.
+    /// * **GCT** rides the *same* affected region: a retained
+    ///   [`DynamicGct`] (seeded from a built GCT engine) re-decomposes
+    ///   exactly those ego-networks and publishes warm, falling back to
+    ///   the background rebuild only when the region exceeds the repair
+    ///   threshold (`max(64, n/4)` egos).
+    /// * **Hybrid** is rebuilt inline from the carried TSD-index
+    ///   (`HybridIndex::build_from_tsd`, an `O(n · profile)` sweep).
+    /// * The O(1) index-free kinds that were live are derived inline.
+    ///
+    /// The retained updater's adjacency is **copy-on-write** against the
+    /// published CSR ([`DynamicGraph::rebase`](sd_graph::DynamicGraph::rebase)
+    /// after every publish), so an idle update session holds `O(n)` slot
+    /// pointers instead of a second copy of the graph.
     ///
     /// Writers are serialized (batches apply in call order); the query
     /// path is affected only by the final pointer swap. A batch in which
@@ -739,8 +851,8 @@ impl SearchService {
         // path's `cached` — so an in-flight background TSD build is joined
         // and carried rather than duplicated by a from-scratch rebuild.
         let mut carried = true;
-        let mut tsd = match retained.take() {
-            Some(tsd) => tsd,
+        let mut state = match retained.take() {
+            Some(state) => state,
             None => {
                 // The guard is released at the end of this statement: the
                 // engine `Arc` is cloned *out* of the slot so neither seed
@@ -751,15 +863,15 @@ impl SearchService {
                                                                                   // A non-TSD engine in the TSD slot is impossible by
                                                                                   // construction; should it ever happen, degrade to a cold
                                                                                   // start instead of panicking the update path.
-                match seed.as_deref().and_then(DiversityEngine::tsd_index) {
-                    Some(index) => DynamicTsd::from_index(&old.graph, index),
+                let tsd = match seed.as_deref().and_then(DiversityEngine::tsd_index) {
+                    Some(index) => DynamicTsd::from_shared_index(old.graph.clone(), index),
                     None => {
                         // Cold start: seeding costs a full TSD build, so
                         // first make sure the batch mutates anything at
                         // all — an idempotent replay (all duplicates and
-                        // absent removes) must return in adjacency-copy
-                        // time, not index-build time.
-                        let mut probe = sd_graph::DynamicGraph::from_csr(&old.graph);
+                        // absent removes) must return in copy-on-write
+                        // probe time, not index-build time.
+                        let mut probe = sd_graph::DynamicGraph::from_base(old.graph.clone());
                         if probe.apply_batch(batch).applied == 0 {
                             return Ok(UpdateStats {
                                 epoch: old.id,
@@ -767,20 +879,34 @@ impl SearchService {
                                 rejected: batch.len(),
                                 tsd_repairs: 0,
                                 tsd_carried: false,
+                                gct_repairs: 0,
+                                gct_carried: false,
+                                hybrid_carried: false,
                                 n: old.graph.n(),
                                 m: old.graph.m(),
                             });
                         }
                         carried = false;
-                        DynamicTsd::from_csr(&old.graph)
+                        DynamicTsd::from_shared_csr(old.graph.clone())
                     }
-                }
+                };
+                UpdaterState { tsd, gct: None }
             }
         };
+        // Seed the GCT side opportunistically: whenever no entries are
+        // retained (first batch, or a prior fallback dropped them) but the
+        // old epoch has a built GCT engine, adopt its entries (`O(index)`
+        // copy). Same blocking-probe rationale as the TSD seed.
+        if state.gct.is_none() {
+            let seed = old.slots[Self::slot(EngineKind::Gct)].read().clone(); // lock: engine.slot
+            state.gct =
+                seed.as_deref().and_then(DiversityEngine::gct_index).map(DynamicGct::from_index);
+        }
 
         let (mut applied, mut rejected, mut repairs) = (0usize, 0usize, 0usize);
+        let mut affected: Vec<VertexId> = Vec::new();
         for &update in batch {
-            match tsd.apply(update) {
+            match state.tsd.apply_into(update, &mut affected) {
                 0 => rejected += 1,
                 r => {
                     applied += 1;
@@ -791,33 +917,79 @@ impl SearchService {
 
         if applied == 0 {
             // Pure no-op batch: retain the state, publish nothing.
-            *retained = Some(tsd);
+            *retained = Some(state);
             return Ok(UpdateStats {
                 epoch: old.id,
                 applied: 0,
                 rejected,
                 tsd_repairs: 0,
                 tsd_carried: false,
+                gct_repairs: 0,
+                gct_carried: false,
+                hybrid_carried: false,
                 n: old.graph.n(),
                 m: old.graph.m(),
             });
         }
 
+        // Repair the co-maintained GCT entries over the same affected
+        // region the TSD maintenance just derived — or drop them when the
+        // region is large enough that the batched full rebuild (shared
+        // triangle listing) wins; the fallback path below re-enqueues it.
+        affected.sort_unstable();
+        affected.dedup();
+        let mut gct_repairs = 0usize;
+        if state.gct.is_some() && affected.len() > gct_repair_threshold(state.tsd.n()) {
+            state.gct = None;
+        }
+        if let Some(gct) = state.gct.as_mut() {
+            gct_repairs = gct.repair(state.tsd.graph(), &affected);
+        }
+
         // Assemble the next epoch off to the side: snapshot the mutated
         // graph, recompute its fingerprint, and pre-install the carried
-        // TSD engine so it is warm before anyone can query it.
-        let graph = Arc::new(tsd.graph().to_csr());
-        let next = Arc::new(EpochState::over(old.id + 1, graph.clone()));
-        // `from_parts` only rejects an index/graph size mismatch, and both
-        // sides here come from the same maintained state; surface a broken
-        // carry as an error (nothing published, carry dropped) rather than
-        // poisoning the service with a panic.
-        let tsd_engine = TsdEngine::from_parts(graph.clone(), tsd.to_index()).map_err(|_| {
+        // engines so they are warm before anyone can query them. The
+        // snapshotted TSD-index is kept reachable from the epoch itself
+        // (`carried_tsd`) so Hybrid — now or lazily later — derives from
+        // it instead of re-entering a from-scratch build.
+        let graph = Arc::new(state.tsd.graph().to_csr());
+        let index = Arc::new(state.tsd.to_index());
+        let mut next = EpochState::over(old.id + 1, graph.clone());
+        next.carried_tsd = Some(index.clone());
+        let next = Arc::new(next);
+        // `from_shared` only rejects an index/graph size mismatch, and
+        // both sides here come from the same maintained state; surface a
+        // broken carry as an error (nothing published, carry dropped)
+        // rather than poisoning the service with a panic.
+        let tsd_engine = TsdEngine::from_shared(graph.clone(), index.clone()).map_err(|_| {
             SearchError::Internal {
                 invariant: "the maintained TSD index covers exactly the maintained graph",
             }
         })?;
         self.core.install(&next, EngineKind::Tsd, Arc::new(tsd_engine));
+
+        // Carry GCT warm when it was serving and the repair path held.
+        let gct_carried = match state.gct.as_ref() {
+            Some(gct) if old.is_live(EngineKind::Gct) => {
+                match GctEngine::from_parts(graph.clone(), gct.to_index()) {
+                    Ok(engine) => {
+                        self.core.install(&next, EngineKind::Gct, Arc::new(engine));
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            _ => false,
+        };
+        // Rebuild Hybrid inline from the carried index when it was
+        // serving: an `O(n · profile)` sweep at publish time in place of
+        // a full background decomposition.
+        let hybrid_carried = old.is_live(EngineKind::Hybrid);
+        if hybrid_carried {
+            let engine = HybridEngine::from_tsd(graph.clone(), &index);
+            self.core.install(&next, EngineKind::Hybrid, Arc::new(engine));
+            self.core.hybrid_carries.fetch_add(1, Ordering::Relaxed);
+        }
 
         // Publish: one pointer swap. In-flight queries keep their pinned
         // epoch; everything after this line sees the new graph.
@@ -827,13 +999,16 @@ impl SearchService {
         if carried {
             self.core.incremental_tsd_carries.fetch_add(1, Ordering::Relaxed);
         }
+        self.core.gct_repairs.fetch_add(gct_repairs, Ordering::Relaxed);
 
-        // Re-establish the engines the old epoch was serving: the O(1)
-        // kinds are derived inline; invalidated index engines re-enter the
-        // background queue (now targeting the published epoch) and their
-        // queries ride the fallback until the rebuild lands.
+        // Re-establish whatever the old epoch was serving that the carry
+        // paths above did not already install: the O(1) kinds are derived
+        // inline; an index engine that could not be carried (today: GCT
+        // past the repair threshold, or never seeded) re-enters the
+        // background queue and its queries ride the fallback until the
+        // rebuild lands.
         for kind in EngineKind::ALL {
-            if kind == EngineKind::Tsd || !old.is_live(kind) {
+            if !old.is_live(kind) || next.is_built(kind) {
                 continue;
             }
             if kind.builds_inline() {
@@ -843,13 +1018,21 @@ impl SearchService {
             }
         }
 
-        *retained = Some(tsd);
+        // Re-arm copy-on-write sharing against the CSR just published:
+        // the owned overlay this batch accumulated is released and the
+        // idle updater goes back to `O(n)` slot pointers over the epoch's
+        // own storage.
+        state.tsd.rebase(graph.clone());
+        *retained = Some(state);
         Ok(UpdateStats {
             epoch: next.id,
             applied,
             rejected,
             tsd_repairs: repairs,
             tsd_carried: carried,
+            gct_repairs,
+            gct_carried,
+            hybrid_carried,
             n: graph.n(),
             m: graph.m(),
         })
@@ -1447,24 +1630,66 @@ mod tests {
     }
 
     #[test]
-    fn updates_invalidate_and_requeue_the_other_engines() {
+    fn updates_carry_every_live_engine_warm_across_the_swap() {
         let s = service();
         s.wait_ready(EngineKind::ALL);
-        s.apply_updates(&[GraphUpdate::Insert { u: 1, v: 6 }]).unwrap();
+        let before = s.stats();
+        let stats = s.apply_updates(&[GraphUpdate::Insert { u: 1, v: 6 }]).unwrap();
 
-        // The new epoch: TSD carried, O(1) engines derived; GCT/Hybrid are
-        // invalidated (requeued in the background, so they may or may not
-        // have landed yet — but TSD/Online/Bound are warm immediately).
+        // The new epoch publishes with *every* previously live engine
+        // already warm: TSD repaired in place, GCT repaired over the same
+        // affected region, Hybrid swept from the carried TSD-index, and
+        // the O(1) kinds derived inline. Nothing re-enters the background
+        // queue.
+        assert!(stats.tsd_carried && stats.gct_carried && stats.hybrid_carried);
+        assert!(stats.gct_repairs > 0, "affected egos were re-decomposed");
         let built = s.built_engines();
-        for kind in [EngineKind::Online, EngineKind::Bound, EngineKind::Tsd] {
+        for kind in EngineKind::ALL {
             assert!(built.contains(&kind), "{kind} must be warm right after the swap");
         }
-        // A GCT query is never wrong during the rebuild window: it serves
-        // through the bound tier (identical answers) until the build lands.
+        let after = s.stats();
+        assert_eq!(
+            after.background_builds, before.background_builds,
+            "a warm update must not enqueue any full rebuild"
+        );
+        assert_eq!(after.hybrid_carries, before.hybrid_carries + 1);
+        assert!(after.gct_repairs >= before.gct_repairs + stats.gct_repairs);
+        // And the carried engines answer directly (no fallback window).
+        let spec = QuerySpec::new(3, 2).unwrap().with_engine(EngineKind::Gct);
+        assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "gct");
+        let spec = QuerySpec::new(3, 2).unwrap().with_engine(EngineKind::Hybrid);
+        assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "hybrid");
+    }
+
+    #[test]
+    fn updates_without_gct_state_fall_back_to_the_background_queue() {
+        let s = service();
+        // Only GCT is live, and only as a *scheduled* interest (cold slot):
+        // there is nothing to seed the repair path from, so the update
+        // must requeue a full rebuild and serve through the fallback tier.
+        s.wait_ready([EngineKind::Gct]);
+        let stats = s.apply_updates(&[GraphUpdate::Insert { u: 1, v: 6 }]).unwrap();
+        assert!(stats.gct_carried, "a built GCT engine seeds the repair path");
+        // Now force the fallback: touch more distinct egos than
+        // `gct_repair_threshold` allows (a long path through fresh
+        // vertices affects every vertex on it).
+        let batch: Vec<GraphUpdate> =
+            (0..100).map(|i| GraphUpdate::Insert { u: 100 + i, v: 101 + i }).collect();
+        let stats = s.apply_updates(&batch).unwrap();
+        assert!(!stats.gct_carried, "region past the threshold is not repaired in place");
+        assert_eq!(stats.gct_repairs, 0);
+        // The rebuild was requeued; queries stay correct throughout —
+        // served by GCT if the background build already landed, else by
+        // whichever index-free fallback tier is available (a cached Bound
+        // when one exists, the online scan otherwise).
         let spec = QuerySpec::new(3, 2).unwrap().with_engine(EngineKind::Gct);
         let during = s.top_r(&spec).unwrap();
-        assert!(during.metrics.engine == "gct" || during.metrics.engine == "bound");
-        s.wait_ready([EngineKind::Gct, EngineKind::Hybrid]);
+        assert!(
+            ["gct", "bound", "online"].contains(&during.metrics.engine),
+            "unexpected serving engine {:?}",
+            during.metrics.engine
+        );
+        s.wait_ready([EngineKind::Gct]);
         assert_eq!(s.top_r(&spec).unwrap().metrics.engine, "gct");
     }
 

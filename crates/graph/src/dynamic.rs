@@ -5,6 +5,19 @@
 //! supporting node/edge insertions and deletions — needs a mutable
 //! counterpart; [`DynamicGraph`] keeps sorted adjacency vectors so the
 //! ego-network extraction merge loops work unchanged.
+//!
+//! Adjacency is **copy-on-write** over an optional shared CSR base: a
+//! graph made with [`DynamicGraph::from_base`] starts with every
+//! per-vertex slot *inherited* — reads serve the base CSR's slices
+//! directly — and only the vertices an edit actually touches materialize
+//! an owned sorted vector. A long-lived updater therefore shares
+//! unmodified structure with the published snapshot it was seeded from
+//! instead of duplicating the whole adjacency (~2× graph memory);
+//! [`DynamicGraph::rebase`] re-arms the sharing against each freshly
+//! published CSR so the owned fraction stays proportional to the batch
+//! size, not to session length.
+
+use std::sync::Arc;
 
 use crate::csr::CsrGraph;
 use crate::types::VertexId;
@@ -50,29 +63,95 @@ pub struct BatchApplyStats {
     pub rejected: usize,
 }
 
+/// How much of a copy-on-write [`DynamicGraph`] is still borrowed from
+/// its base CSR vs. materialized as owned vectors. `shared + owned`
+/// equals the vertex count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Vertices whose neighbor list is served straight from the base CSR.
+    pub shared: usize,
+    /// Vertices whose neighbor list has been materialized (edited, or
+    /// created past the base's vertex range).
+    pub owned: usize,
+    /// Total `VertexId` entries held in owned vectors — the dynamic
+    /// layer's actual adjacency footprint beyond the shared base.
+    pub owned_entries: usize,
+}
+
 /// An undirected simple graph under edge insertions/deletions.
 #[derive(Clone, Debug, Default)]
 pub struct DynamicGraph {
-    /// Sorted neighbor list per vertex.
-    adj: Vec<Vec<VertexId>>,
+    /// Shared immutable base; `None` for graphs built from scratch.
+    base: Option<Arc<CsrGraph>>,
+    /// One slot per vertex. `None` means the neighbor list is inherited
+    /// unchanged from `base` (or empty, past the base's range); `Some`
+    /// is an owned sorted neighbor vector that shadows the base.
+    overlay: Vec<Option<Vec<VertexId>>>,
     m: usize,
 }
 
 impl DynamicGraph {
     /// An edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        DynamicGraph { adj: vec![Vec::new(); n], m: 0 }
+        DynamicGraph { base: None, overlay: vec![None; n], m: 0 }
     }
 
-    /// Copies a static graph into dynamic form.
+    /// Copies a static graph into dynamic form. The copy is shallow: the
+    /// CSR is cloned once into a private base and every adjacency slot
+    /// starts shared (see [`Self::from_base`] for the zero-copy variant).
     pub fn from_csr(g: &CsrGraph) -> Self {
-        let adj = g.vertices().map(|v| g.neighbors(v).to_vec()).collect();
-        DynamicGraph { adj, m: g.m() }
+        Self::from_base(Arc::new(g.clone()))
+    }
+
+    /// Adopts `base` as shared copy-on-write storage: no adjacency is
+    /// copied until an edit touches it, so an updater seeded from a
+    /// published snapshot costs `O(n)` slot pointers, not `O(n + m)`.
+    pub fn from_base(base: Arc<CsrGraph>) -> Self {
+        let (n, m) = (base.n(), base.m());
+        DynamicGraph { base: Some(base), overlay: vec![None; n], m }
+    }
+
+    /// Re-arms copy-on-write sharing against a freshly snapshotted CSR.
+    ///
+    /// The caller guarantees `base` has exactly this graph's current
+    /// adjacency (the contract of [`Self::to_csr`] output); all owned
+    /// overlay vectors are dropped and every slot reverts to shared.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `base` disagrees on vertex or edge
+    /// count — the cheap proxy for "same graph".
+    pub fn rebase(&mut self, base: Arc<CsrGraph>) {
+        debug_assert_eq!(base.n(), self.n(), "rebase target must match vertex count");
+        debug_assert_eq!(base.m(), self.m(), "rebase target must match edge count");
+        self.overlay.clear();
+        self.overlay.resize(base.n(), None);
+        self.base = Some(base);
+    }
+
+    /// Shared-vs-owned accounting for the copy-on-write overlay.
+    pub fn cow_stats(&self) -> CowStats {
+        let mut stats = CowStats::default();
+        for slot in &self.overlay {
+            match slot {
+                None => stats.shared += 1,
+                Some(list) => {
+                    stats.owned += 1;
+                    stats.owned_entries += list.len();
+                }
+            }
+        }
+        stats
+    }
+
+    /// Whether `v`'s neighbor list is still served from the shared base
+    /// (i.e. no edit has materialized it).
+    pub fn is_cow_shared(&self, v: VertexId) -> bool {
+        self.overlay[v as usize].is_none()
     }
 
     /// Number of vertices.
     pub fn n(&self) -> usize {
-        self.adj.len()
+        self.overlay.len()
     }
 
     /// Number of edges.
@@ -82,25 +161,41 @@ impl DynamicGraph {
 
     /// Grows the vertex set so that `v` is a valid vertex.
     pub fn ensure_vertex(&mut self, v: VertexId) {
-        if (v as usize) >= self.adj.len() {
-            self.adj.resize(v as usize + 1, Vec::new());
+        if (v as usize) >= self.overlay.len() {
+            self.overlay.resize(v as usize + 1, None);
         }
     }
 
     /// Degree of `v`.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj[v as usize].len()
+        self.neighbors(v).len()
     }
 
     /// Sorted neighbors of `v`.
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v as usize]
+        match &self.overlay[v as usize] {
+            Some(list) => list,
+            None => match &self.base {
+                Some(base) if (v as usize) < base.n() => base.neighbors(v),
+                _ => &[],
+            },
+        }
+    }
+
+    /// Mutable access to `v`'s neighbor list, materializing the owned
+    /// copy from the base on first touch (the "write" half of COW).
+    fn owned(&mut self, v: VertexId) -> &mut Vec<VertexId> {
+        let DynamicGraph { base, overlay, .. } = self;
+        overlay[v as usize].get_or_insert_with(|| match base {
+            Some(b) if (v as usize) < b.n() => b.neighbors(v).to_vec(),
+            _ => Vec::new(),
+        })
     }
 
     /// Whether `{u, v}` is an edge.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adj[a as usize].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Inserts edge `{u, v}`, growing the vertex set if needed.
@@ -110,29 +205,29 @@ impl DynamicGraph {
             return false;
         }
         self.ensure_vertex(u.max(v));
-        let pos_u = match self.adj[u as usize].binary_search(&v) {
+        let pos_u = match self.neighbors(u).binary_search(&v) {
             Ok(_) => return false,
             Err(p) => p,
         };
-        self.adj[u as usize].insert(pos_u, v);
-        let pos_v = self.adj[v as usize].binary_search(&u).expect_err("u<->v symmetric");
-        self.adj[v as usize].insert(pos_v, u);
+        self.owned(u).insert(pos_u, v);
+        let pos_v = self.neighbors(v).binary_search(&u).expect_err("u<->v symmetric");
+        self.owned(v).insert(pos_v, u);
         self.m += 1;
         true
     }
 
     /// Removes edge `{u, v}`; returns whether it existed.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        if u == v || (u.max(v) as usize) >= self.adj.len() {
+        if u == v || (u.max(v) as usize) >= self.overlay.len() {
             return false;
         }
-        let Ok(pos_u) = self.adj[u as usize].binary_search(&v) else {
+        let Ok(pos_u) = self.neighbors(u).binary_search(&v) else {
             return false;
         };
-        self.adj[u as usize].remove(pos_u);
+        self.owned(u).remove(pos_u);
         // sd-lint: allow(no-panic) the adjacency is kept symmetric and v was found in adj[u]
-        let pos_v = self.adj[v as usize].binary_search(&u).expect("symmetric edge");
-        self.adj[v as usize].remove(pos_v);
+        let pos_v = self.neighbors(v).binary_search(&u).expect("symmetric edge");
+        self.owned(v).remove(pos_v);
         self.m -= 1;
         true
     }
@@ -163,7 +258,7 @@ impl DynamicGraph {
 
     /// Common neighbors of `u` and `v` (sorted merge).
     pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
-        let (a, b) = (&self.adj[u as usize], &self.adj[v as usize]);
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.len() && j < b.len() {
@@ -183,9 +278,8 @@ impl DynamicGraph {
     /// Snapshots to an immutable CSR graph.
     pub fn to_csr(&self) -> CsrGraph {
         let mut edges = Vec::with_capacity(self.m);
-        for (u, nbrs) in self.adj.iter().enumerate() {
-            let u = u as VertexId;
-            for &v in nbrs {
+        for u in 0..self.n() as VertexId {
+            for &v in self.neighbors(u) {
                 if u < v {
                     edges.push((u, v));
                 }
@@ -266,6 +360,59 @@ mod tests {
     fn update_endpoints_roundtrip() {
         assert_eq!(GraphUpdate::Insert { u: 3, v: 7 }.endpoints(), (3, 7));
         assert_eq!(GraphUpdate::Remove { u: 9, v: 2 }.endpoints(), (9, 2));
+    }
+
+    #[test]
+    fn cow_slots_share_base_storage_until_edited() {
+        let csr = std::sync::Arc::new(
+            GraphBuilder::new().extend_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).build(),
+        );
+        let mut g = DynamicGraph::from_base(csr.clone());
+        assert_eq!(g.cow_stats(), CowStats { shared: 4, owned: 0, owned_entries: 0 });
+        // Untouched slots serve the base CSR's slices verbatim.
+        for v in 0..4 {
+            assert_eq!(g.neighbors(v).as_ptr(), csr.neighbors(v).as_ptr(), "v={v}");
+        }
+        // Removing {2, 3} materializes exactly those two endpoints.
+        assert!(g.remove_edge(2, 3));
+        let stats = g.cow_stats();
+        assert_eq!((stats.shared, stats.owned), (2, 2));
+        assert!(g.is_cow_shared(0) && g.is_cow_shared(1));
+        assert!(!g.is_cow_shared(2) && !g.is_cow_shared(3));
+        assert_eq!(g.neighbors(0).as_ptr(), csr.neighbors(0).as_ptr(), "slot 0 still shared");
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn rebase_rearms_sharing_after_snapshot() {
+        let csr = GraphBuilder::new().extend_edges([(0, 1), (1, 2), (0, 2)]).build();
+        let mut g = DynamicGraph::from_csr(&csr);
+        g.insert_edge(0, 3);
+        g.insert_edge(2, 3);
+        assert!(g.cow_stats().owned > 0);
+        let snapshot = std::sync::Arc::new(g.to_csr());
+        g.rebase(snapshot.clone());
+        let stats = g.cow_stats();
+        assert_eq!((stats.owned, stats.shared), (0, 4), "all slots shared again");
+        for v in 0..4 {
+            assert_eq!(g.neighbors(v).as_ptr(), snapshot.neighbors(v).as_ptr(), "v={v}");
+        }
+        // Edits after the rebase still behave.
+        assert!(g.remove_edge(0, 3));
+        assert_eq!(g.to_csr().edges(), &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn cow_growth_past_base_range_reads_empty_and_materializes() {
+        let csr = std::sync::Arc::new(GraphBuilder::new().extend_edges([(0, 1)]).build());
+        let mut g = DynamicGraph::from_base(csr);
+        g.ensure_vertex(4);
+        assert_eq!(g.neighbors(4), &[] as &[VertexId], "past-base slot reads empty");
+        assert!(g.insert_edge(4, 0));
+        assert_eq!(g.neighbors(4), &[0]);
+        assert_eq!(g.neighbors(0), &[1, 4]);
+        assert!(g.is_cow_shared(1), "vertex 1 untouched by the edit");
     }
 
     #[test]

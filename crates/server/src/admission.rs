@@ -18,8 +18,19 @@
 //! The decisions live here as pure functions over sampled pressure
 //! values so they are testable without sockets; the server samples the
 //! pressures and maps rejections onto [`OverloadInfo`] frames.
+//!
+//! The `retry_after_ms` hint is **scaled by the shedding resource**, not
+//! a flat constant: a client shed behind a 40-deep build queue is told to
+//! stay away roughly as long as that queue takes to drain, while one shed
+//! at the connection limit retries after the base interval. A flat hint
+//! makes every well-behaved client stampede back in lockstep at the same
+//! instant, re-creating the overload it was shed for.
 
 use crate::proto::{OverloadInfo, OverloadReason};
+
+/// Hints never exceed this, however deep the backlog — a client told to
+/// stay away longer than this would be better served by giving up.
+pub const RETRY_AFTER_CAP_MS: u32 = 5_000;
 
 /// Admission thresholds; crossing any of them sheds with the matching
 /// [`OverloadReason`].
@@ -30,26 +41,47 @@ pub struct AdmissionLimits {
     /// Most queued (not yet running) worker-pool jobs a query frame may
     /// be admitted behind.
     pub max_build_queue: usize,
-    /// Retry hint attached to every shed, in milliseconds.
+    /// Base retry hint, in milliseconds: the floor every scaled hint
+    /// starts from.
     pub retry_after_ms: u32,
+    /// Estimated drain time per queued worker-pool job, in milliseconds —
+    /// the scale factor for build-queue sheds. The default is a smoke-
+    /// graph index build; deployments serving larger graphs should raise
+    /// it toward their observed mean build time.
+    pub build_drain_ms_per_job: u32,
 }
 
 impl Default for AdmissionLimits {
     fn default() -> Self {
-        AdmissionLimits { max_connections: 256, max_build_queue: 64, retry_after_ms: 50 }
+        AdmissionLimits {
+            max_connections: 256,
+            max_build_queue: 64,
+            retry_after_ms: 50,
+            build_drain_ms_per_job: 4,
+        }
     }
 }
 
 impl AdmissionLimits {
     /// Decides whether a fresh connection may be admitted given the
     /// current open-connection count (the new one not yet counted).
+    ///
+    /// The hint grows with the overshoot: at the limit it is the base
+    /// interval (slots turn over as clients disconnect), and each
+    /// connection *beyond* the limit adds another base interval — the
+    /// line in front of the door, not just the closed door.
     pub fn admit_connection(&self, active: usize) -> Result<(), OverloadInfo> {
         if active >= self.max_connections {
+            let overshoot = (active - self.max_connections) as u64;
             return Err(OverloadInfo {
                 reason: OverloadReason::Connections,
                 measured: active as u64,
                 limit: self.max_connections as u64,
-                retry_after_ms: self.retry_after_ms,
+                retry_after_ms: scaled_hint(
+                    self.retry_after_ms,
+                    1 + overshoot,
+                    u64::from(self.retry_after_ms),
+                ),
             });
         }
         Ok(())
@@ -57,27 +89,46 @@ impl AdmissionLimits {
 
     /// Decides whether a query frame may be admitted given the routed
     /// tenant's sampled worker-pool backlog.
+    ///
+    /// The hint is the backlog's estimated drain time — queue depth ×
+    /// [`Self::build_drain_ms_per_job`], floored at the base interval —
+    /// so clients spread their retries over the drain window instead of
+    /// re-colliding after a constant 50 ms.
     pub fn admit_query(&self, queued_jobs: usize) -> Result<(), OverloadInfo> {
         if queued_jobs > self.max_build_queue {
             return Err(OverloadInfo {
                 reason: OverloadReason::BuildQueue,
                 measured: queued_jobs as u64,
                 limit: self.max_build_queue as u64,
-                retry_after_ms: self.retry_after_ms,
+                retry_after_ms: scaled_hint(
+                    self.retry_after_ms,
+                    queued_jobs as u64,
+                    u64::from(self.build_drain_ms_per_job),
+                ),
             });
         }
         Ok(())
     }
 
-    /// Maps a batcher queue-full rejection onto the wire shed type.
+    /// Maps a batcher queue-full rejection onto the wire shed type. The
+    /// hint scales with how far over the accumulator cap the queue is:
+    /// one base interval per whole multiple of the cap (a queue at 2× its
+    /// cap needs two windows' worth of flushes to drain).
     pub fn queue_full(&self, rejection: crate::batch::QueueFull) -> OverloadInfo {
+        let ratio = rejection.pending.div_ceil(rejection.limit.max(1));
         OverloadInfo {
             reason: OverloadReason::QueryQueue,
             measured: rejection.pending,
             limit: rejection.limit,
-            retry_after_ms: self.retry_after_ms,
+            retry_after_ms: scaled_hint(self.retry_after_ms, ratio, u64::from(self.retry_after_ms)),
         }
     }
+}
+
+/// `max(base, units × per_unit_ms)`, capped at [`RETRY_AFTER_CAP_MS`].
+fn scaled_hint(base_ms: u32, units: u64, per_unit_ms: u64) -> u32 {
+    let scaled = units.saturating_mul(per_unit_ms).min(u64::from(RETRY_AFTER_CAP_MS)) as u32;
+    scaled.max(base_ms).min(RETRY_AFTER_CAP_MS)
 }
 
 #[cfg(test)]
@@ -103,7 +154,33 @@ mod tests {
         assert!(limits.admit_query(4).is_ok(), "at the threshold still admits");
         let shed = limits.admit_query(5).expect_err("above the threshold");
         assert_eq!(shed.reason, OverloadReason::BuildQueue);
-        assert_eq!((shed.measured, shed.limit, shed.retry_after_ms), (5, 4, 9));
+        // 5 queued jobs × 4 ms/job estimated drain beats the 9 ms base.
+        assert_eq!((shed.measured, shed.limit, shed.retry_after_ms), (5, 4, 20));
+    }
+
+    #[test]
+    fn build_queue_hint_scales_with_depth_and_caps() {
+        let limits = AdmissionLimits { max_build_queue: 4, ..Default::default() };
+        let shallow = limits.admit_query(5).expect_err("just over");
+        let deep = limits.admit_query(400).expect_err("deep backlog");
+        assert!(
+            deep.retry_after_ms > shallow.retry_after_ms,
+            "deeper backlog must push clients further away: {} vs {}",
+            deep.retry_after_ms,
+            shallow.retry_after_ms
+        );
+        assert_eq!(deep.retry_after_ms, 1_600, "400 jobs × 4 ms/job");
+        let absurd = limits.admit_query(10_000_000).expect_err("bounded hint");
+        assert_eq!(absurd.retry_after_ms, RETRY_AFTER_CAP_MS);
+    }
+
+    #[test]
+    fn connection_hint_grows_past_the_limit() {
+        let limits = AdmissionLimits { max_connections: 2, ..AdmissionLimits::default() };
+        let at_limit = limits.admit_connection(2).expect_err("at the limit");
+        assert_eq!(at_limit.retry_after_ms, 50, "no overshoot: base interval");
+        let over = limits.admit_connection(5).expect_err("past the limit");
+        assert_eq!(over.retry_after_ms, 200, "3 over the limit: 4 base intervals");
     }
 
     #[test]
@@ -111,6 +188,8 @@ mod tests {
         let limits = AdmissionLimits { retry_after_ms: 25, ..Default::default() };
         let info = limits.queue_full(QueueFull { pending: 17, limit: 16 });
         assert_eq!(info.reason, OverloadReason::QueryQueue);
-        assert_eq!((info.measured, info.limit, info.retry_after_ms), (17, 16, 25));
+        // Two whole multiples of the cap pending (ceil 17/16) → two base
+        // intervals.
+        assert_eq!((info.measured, info.limit, info.retry_after_ms), (17, 16, 50));
     }
 }

@@ -14,9 +14,21 @@
 //! connection leading batches for everyone else, and no parked query
 //! ever waits for a fresh arrival to wake the accumulator.
 //!
-//! Deadlines are enforced at flush time: a query whose deadline passed
-//! while parked is answered [`BatchReply::Expired`] without running, and
-//! its frame-mates still run — the partial-batch contract.
+//! Deadlines cap the leader's wait: the window is shortened to the
+//! earliest pending deadline (less a small execution margin), so a query
+//! whose `deadline_ms` is shorter than the batch window is flushed early
+//! and *runs* instead of expiring while the leader sleeps. The cap is
+//! computed when the leader starts waiting — a shorter-deadline query
+//! arriving mid-sleep still waits out the current wait (bounded by the
+//! window, so never worse than the pre-cap behavior). A query whose
+//! deadline nevertheless passed while parked is answered
+//! [`BatchReply::Expired`] without running, and its frame-mates still
+//! run — the partial-batch contract.
+//!
+//! Frames can carry a **liveness probe** ([`Batcher::submit_many_live`]):
+//! at dequeue time, just before execution, queries whose connection has
+//! already closed are dropped ([`BatchReply::Dropped`]) so a dead
+//! client's queries don't occupy `top_r_many` batch slots.
 //!
 //! A batch executes all-or-nothing inside the service (`top_r_many`
 //! surfaces the first per-query error as a batch error), which must not
@@ -67,11 +79,25 @@ pub enum BatchReply {
     Failed(SearchError),
     /// The deadline passed before the query ran.
     Expired,
+    /// The submitting connection was found dead at dequeue time; the
+    /// query was dropped without running.
+    Dropped,
 }
+
+/// A dequeue-time connection-liveness check: returns `false` once the
+/// submitting connection is known dead (peer closed / socket error), at
+/// which point its parked queries are dropped instead of executed.
+pub type LivenessProbe = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// Margin subtracted from a pending deadline when capping the leader's
+/// wait, so the flush leaves the query time to actually execute instead
+/// of waking exactly as it expires.
+const DEADLINE_FLUSH_MARGIN: Duration = Duration::from_millis(5);
 
 struct Pending {
     spec: QuerySpec,
     deadline: Option<Instant>,
+    alive: Option<LivenessProbe>,
     reply: Sender<BatchReply>,
 }
 
@@ -94,6 +120,9 @@ pub struct BatchStats {
     pub expired: u64,
     /// Queries shed because the accumulator was full.
     pub shed_queue_full: u64,
+    /// Queries dropped at dequeue time because their connection had
+    /// already closed.
+    pub dropped_disconnected: u64,
 }
 
 /// The typed queue-full rejection [`Batcher::submit_many`] sheds with.
@@ -114,6 +143,7 @@ pub struct Batcher {
     batches_executed: AtomicU64,
     expired: AtomicU64,
     shed_queue_full: AtomicU64,
+    dropped_disconnected: AtomicU64,
 }
 
 impl Batcher {
@@ -127,6 +157,7 @@ impl Batcher {
             batches_executed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
+            dropped_disconnected: AtomicU64::new(0),
         }
     }
 
@@ -137,6 +168,7 @@ impl Batcher {
             batches_executed: self.batches_executed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
         }
     }
 
@@ -156,6 +188,20 @@ impl Batcher {
         specs: Vec<QuerySpec>,
         deadline: Option<Instant>,
     ) -> Result<Vec<BatchReply>, QueueFull> {
+        self.submit_many_live(service, specs, deadline, None)
+    }
+
+    /// As [`Self::submit_many`], additionally attaching a connection
+    /// liveness probe to the frame: if `alive` reports `false` when the
+    /// batch is dequeued, the frame's queries are answered
+    /// [`BatchReply::Dropped`] without occupying execution slots.
+    pub fn submit_many_live(
+        self: &Arc<Self>,
+        service: &Arc<SearchService>,
+        specs: Vec<QuerySpec>,
+        deadline: Option<Instant>,
+        alive: Option<LivenessProbe>,
+    ) -> Result<Vec<BatchReply>, QueueFull> {
         if specs.is_empty() {
             return Ok(Vec::new());
         }
@@ -172,7 +218,7 @@ impl Batcher {
             }
             for spec in specs {
                 let (tx, rx) = unbounded();
-                state.pending.push(Pending { spec, deadline, reply: tx });
+                state.pending.push(Pending { spec, deadline, alive: alive.clone(), reply: tx });
                 receivers.push(rx);
             }
             if state.leader_active {
@@ -195,12 +241,15 @@ impl Batcher {
             .collect())
     }
 
-    /// Leader duty: wait the window, flush once, then either resign (if
-    /// the accumulator emptied) or hand leadership to a worker-pool
-    /// continuation for the next flush.
+    /// Leader duty: wait the window — capped at the earliest pending
+    /// deadline, so short-deadline queries flush early instead of
+    /// expiring — flush once, then either resign (if the accumulator
+    /// emptied) or hand leadership to a worker-pool continuation for the
+    /// next flush.
     fn lead(self: &Arc<Self>, service: &Arc<SearchService>) {
-        if !self.limits.window.is_zero() {
-            std::thread::sleep(self.limits.window);
+        let wait = self.window_capped_by_deadlines();
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
         }
         let batch = {
             let mut state = self.state.lock(); // lock: server.batch
@@ -225,12 +274,46 @@ impl Batcher {
         }
     }
 
-    /// Flushes one drained batch: expire, execute, deliver.
+    /// The leader's wait: the batch window, shortened to the earliest
+    /// pending deadline minus [`DEADLINE_FLUSH_MARGIN`] (floored at
+    /// zero — an already-tight deadline flushes immediately). Computed
+    /// once when the leader starts waiting; a shorter-deadline arrival
+    /// mid-sleep waits out the current wait, which the window bounds.
+    fn window_capped_by_deadlines(&self) -> Duration {
+        let window = self.limits.window;
+        if window.is_zero() {
+            return window;
+        }
+        let earliest = {
+            let state = self.state.lock(); // lock: server.batch
+            state.pending.iter().filter_map(|p| p.deadline).min()
+        };
+        match earliest {
+            Some(deadline) => window.min(
+                deadline
+                    .saturating_duration_since(Instant::now())
+                    .saturating_sub(DEADLINE_FLUSH_MARGIN),
+            ),
+            None => window,
+        }
+    }
+
+    /// Flushes one drained batch: drop dead connections, expire, execute,
+    /// deliver.
     fn execute(&self, service: &Arc<SearchService>, batch: Vec<Pending>) {
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
         let mut expired = 0u64;
+        let mut dropped = 0u64;
         for entry in batch {
+            // Liveness first: a dead connection's query is dropped, not
+            // expired — nobody is parked on the reply of a closed socket
+            // for long, but the execution slot matters.
+            if entry.alive.as_ref().is_some_and(|alive| !alive()) {
+                dropped += 1;
+                let _ = entry.reply.send(BatchReply::Dropped);
+                continue;
+            }
             match entry.deadline {
                 Some(d) if d <= now => {
                     expired += 1;
@@ -239,8 +322,9 @@ impl Batcher {
                 _ => live.push(entry),
             }
         }
-        self.queries_batched.fetch_add(live.len() as u64 + expired, Ordering::Relaxed);
+        self.queries_batched.fetch_add(live.len() as u64 + expired + dropped, Ordering::Relaxed);
         self.expired.fetch_add(expired, Ordering::Relaxed);
+        self.dropped_disconnected.fetch_add(dropped, Ordering::Relaxed);
         if live.is_empty() {
             return;
         }
@@ -370,6 +454,53 @@ mod tests {
         let ran = follower.join().expect("join").expect("admitted");
         assert!(matches!(ran[0], BatchReply::Answered { .. }), "got {ran:?}");
         assert_eq!(tenant.batcher.stats().expired, 1);
+    }
+
+    /// Regression: the leader used to sleep the *full* window and only
+    /// then enforce deadlines, so any query with `deadline_ms` shorter
+    /// than the remaining window was answered `Expired` without ever
+    /// running. Against that code this test fails (reply is `Expired`
+    /// after ~300 ms); with the deadline-capped wait the flush happens
+    /// before the deadline and the query runs.
+    #[test]
+    fn short_deadline_flushes_early_instead_of_expiring() {
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::from_millis(300), max_pending: 8 });
+        let spec = QuerySpec::new(3, 2).expect("spec").with_engine(EngineKind::Online);
+        let deadline = Instant::now() + Duration::from_millis(60);
+        let start = Instant::now();
+        let replies =
+            tenant.batcher.submit_many(&svc, vec![spec], Some(deadline)).expect("admitted");
+        assert!(
+            matches!(replies[0], BatchReply::Answered { .. }),
+            "a deadline shorter than the window must flush early and run, got {replies:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(300),
+            "flush must not wait out the full window"
+        );
+        assert_eq!(tenant.batcher.stats().expired, 0);
+    }
+
+    #[test]
+    fn dead_connections_queries_are_dropped_at_dequeue() {
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::ZERO, max_pending: 8 });
+        let spec = QuerySpec::new(3, 2).expect("spec");
+        let dead: LivenessProbe = Arc::new(|| false);
+        let replies = tenant
+            .batcher
+            .submit_many_live(&svc, vec![spec, spec], None, Some(dead))
+            .expect("admitted");
+        assert!(replies.iter().all(|r| matches!(r, BatchReply::Dropped)), "got {replies:?}");
+        let stats = tenant.batcher.stats();
+        assert_eq!(stats.dropped_disconnected, 2);
+        assert_eq!(stats.batches_executed, 0, "nothing ran for the dead connection");
+        // A live probe executes normally.
+        let alive: LivenessProbe = Arc::new(|| true);
+        let replies =
+            tenant.batcher.submit_many_live(&svc, vec![spec], None, Some(alive)).expect("admitted");
+        assert!(matches!(replies[0], BatchReply::Answered { .. }), "got {replies:?}");
     }
 
     #[test]

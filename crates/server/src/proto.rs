@@ -49,8 +49,10 @@ use sd_graph::GraphUpdate;
 pub const WIRE_MAGIC: u32 = 0x5344_5250;
 
 /// Current protocol version. Decoding rejects any other value with
-/// [`WireError::UnsupportedVersion`].
-pub const WIRE_VERSION: u16 = 1;
+/// [`WireError::UnsupportedVersion`]. Version 2 widened the `StatsOk`
+/// payload: tenant scope gained `hybrid_carries`/`gct_repairs`, server
+/// scope gained `dropped_disconnected`.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Fixed size of the frame header preceding the payload.
 pub const FRAME_HEADER_BYTES: usize = 40;
@@ -803,7 +805,7 @@ impl UpdateResponse {
     }
 }
 
-/// Server-scope counters inside [`StatsResponse::Server`] — 9 × `u64`
+/// Server-scope counters inside [`StatsResponse::Server`] — 10 × `u64`
 /// after the scope byte.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStatsWire {
@@ -822,6 +824,9 @@ pub struct ServerStatsWire {
     pub batches_executed: u64,
     /// Requests shed by admission control (all reasons).
     pub shed_overload: u64,
+    /// Batched queries discarded at dequeue because their connection had
+    /// already closed.
+    pub dropped_disconnected: u64,
     /// Worker threads alive in the process-wide pool.
     pub pool_threads: u64,
     /// Jobs queued (not yet running) in the process-wide pool.
@@ -852,6 +857,10 @@ pub struct TenantStatsWire {
     pub updates_applied: u64,
     /// Epochs whose TSD index was carried incrementally.
     pub incremental_tsd_carries: u64,
+    /// Hybrid engines rebuilt inline from a carried TSD index.
+    pub hybrid_carries: u64,
+    /// GCT entries repaired in place across epoch publishes.
+    pub gct_repairs: u64,
     /// Queries answered through the parallel fan-out path.
     pub parallel_queries: u64,
     /// Worker threads alive in the tenant's pool.
@@ -885,6 +894,7 @@ impl StatsResponse {
                     s.queries_batched,
                     s.batches_executed,
                     s.shed_overload,
+                    s.dropped_disconnected,
                     s.pool_threads,
                     s.pool_queued_jobs,
                 ] {
@@ -905,6 +915,8 @@ impl StatsResponse {
                     t.epochs,
                     t.updates_applied,
                     t.incremental_tsd_carries,
+                    t.hybrid_carries,
+                    t.gct_repairs,
                     t.parallel_queries,
                     t.pool_threads,
                 ] {
@@ -922,7 +934,7 @@ impl StatsResponse {
         need(&buf, 1)?;
         match buf.get_u8() {
             0 => {
-                need(&buf, 9 * 8)?;
+                need(&buf, 10 * 8)?;
                 let s = StatsResponse::Server(ServerStatsWire {
                     tenants: buf.get_u64_le(),
                     active_connections: buf.get_u64_le(),
@@ -931,6 +943,7 @@ impl StatsResponse {
                     queries_batched: buf.get_u64_le(),
                     batches_executed: buf.get_u64_le(),
                     shed_overload: buf.get_u64_le(),
+                    dropped_disconnected: buf.get_u64_le(),
                     pool_threads: buf.get_u64_le(),
                     pool_queued_jobs: buf.get_u64_le(),
                 });
@@ -938,7 +951,7 @@ impl StatsResponse {
                 Ok(s)
             }
             1 => {
-                need(&buf, 18 * 8)?;
+                need(&buf, 20 * 8)?;
                 let fingerprint = GraphFingerprint {
                     n: buf.get_u64_le(),
                     m: buf.get_u64_le(),
@@ -954,6 +967,8 @@ impl StatsResponse {
                     epochs: buf.get_u64_le(),
                     updates_applied: buf.get_u64_le(),
                     incremental_tsd_carries: buf.get_u64_le(),
+                    hybrid_carries: buf.get_u64_le(),
+                    gct_repairs: buf.get_u64_le(),
                     parallel_queries: buf.get_u64_le(),
                     pool_threads: buf.get_u64_le(),
                     queries_by_engine: [0; 5],
@@ -1121,6 +1136,7 @@ mod tests {
                 queries_batched: 340,
                 batches_executed: 41,
                 shed_overload: 3,
+                dropped_disconnected: 2,
                 pool_threads: 8,
                 pool_queued_jobs: 0,
             })),
@@ -1134,6 +1150,8 @@ mod tests {
                 epochs: 6,
                 updates_applied: 44,
                 incremental_tsd_carries: 6,
+                hybrid_carries: 4,
+                gct_repairs: 39,
                 parallel_queries: 70,
                 pool_threads: 4,
                 queries_by_engine: [1, 2, 3, 4, 5],

@@ -38,7 +38,7 @@ use sd_core::lock_order::SERVER_CONNS;
 use sd_core::SearchError;
 
 use crate::admission::AdmissionLimits;
-use crate::batch::BatchReply;
+use crate::batch::{BatchReply, LivenessProbe};
 use crate::proto::{
     server_scope, ErrorCode, ErrorResponse, Frame, QueryOutcome, QueryRequest, QueryResponse,
     Request, Response, ServerStatsWire, StatsResponse, TenantStatsWire, UpdateResponse,
@@ -346,9 +346,32 @@ fn write_frame(mut stream: &TcpStream, frame: &Frame) -> bool {
     io::Write::write_all(&mut stream, frame.encode().as_ref()).is_ok()
 }
 
+/// Builds a dequeue-time liveness probe for a connection's batched
+/// queries: a nonblocking `peek` on a dup of the socket. `Ok(0)` is an
+/// orderly shutdown from the peer; buffered bytes or `WouldBlock` mean
+/// the peer is still there. The toggle is safe because the probe only
+/// runs while this connection's own thread is parked inside the batcher
+/// — it cannot be mid-`read` on the same socket.
+fn liveness_probe(stream: &TcpStream) -> Option<LivenessProbe> {
+    let probe = stream.try_clone().ok()?;
+    Some(Arc::new(move || {
+        if probe.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let alive = match probe.peek(&mut [0u8; 1]) {
+            Ok(0) => false,
+            Ok(_) => true,
+            Err(e) => e.kind() == io::ErrorKind::WouldBlock,
+        };
+        let _ = probe.set_nonblocking(false);
+        alive
+    }))
+}
+
 fn connection_loop(mut stream: TcpStream, conn_id: u64, shared: Arc<ServerShared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let alive = liveness_probe(&stream);
     loop {
         let mut header_bytes = [0u8; FRAME_HEADER_BYTES];
         if matches!(read_full(&mut stream, &shared, &mut header_bytes, true), ReadOutcome::Closed) {
@@ -374,7 +397,7 @@ fn connection_loop(mut stream: TcpStream, conn_id: u64, shared: Arc<ServerShared
             break;
         }
         let frame = Frame::new(header.verb, header.fingerprint, Bytes::from(payload));
-        let (response, close_after) = dispatch(&shared, &frame);
+        let (response, close_after) = dispatch(&shared, &frame, alive.as_ref());
         shared.requests_served.fetch_add(1, Ordering::Relaxed);
         if !write_frame(&stream, &response.to_frame(header.fingerprint)) {
             break;
@@ -388,7 +411,11 @@ fn connection_loop(mut stream: TcpStream, conn_id: u64, shared: Arc<ServerShared
 
 /// Handles one fully received frame. Returns the response and whether
 /// the connection must close afterwards.
-fn dispatch(shared: &ServerShared, frame: &Frame) -> (Response, bool) {
+fn dispatch(
+    shared: &ServerShared,
+    frame: &Frame,
+    alive: Option<&LivenessProbe>,
+) -> (Response, bool) {
     let request = match Request::from_frame(frame) {
         Ok(request) => request,
         Err(err) => {
@@ -402,7 +429,7 @@ fn dispatch(shared: &ServerShared, frame: &Frame) -> (Response, bool) {
         }
     };
     match request {
-        Request::Query(query) => (handle_query(shared, frame, query), false),
+        Request::Query(query) => (handle_query(shared, frame, query, alive), false),
         Request::Update(update) => (handle_update(shared, frame, update.updates), false),
         Request::Stats => (handle_stats(shared, frame), false),
         Request::Shutdown => {
@@ -430,7 +457,12 @@ fn error_code_of(err: &SearchError) -> ErrorCode {
     }
 }
 
-fn handle_query(shared: &ServerShared, frame: &Frame, query: QueryRequest) -> Response {
+fn handle_query(
+    shared: &ServerShared,
+    frame: &Frame,
+    query: QueryRequest,
+    alive: Option<&LivenessProbe>,
+) -> Response {
     let Some(tenant) = shared.registry.lookup(&frame.fingerprint) else {
         return unknown_tenant(frame);
     };
@@ -461,13 +493,14 @@ fn handle_query(shared: &ServerShared, frame: &Frame, query: QueryRequest) -> Re
             })),
         }
     }
-    let replies = match tenant.batcher.submit_many(&tenant.service, specs, deadline) {
-        Ok(replies) => replies,
-        Err(full) => {
-            shared.shed_overload.fetch_add(1, Ordering::Relaxed);
-            return Response::Overloaded(shared.admission.queue_full(full));
-        }
-    };
+    let replies =
+        match tenant.batcher.submit_many_live(&tenant.service, specs, deadline, alive.cloned()) {
+            Ok(replies) => replies,
+            Err(full) => {
+                shared.shed_overload.fetch_add(1, Ordering::Relaxed);
+                return Response::Overloaded(shared.admission.queue_full(full));
+            }
+        };
     let mut epoch = None;
     for (slot, reply) in spec_slots.into_iter().zip(replies) {
         outcomes[slot] = Some(match reply {
@@ -479,6 +512,12 @@ fn handle_query(shared: &ServerShared, frame: &Frame, query: QueryRequest) -> Re
                 QueryOutcome::Failed { code: error_code_of(&err), message: err.to_string() }
             }
             BatchReply::Expired => QueryOutcome::Expired,
+            // The peer is gone; nobody will read this response. Any
+            // outcome works — Failed keeps the slot accounted for.
+            BatchReply::Dropped => QueryOutcome::Failed {
+                code: ErrorCode::Internal,
+                message: "connection closed before the query ran".into(),
+            },
         });
     }
     let outcomes = outcomes
@@ -540,6 +579,8 @@ fn handle_stats(shared: &ServerShared, frame: &Frame) -> Response {
         epochs: stats.epochs as u64,
         updates_applied: stats.updates_applied as u64,
         incremental_tsd_carries: stats.incremental_tsd_carries as u64,
+        hybrid_carries: stats.hybrid_carries as u64,
+        gct_repairs: stats.gct_repairs as u64,
         parallel_queries: stats.parallel_queries as u64,
         pool_threads: stats.pool_threads as u64,
         queries_by_engine: stats.queries_by_engine.map(|c| c as u64),
@@ -550,6 +591,7 @@ fn server_stats(shared: &ServerShared) -> ServerStatsWire {
     let mut queries_batched = 0u64;
     let mut batches_executed = 0u64;
     let mut shed_queue_full = 0u64;
+    let mut dropped_disconnected = 0u64;
     // Walking tenants under the routing-table read lock while each
     // batcher snapshot runs is the documented
     // `server.tenants → epoch.ptr`-compatible nesting (batcher stats are
@@ -559,6 +601,7 @@ fn server_stats(shared: &ServerShared) -> ServerStatsWire {
         queries_batched += stats.queries_batched;
         batches_executed += stats.batches_executed;
         shed_queue_full += stats.shed_queue_full;
+        dropped_disconnected += stats.dropped_disconnected;
     });
     let pool = sd_core::pool::global();
     ServerStatsWire {
@@ -569,6 +612,7 @@ fn server_stats(shared: &ServerShared) -> ServerStatsWire {
         queries_batched,
         batches_executed,
         shed_overload: shared.shed_overload.load(Ordering::Relaxed) + shed_queue_full,
+        dropped_disconnected,
         pool_threads: pool.spawned_threads() as u64,
         pool_queued_jobs: pool.queued_jobs() as u64,
     }

@@ -263,6 +263,31 @@ fn full_query_queue_sheds_whole_frames_with_typed_overloaded_frame() {
 }
 
 #[test]
+fn short_deadline_is_answered_by_an_early_flush_not_expired() {
+    // A 30 ms deadline against a 300 ms batch window: the leader caps its
+    // wait at the deadline, so the query is *answered* well before the
+    // window would have elapsed. (Before the cap existed, this frame was
+    // answered `Expired` without ever running.)
+    let (server, keys) = start(
+        BatchLimits { window: Duration::from_millis(300), ..BatchLimits::default() },
+        AdmissionLimits::default(),
+        vec![figure1_service()],
+    );
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let started = std::time::Instant::now();
+    let resp = client.query(keys[0], 30, vec![WireQuery::new(3, 2)]).expect("admitted");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(resp.outcomes[0], QueryOutcome::Answered(_)),
+        "short deadline must run, got {:?}",
+        resp.outcomes
+    );
+    assert!(elapsed < Duration::from_millis(290), "flush was capped, not the full window");
+    let report = server.shutdown();
+    assert!(report.within_grace);
+}
+
+#[test]
 fn expired_deadline_yields_partial_batch_not_a_drop() {
     let (server, keys) = start(
         BatchLimits { window: Duration::from_millis(150), ..BatchLimits::default() },
@@ -271,25 +296,29 @@ fn expired_deadline_yields_partial_batch_not_a_drop() {
     );
     let addr = server.local_addr();
     let key = keys[0];
-    // Frame A: 1 ms deadline against a 150 ms batch window — expired by
-    // flush time.
-    let doomed = std::thread::spawn(move || {
+    // Frame A: no deadline — its leader commits to the full 150 ms
+    // window before frame B exists.
+    let lively = std::thread::spawn(move || {
         let mut client = Client::connect(addr).expect("connect");
-        client.query(key, 1, vec![WireQuery::new(3, 2), WireQuery::new(3, 3)]).expect("admitted")
+        client.query(key, 0, vec![WireQuery::new(3, 2)]).expect("admitted")
     });
     std::thread::sleep(Duration::from_millis(40));
-    // Frame B: no deadline, coalesces behind A and runs normally.
+    // Frame B: 1 ms deadline, coalescing behind A mid-sleep. The
+    // leader's wait was capped before B arrived (the documented
+    // mid-sleep-arrival limitation), so B is past its deadline at flush
+    // — expired per-entry, never dropping its batch mates.
     let mut client = Client::connect(addr).expect("connect");
-    let lively = client.query(key, 0, vec![WireQuery::new(3, 2)]).expect("admitted");
+    let resp =
+        client.query(key, 1, vec![WireQuery::new(3, 2), WireQuery::new(3, 3)]).expect("admitted");
 
-    let resp = doomed.join().expect("doomed thread");
     assert_eq!(resp.outcomes.len(), 2, "expired queries still get outcome slots");
     assert!(
         resp.outcomes.iter().all(|o| matches!(o, QueryOutcome::Expired)),
         "got {:?}",
         resp.outcomes
     );
-    assert!(matches!(lively.outcomes[0], QueryOutcome::Answered(_)), "mate frame ran");
+    let mate = lively.join().expect("lively thread");
+    assert!(matches!(mate.outcomes[0], QueryOutcome::Answered(_)), "mate frame ran");
     let report = server.shutdown();
     assert!(report.within_grace);
 }

@@ -300,6 +300,50 @@ fn concurrent_updaters_serialize_without_losing_updates() {
     assert_eq!(live.top_r(&spec).unwrap().scores(), control.top_r(&spec).unwrap().scores());
 }
 
+/// The 0.9 carry paths, end to end: after a *warm* update (every engine
+/// built before the batch), the publish carries TSD incrementally,
+/// repairs GCT in place, rebuilds Hybrid inline from the carried index —
+/// and enqueues **no** background rebuild. The retained updater's COW
+/// graph must share adjacency storage with the published epoch (pointer
+/// probe through `updater_cow`, not just behavioral equality).
+#[test]
+fn warm_updates_carry_every_engine_without_background_rebuilds() {
+    let live = SearchService::new(sample_graph());
+    live.wait_ready(EngineKind::ALL);
+    let before = live.stats();
+    let grown = live.graph().n() as u32; // fresh vertex: the insert always applies
+
+    let stats = live.apply_updates(&[GraphUpdate::Insert { u: 0, v: grown }]).expect("apply");
+    assert_eq!(stats.applied, 1);
+    assert!(stats.tsd_carried, "warm TSD must carry");
+    assert!(stats.gct_carried, "warm GCT must repair in place");
+    assert!(stats.hybrid_carried, "warm Hybrid must rebuild inline from the carried TSD");
+    assert!(stats.gct_repairs > 0, "the touched egos were re-decomposed");
+
+    let after = live.stats();
+    assert!(after.hybrid_carries > before.hybrid_carries, "carry counter must tick");
+    assert!(after.gct_repairs > before.gct_repairs, "repair counter must tick");
+    assert_eq!(
+        after.background_builds, before.background_builds,
+        "a fully-warm publish must not enqueue any background rebuild"
+    );
+
+    // COW probe: the retained updater was rebased onto the published CSR,
+    // so every adjacency slot aliases the epoch's storage and none is
+    // owned — the ~2× update-session copy is gone.
+    let cow = live.updater_cow().expect("updater state is retained across publishes");
+    assert!(cow.aliases_current_epoch, "updater adjacency must alias the published epoch");
+    assert_eq!(cow.stats.owned, 0, "no overlay slot is materialized right after a publish");
+    assert!(cow.stats.shared > 0, "the shared slots are the epoch's own rows");
+
+    // The carried engines actually serve.
+    for kind in [EngineKind::Tsd, EngineKind::Gct, EngineKind::Hybrid] {
+        let spec = QuerySpec::new(3, 5).unwrap().with_engine(kind);
+        let served = live.top_r(&spec).expect("carried engine answers");
+        assert_eq!(served.metrics.engine, kind.name(), "{kind} must serve through its own engine");
+    }
+}
+
 /// A batch must not be empty, and stale-epoch index blobs must be refused
 /// once any update publishes — the cross-epoch fingerprint discipline.
 #[test]
