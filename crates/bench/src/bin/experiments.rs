@@ -5,10 +5,10 @@
 //!
 //! <name>   one of: table1 fig3 table2 fig8 fig9 fig10 table3 table4
 //!          fig11 fig12 fig13 fig14 fig15 table5 case-study fig18 all,
-//!          or `bench-json` (the CI perf-smoke mode: writes BENCH_pr8.json)
+//!          or `bench-json` (the CI perf-smoke mode: writes the committed BENCH_prN.json baseline)
 //!          or `bench-compare` (re-measures, prints the bench/history
 //!          trajectory, and fails on >2x regression against the
-//!          committed BENCH_pr8.json)
+//!          committed BENCH_prN.json baseline)
 //! --scale  dataset scale in (0, 1]   (default 0.25)
 //! --mc     Monte-Carlo cascade samples (default 2000; paper used 10000)
 //! --seed   RNG seed for effectiveness experiments (default 0xD1CE)

@@ -315,7 +315,7 @@ pub fn fig12(ctx: &ExpContext) {
 /// `bench-compare`). Committed to the repo per PR, so the bench trajectory
 /// is part of history rather than an artifact that evaporates with CI
 /// retention.
-pub const BENCH_OUT: &str = "BENCH_pr9.json";
+pub const BENCH_OUT: &str = "BENCH_pr10.json";
 
 /// Where superseded datapoints retire to. When a PR renames [`BENCH_OUT`],
 /// the previous file moves here instead of being deleted, and
@@ -444,11 +444,9 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
     // serving overhead the front-end adds.
     let registry = Arc::new(sd_server::TenantRegistry::new(sd_server::BatchLimits::default()));
     let tenant_key = registry.register(Arc::clone(&service)).expect("fresh registry");
-    let server = sd_server::Server::start(
-        sd_server::ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() },
-        registry,
-    )
-    .expect("bind loopback");
+    let server =
+        sd_server::Server::start(sd_server::ServerConfig::new().addr("127.0.0.1:0"), registry)
+            .expect("bind loopback");
     let mut client = sd_server::Client::connect(server.local_addr()).expect("connect loopback");
     let wire_query = sd_server::WireQuery { k: 4, r: 100.min(n) as u64, engine: EngineKind::Tsd };
     client.query(tenant_key, 0, vec![wire_query]).expect("warmup round trip");
@@ -459,12 +457,31 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
             assert_eq!(resp.outcomes.len(), 1, "single-query frame answers one slot");
         }
     });
-    drop(client);
-    server.shutdown();
     let round_trip_ms = wire_elapsed.as_secs_f64() * 1e3 / ROUND_TRIPS as f64;
 
+    // The PR-10 datapoint: the same round trip while 64 connections are
+    // held open against the readiness loop. The thread-per-connection
+    // design paid 64 stacks for this; the event-driven front-end pays two
+    // epoll sets, and this figure watches what that costs a single
+    // query's latency under connection pressure.
+    const CONCURRENT_CONNS: usize = 64;
+    let idle: Vec<sd_server::Client> = (1..CONCURRENT_CONNS)
+        .map(|_| sd_server::Client::connect(server.local_addr()).expect("concurrent connect"))
+        .collect();
+    client.query(tenant_key, 0, vec![wire_query]).expect("warmup under load");
+    let (_, concurrent_elapsed) = time_it(|| {
+        for _ in 0..ROUND_TRIPS {
+            let resp = client.query(tenant_key, 0, vec![wire_query]).expect("loaded round trip");
+            assert_eq!(resp.outcomes.len(), 1, "single-query frame answers one slot");
+        }
+    });
+    drop(idle);
+    drop(client);
+    server.shutdown();
+    let concurrent_ms = concurrent_elapsed.as_secs_f64() * 1e3 / ROUND_TRIPS as f64;
+
     format!(
-        "{{\n  \"schema\": \"sd-bench-smoke/5\",\n  \"dataset\": \"{}\",\n  \
+        "{{\n  \"schema\": \"sd-bench-smoke/6\",\n  \"dataset\": \"{}\",\n  \
          \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \"machine_cores\": {},\n  \
          \"build\": {{\n    \
          \"tsd_ms\": {:.3},\n    \"gct_ms\": {:.3},\n    \"hybrid_ms\": {:.3}\n  }},\n  \
@@ -476,7 +493,8 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
          \"batch_queries\": {},\n    \
          \"top_r_many_seq_ms\": {:.3},\n    \"top_r_many_pool4_ms\": {:.3},\n    \
          \"speedup_x\": {:.3}\n  }},\n  \"server\": {{\n    \
-         \"round_trips\": {},\n    \"wire_round_trip_ms\": {:.3}\n  }}\n}}\n",
+         \"round_trips\": {},\n    \"wire_round_trip_ms\": {:.3},\n    \
+         \"concurrent_conns\": {},\n    \"wire_concurrent_conns_ms\": {:.3}\n  }}\n}}\n",
         dataset.name,
         ctx.scale,
         sd_core::default_pool_threads(),
@@ -500,6 +518,8 @@ fn measure_bench_smoke(ctx: &ExpContext) -> String {
         speedup,
         ROUND_TRIPS,
         round_trip_ms,
+        CONCURRENT_CONNS,
+        concurrent_ms,
     )
 }
 

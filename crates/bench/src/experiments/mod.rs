@@ -90,7 +90,7 @@ pub fn run(name: &str, ctx: &ExpContext) -> bool {
         "case-study" => effectiveness::case_study(ctx),
         "fig18" => efficiency::fig18(ctx),
         // Not part of EXPERIMENTS (so `all` skips them): the CI perf-smoke
-        // datapoint (writes `BENCH_pr8.json` as a side effect) and the
+        // datapoint (writes the committed baseline as a side effect) and the
         // trend gate comparing a fresh measurement against the committed
         // one. CI runs `bench-compare` first — `bench-json` overwrites the
         // baseline it compares against.

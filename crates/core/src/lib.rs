@@ -58,6 +58,7 @@
 
 pub mod baselines;
 pub mod bound;
+pub mod cancel;
 pub mod config;
 pub mod dynamic;
 pub mod egonet;
@@ -78,6 +79,7 @@ pub mod topr;
 pub mod tsd;
 
 pub use bound::{sparsify, upper_bounds, BoundOptions, Sparsified};
+pub use cancel::CancelToken;
 pub use config::{DiversityConfig, SearchMetrics, TopREntry, TopRResult};
 pub use dynamic::DynamicTsd;
 pub use egonet::{AllEgoNetworks, EgoNetwork};

@@ -19,8 +19,9 @@
 //! | rank | class             | guards                                               |
 //! |------|-------------------|------------------------------------------------------|
 //! | 3    | `server.tenants`  | the `sd-server` tenant routing table                 |
-//! | 5    | `server.conns`    | the `sd-server` live-connection table                |
+//! | 5    | `server.io`       | one I/O-loop thread's command injection queue        |
 //! | 6    | `server.batch`    | one tenant's query-coalescing accumulator            |
+//! | 7    | `server.frame`    | one request frame's reply-aggregation slots          |
 //! | 8    | `server.inflight` | the per-epoch in-flight gauge draining consults      |
 //! | 10   | `svc.updater`     | the retained carry state (COW [`crate::dynamic::DynamicTsd`] + [`crate::gct::DynamicGct`]); serializes `apply_updates` |
 //! | 20   | `epoch.ptr`       | the serving-epoch pointer swap                       |
@@ -100,14 +101,23 @@ impl LockClass {
 /// [`GraphFingerprint`]: crate::GraphFingerprint
 pub const SERVER_TENANTS: LockClass = LockClass::new(3, "server.tenants");
 
-/// The `sd-server` live-connection table (admission counts and the
-/// force-close list graceful shutdown falls back to).
-pub const SERVER_CONNS: LockClass = LockClass::new(5, "server.conns");
+/// One `sd-server` I/O-loop thread's command injection queue: other
+/// threads (the batcher's completion callbacks, the acceptor, drain
+/// control) push commands here and wake the loop's poller. Always
+/// acquired with an otherwise-empty held set by design — push, drop,
+/// wake.
+pub const SERVER_IO: LockClass = LockClass::new(5, "server.io");
 
 /// One tenant's query-coalescing accumulator: concurrent connections park
 /// queries here and a single leader flushes them as one
 /// [`crate::SearchService::top_r_many`] batch.
 pub const SERVER_BATCH: LockClass = LockClass::new(6, "server.batch");
+
+/// One request frame's reply-aggregation slots: the batch leader fills
+/// per-query replies here as they resolve; the last fill hands the
+/// completed frame to its I/O thread (taking `server.io` only *after*
+/// this lock is released — the completion callback runs lock-free).
+pub const SERVER_FRAME: LockClass = LockClass::new(7, "server.frame");
 
 /// The `sd-server` in-flight gauge: which epochs still have queries or
 /// update batches executing, consulted by epoch-aware draining.
@@ -141,8 +151,9 @@ mod tests {
     fn ranks_are_strictly_increasing_in_declaration_order() {
         let classes = [
             SERVER_TENANTS,
-            SERVER_CONNS,
+            SERVER_IO,
             SERVER_BATCH,
+            SERVER_FRAME,
             SERVER_INFLIGHT,
             SVC_UPDATER,
             EPOCH_PTR,

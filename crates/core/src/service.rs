@@ -128,7 +128,10 @@ pub const AUTO_SMALL_GRAPH_EDGES: usize = crate::engine::AUTO_SMALL_GRAPH_EDGES;
 const FANOUT_MIN_SPECS: usize = 2;
 
 /// One `top_r_many` fan-out result slot, filled by its pool task.
-type BatchSlot = Mutex<Option<Result<TopRResult, SearchError>>>;
+/// `Ok(None)` marks a slot whose query was cancelled at the slot
+/// boundary; errors stay batch-level, exactly as before cancellation
+/// existed.
+type BatchSlot = Mutex<Option<Result<Option<TopRResult>, SearchError>>>;
 
 /// One engine slot: a lazily initialized, concurrently readable cache.
 /// Construction happens *under the write lock* (double-checked), which is
@@ -1079,6 +1082,41 @@ impl SearchService {
         &self,
         specs: &[QuerySpec],
     ) -> Result<(u64, Vec<TopRResult>), SearchError> {
+        let (epoch, options) = self.top_r_many_pinned_cancellable(specs, &[])?;
+        let results: Result<Vec<TopRResult>, SearchError> = options
+            .into_iter()
+            .map(|slot| {
+                slot.ok_or(SearchError::Internal {
+                    invariant: "no cancel tokens were attached, so no slot is cancelled",
+                })
+            })
+            .collect();
+        results.map(|r| (epoch, r))
+    }
+
+    /// [`Self::top_r_many_pinned`] with **per-slot cooperative
+    /// cancellation**: `cancels` aligns with `specs` (shorter is fine —
+    /// missing/`None` entries are never cancelled), and each token is
+    /// checked at its query's *batch-slot boundary*, i.e. just before
+    /// that query would start executing (on the sequential path and on
+    /// each fan-out pool task alike). A cancelled slot comes back `None`
+    /// without running — its epoch pin, its batch-mates, and the result
+    /// order are untouched. This is what lets a server drop a
+    /// disconnected client's queries out of an already-coalesced batch
+    /// without poisoning the queries of everyone batched alongside it.
+    ///
+    /// Cancellation is slot-granular by design: a token flipped *after*
+    /// its query began executing does not interrupt it (the result is
+    /// simply discarded by the caller), so the engine code never has to
+    /// reason about partially executed queries.
+    pub fn top_r_many_pinned_cancellable(
+        &self,
+        specs: &[QuerySpec],
+        cancels: &[Option<crate::cancel::CancelToken>],
+    ) -> Result<(u64, Vec<Option<TopRResult>>), SearchError> {
+        let cancelled_at = |i: usize| -> bool {
+            cancels.get(i).and_then(|c| c.as_ref()).is_some_and(|c| c.is_cancelled())
+        };
         let epoch = self.core.current();
         for spec in specs {
             spec.config().check_against(epoch.graph.n())?;
@@ -1089,9 +1127,15 @@ impl SearchService {
             self.core.queries_served.fetch_max(AUTO_WARMUP_QUERIES, Ordering::Relaxed);
         }
         if specs.len() < FANOUT_MIN_SPECS || self.core.pool.max_threads() <= 1 {
-            let results: Result<Vec<TopRResult>, SearchError> =
-                specs.iter().map(|spec| self.core.top_r_on(&epoch, spec, false)).collect();
-            return results.map(|r| (epoch.id, r));
+            let mut results = Vec::with_capacity(specs.len());
+            for (i, spec) in specs.iter().enumerate() {
+                if cancelled_at(i) {
+                    results.push(None);
+                    continue;
+                }
+                results.push(Some(self.core.top_r_on(&epoch, spec, false)?));
+            }
+            return Ok((epoch.id, results));
         }
         // Fan out: one pool task per query, writing into its own slot so
         // results return in spec order whatever order tasks finish in.
@@ -1104,16 +1148,23 @@ impl SearchService {
                 let core = self.core.clone();
                 let epoch = epoch.clone();
                 let slots = slots.clone();
+                let cancel = cancels.get(i).and_then(|c| c.as_ref()).cloned();
                 Box::new(move || {
+                    // The slot boundary: the last point this query can be
+                    // skipped without interrupting engine code.
+                    if cancel.is_some_and(|c| c.is_cancelled()) {
+                        *slots[i].lock() = Some(Ok(None)); // lock: batch.slot
+                        return;
+                    }
                     // The query runs before the slot is locked: `batch.slot`
                     // stays a leaf held only for the store.
                     let result = core.top_r_on(&epoch, &spec, true);
-                    *slots[i].lock() = Some(result); // lock: batch.slot
+                    *slots[i].lock() = Some(result.map(Some)); // lock: batch.slot
                 }) as Job
             })
             .collect();
         self.core.pool.run_all(jobs);
-        let results: Result<Vec<TopRResult>, SearchError> = slots
+        let results: Result<Vec<Option<TopRResult>>, SearchError> = slots
             .iter()
             .map(|slot| {
                 let filled = slot.lock().take(); // lock: batch.slot
@@ -1409,6 +1460,47 @@ mod tests {
         let specs = [QuerySpec::new(4, 1).unwrap(), QuerySpec::new(4, n + 1).unwrap()];
         assert!(s.top_r_many(&specs).is_err());
         assert_eq!(s.queries_served(), 0, "no query may run when the batch is invalid");
+    }
+
+    #[test]
+    fn cancelled_slots_come_back_none_and_mates_still_run_sequentially() {
+        // A 1-thread pool forces the sequential path: the slot-boundary
+        // check there is what the batcher relies on when the shared pool
+        // has a single worker.
+        let (graph, _, _) = paper_figure1_graph();
+        let s = SearchService::with_pool(graph, Arc::new(WorkerPool::new(1)));
+        let spec = QuerySpec::new(3, 2).unwrap().with_engine(EngineKind::Online);
+        let cancelled = crate::cancel::CancelToken::new();
+        cancelled.cancel();
+        let cancels = vec![None, Some(cancelled)];
+        let (epoch, results) = s.top_r_many_pinned_cancellable(&[spec, spec], &cancels).unwrap();
+        assert_eq!(epoch, 0);
+        assert!(results[0].is_some(), "the uncancelled mate ran");
+        assert!(results[1].is_none(), "the cancelled slot was skipped");
+        assert_eq!(s.queries_served(), 1, "the cancelled query never executed");
+    }
+
+    #[test]
+    fn cancelled_slots_come_back_none_on_the_fanout_path() {
+        let (graph, _, _) = paper_figure1_graph();
+        let s = SearchService::with_pool(graph, Arc::new(WorkerPool::new(4)));
+        let spec = QuerySpec::new(3, 2).unwrap().with_engine(EngineKind::Online);
+        let cancelled = crate::cancel::CancelToken::new();
+        cancelled.cancel();
+        let cancels = vec![Some(cancelled.clone()), None, Some(cancelled)];
+        let (_, results) = s.top_r_many_pinned_cancellable(&[spec, spec, spec], &cancels).unwrap();
+        assert!(results[0].is_none() && results[2].is_none(), "cancelled slots skipped");
+        let live = results[1].as_ref().expect("uncancelled mate ran");
+        assert_eq!(live.entries, s.top_r(&spec).unwrap().entries, "mate answer unaffected");
+    }
+
+    #[test]
+    fn empty_cancel_list_means_nothing_is_cancelled() {
+        let s = service();
+        let spec = QuerySpec::new(4, 2).unwrap().with_engine(EngineKind::Online);
+        let (epoch, results) = s.top_r_many_pinned(&[spec, spec]).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(results.len(), 2);
     }
 
     #[test]

@@ -3,32 +3,39 @@
 //! [`SearchService::top_r_many`] batch, fanning the whole coalesced set
 //! onto the shared worker pool at once.
 //!
-//! The shape is group commit. The first thread to find the accumulator
-//! leaderless becomes leader: it waits one batch window (so concurrent
-//! arrivals can pile in), drains everything pending, and executes it as
-//! one pinned-epoch batch. Followers just park on their reply channel —
-//! the leader delivers. Queries that arrive *during* the flush are
-//! handled by a continuation the leader submits to the tenant's worker
-//! pool before resigning: leadership hops to a pool thread instead of
-//! looping on a connection thread, so no client is starved by its own
-//! connection leading batches for everyone else, and no parked query
-//! ever waits for a fresh arrival to wake the accumulator.
+//! The shape is group commit, made **asynchronous** for the event-driven
+//! server: [`Batcher::submit_many_async`] parks a frame's queries and
+//! returns immediately; a completion callback fires — off the submitting
+//! thread — once every query in the frame has a reply. The first
+//! submission to find the accumulator leaderless schedules a leader onto
+//! the tenant's worker pool (never on the submitting thread: submitters
+//! are I/O-loop threads that must not block). The leader waits one batch
+//! window so concurrent arrivals can pile in, drains everything pending,
+//! and executes it as one pinned-epoch batch. Queries that arrive
+//! *during* the flush are handled by a continuation the leader submits
+//! to the pool before resigning, so no parked query ever waits for a
+//! fresh arrival to wake the accumulator.
 //!
-//! Deadlines cap the leader's wait: the window is shortened to the
-//! earliest pending deadline (less a small execution margin), so a query
-//! whose `deadline_ms` is shorter than the batch window is flushed early
-//! and *runs* instead of expiring while the leader sleeps. The cap is
-//! computed when the leader starts waiting — a shorter-deadline query
-//! arriving mid-sleep still waits out the current wait (bounded by the
-//! window, so never worse than the pre-cap behavior). A query whose
+//! Deadlines cap the leader's wait: the target flush instant is the
+//! window end, shortened to the earliest pending deadline (less a small
+//! execution margin), so a query whose `deadline_ms` is shorter than the
+//! batch window is flushed early and *runs* instead of expiring while
+//! the leader sleeps. The leader parks on a condition variable that
+//! every submission signals, so a short-deadline query arriving
+//! mid-wait wakes the leader to recompute the target — it no longer
+//! waits out a sleep computed before that query existed. A query whose
 //! deadline nevertheless passed while parked is answered
 //! [`BatchReply::Expired`] without running, and its frame-mates still
 //! run — the partial-batch contract.
 //!
-//! Frames can carry a **liveness probe** ([`Batcher::submit_many_live`]):
-//! at dequeue time, just before execution, queries whose connection has
-//! already closed are dropped ([`BatchReply::Dropped`]) so a dead
-//! client's queries don't occupy `top_r_many` batch slots.
+//! Frames can carry a [`CancelToken`]: when the server's I/O loop sees a
+//! client disconnect, it cancels the token, and the frame's queries are
+//! skipped at their **batch-slot boundary** — the instant each would
+//! start executing inside
+//! [`SearchService::top_r_many_pinned_cancellable`] — and answered
+//! [`BatchReply::Dropped`]. A dead client's queries thus stop occupying
+//! execution slots even when cancellation lands after the batch was
+//! dequeued, without anything being interrupted mid-computation.
 //!
 //! A batch executes all-or-nothing inside the service (`top_r_many`
 //! surfaces the first per-query error as a batch error), which must not
@@ -40,10 +47,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
-use sd_core::lock_order::SERVER_BATCH;
-use sd_core::{QuerySpec, SearchError, SearchService, TopRResult};
+use crossbeam::channel::unbounded;
+use parking_lot::{Condvar, Mutex};
+use sd_core::lock_order::{SERVER_BATCH, SERVER_FRAME};
+use sd_core::{CancelToken, QuerySpec, SearchError, SearchService, TopRResult};
 
 use crate::registry::Inflight;
 
@@ -79,32 +86,101 @@ pub enum BatchReply {
     Failed(SearchError),
     /// The deadline passed before the query ran.
     Expired,
-    /// The submitting connection was found dead at dequeue time; the
-    /// query was dropped without running.
+    /// The frame's [`CancelToken`] was cancelled (the submitting
+    /// connection disconnected) before the query's batch slot ran; the
+    /// query was skipped without executing.
     Dropped,
 }
-
-/// A dequeue-time connection-liveness check: returns `false` once the
-/// submitting connection is known dead (peer closed / socket error), at
-/// which point its parked queries are dropped instead of executed.
-pub type LivenessProbe = Arc<dyn Fn() -> bool + Send + Sync>;
 
 /// Margin subtracted from a pending deadline when capping the leader's
 /// wait, so the flush leaves the query time to actually execute instead
 /// of waking exactly as it expires.
 const DEADLINE_FLUSH_MARGIN: Duration = Duration::from_millis(5);
 
+/// Where a finished frame's replies go: invoked exactly once, off the
+/// submitting thread, with one reply per submitted spec in spec order.
+type FrameDone = Box<dyn FnOnce(Vec<BatchReply>) + Send>;
+
+/// One frame's reply-aggregation state: per-query slots filled as the
+/// leader resolves them, and the completion callback the last fill
+/// hands the replies to.
+struct FrameAggState {
+    slots: Vec<Option<BatchReply>>,
+    missing: usize,
+    done: Option<FrameDone>,
+}
+
+/// Aggregates one submitted frame's replies. The batcher fills slots in
+/// any order; whichever fill completes the frame takes the callback out
+/// under the lock, **releases it**, and then invokes — so the callback
+/// (which typically takes an I/O thread's `server.io` queue lock) runs
+/// with an empty held set.
+struct FrameAgg {
+    state: Mutex<FrameAggState>,
+}
+
+impl FrameAgg {
+    fn new(len: usize, done: FrameDone) -> Arc<FrameAgg> {
+        Arc::new(FrameAgg {
+            state: SERVER_FRAME.mutex(FrameAggState {
+                slots: (0..len).map(|_| None).collect(),
+                missing: len,
+                done: Some(done),
+            }),
+        })
+    }
+
+    fn fill(&self, index: usize, reply: BatchReply) {
+        let finished = {
+            let mut state = self.state.lock(); // lock: server.frame
+            debug_assert!(state.slots[index].is_none(), "slot {index} filled twice");
+            state.slots[index] = Some(reply);
+            state.missing -= 1;
+            if state.missing == 0 {
+                Some((std::mem::take(&mut state.slots), state.done.take()))
+            } else {
+                None
+            }
+        };
+        if let Some((slots, done)) = finished {
+            let replies = slots
+                .into_iter()
+                .map(|slot| {
+                    slot.unwrap_or(BatchReply::Failed(SearchError::Internal {
+                        invariant: "a completed frame has every reply slot filled",
+                    }))
+                })
+                .collect();
+            if let Some(done) = done {
+                done(replies);
+            }
+        }
+    }
+}
+
+/// One query's address within its frame's [`FrameAgg`].
+struct FrameSlot {
+    agg: Arc<FrameAgg>,
+    index: usize,
+}
+
+impl FrameSlot {
+    fn deliver(self, reply: BatchReply) {
+        self.agg.fill(self.index, reply);
+    }
+}
+
 struct Pending {
     spec: QuerySpec,
     deadline: Option<Instant>,
-    alive: Option<LivenessProbe>,
-    reply: Sender<BatchReply>,
+    cancel: Option<CancelToken>,
+    reply: FrameSlot,
 }
 
 struct Accumulator {
     pending: Vec<Pending>,
-    /// Whether some thread (or pool continuation) currently owns
-    /// flushing; at most one leader exists per batcher.
+    /// Whether some pool continuation currently owns flushing; at most
+    /// one leader exists per batcher.
     leader_active: bool,
 }
 
@@ -120,12 +196,17 @@ pub struct BatchStats {
     pub expired: u64,
     /// Queries shed because the accumulator was full.
     pub shed_queue_full: u64,
-    /// Queries dropped at dequeue time because their connection had
-    /// already closed.
+    /// Queries answered [`BatchReply::Dropped`] because their
+    /// connection had disconnected (the *cause*; always moves in step
+    /// with [`BatchStats::cancelled`] today).
     pub dropped_disconnected: u64,
+    /// Queries skipped at a batch-slot boundary by a cancelled
+    /// [`CancelToken`] (the *mechanism*).
+    pub cancelled: u64,
 }
 
-/// The typed queue-full rejection [`Batcher::submit_many`] sheds with.
+/// The typed queue-full rejection [`Batcher::submit_many_async`] sheds
+/// with.
 #[derive(Clone, Copy, Debug)]
 pub struct QueueFull {
     /// Queries parked when the submission was rejected.
@@ -137,6 +218,9 @@ pub struct QueueFull {
 /// A tenant's query-coalescing accumulator. See the [module docs](self).
 pub struct Batcher {
     state: Mutex<Accumulator>,
+    /// Signalled on every submission so a parked leader wakes and
+    /// recomputes its flush target against the new arrivals' deadlines.
+    arrivals: Condvar,
     limits: BatchLimits,
     inflight: Arc<Inflight>,
     queries_batched: AtomicU64,
@@ -144,6 +228,7 @@ pub struct Batcher {
     expired: AtomicU64,
     shed_queue_full: AtomicU64,
     dropped_disconnected: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 impl Batcher {
@@ -151,6 +236,7 @@ impl Batcher {
     pub fn new(limits: BatchLimits, inflight: Arc<Inflight>) -> Self {
         Batcher {
             state: SERVER_BATCH.mutex(Accumulator { pending: Vec::new(), leader_active: false }),
+            arrivals: Condvar::new(),
             limits,
             inflight,
             queries_batched: AtomicU64::new(0),
@@ -158,6 +244,7 @@ impl Batcher {
             expired: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
             dropped_disconnected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         }
     }
 
@@ -169,6 +256,7 @@ impl Batcher {
             expired: self.expired.load(Ordering::Relaxed),
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
             dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
         }
     }
 
@@ -177,35 +265,32 @@ impl Batcher {
         self.state.lock().pending.len() // lock: server.batch
     }
 
-    /// Parks `specs` (one frame's queries, all sharing `deadline`),
-    /// coalesces them with whatever else arrives, and blocks until every
-    /// one has a reply — in `specs` order. Shed atomically with
-    /// [`QueueFull`] if parking them would overflow the accumulator:
-    /// either the whole frame is admitted or none of it.
-    pub fn submit_many(
+    /// Parks `specs` (one frame's queries, all sharing `deadline` and
+    /// the optional `cancel` token) and returns **immediately**; `done`
+    /// is invoked exactly once — on a worker-pool thread, never the
+    /// submitting one — with one [`BatchReply`] per spec in spec order,
+    /// after the frame coalesces with whatever else arrives and flushes.
+    /// Shed atomically with [`QueueFull`] if parking the frame would
+    /// overflow the accumulator (either the whole frame is admitted or
+    /// none of it; `done` is not invoked on a shed). An empty frame
+    /// completes inline with an empty reply vector.
+    ///
+    /// This is the server's submission path: I/O-loop threads must not
+    /// block, so replies flow back through `done`, which posts a
+    /// completion command to the connection's I/O thread.
+    pub fn submit_many_async(
         self: &Arc<Self>,
         service: &Arc<SearchService>,
         specs: Vec<QuerySpec>,
         deadline: Option<Instant>,
-    ) -> Result<Vec<BatchReply>, QueueFull> {
-        self.submit_many_live(service, specs, deadline, None)
-    }
-
-    /// As [`Self::submit_many`], additionally attaching a connection
-    /// liveness probe to the frame: if `alive` reports `false` when the
-    /// batch is dequeued, the frame's queries are answered
-    /// [`BatchReply::Dropped`] without occupying execution slots.
-    pub fn submit_many_live(
-        self: &Arc<Self>,
-        service: &Arc<SearchService>,
-        specs: Vec<QuerySpec>,
-        deadline: Option<Instant>,
-        alive: Option<LivenessProbe>,
-    ) -> Result<Vec<BatchReply>, QueueFull> {
+        cancel: Option<CancelToken>,
+        done: impl FnOnce(Vec<BatchReply>) + Send + 'static,
+    ) -> Result<(), QueueFull> {
         if specs.is_empty() {
-            return Ok(Vec::new());
+            done(Vec::new());
+            return Ok(());
         }
-        let mut receivers = Vec::with_capacity(specs.len());
+        let agg = FrameAgg::new(specs.len(), Box::new(done));
         let lead = {
             let mut state = self.state.lock(); // lock: server.batch
             if state.pending.len().saturating_add(specs.len()) > self.limits.max_pending {
@@ -216,11 +301,17 @@ impl Batcher {
                 self.shed_queue_full.fetch_add(specs.len() as u64, Ordering::Relaxed);
                 return Err(info);
             }
-            for spec in specs {
-                let (tx, rx) = unbounded();
-                state.pending.push(Pending { spec, deadline, alive: alive.clone(), reply: tx });
-                receivers.push(rx);
+            for (index, spec) in specs.into_iter().enumerate() {
+                state.pending.push(Pending {
+                    spec,
+                    deadline,
+                    cancel: cancel.clone(),
+                    reply: FrameSlot { agg: agg.clone(), index },
+                });
             }
+            // Wake a parked leader: these arrivals may carry a deadline
+            // shorter than its current flush target.
+            self.arrivals.notify_all();
             if state.leader_active {
                 false
             } else {
@@ -229,28 +320,37 @@ impl Batcher {
             }
         };
         if lead {
-            self.lead(service);
+            // Leadership always runs on the pool: the submitter may be
+            // an I/O-loop thread, which must never sleep out a window.
+            let this = Arc::clone(self);
+            let svc = Arc::clone(service);
+            service.pool().submit(move || this.lead(&svc));
         }
-        Ok(receivers
-            .into_iter()
-            .map(|rx| {
-                rx.recv().unwrap_or(BatchReply::Failed(SearchError::Internal {
-                    invariant: "the batch leader replies to every parked query",
-                }))
-            })
-            .collect())
+        Ok(())
     }
 
-    /// Leader duty: wait the window — capped at the earliest pending
-    /// deadline, so short-deadline queries flush early instead of
-    /// expiring — flush once, then either resign (if the accumulator
-    /// emptied) or hand leadership to a worker-pool continuation for the
-    /// next flush.
+    /// Blocking convenience over [`Self::submit_many_async`]: parks the
+    /// frame and waits for its replies. For tests and synchronous tools;
+    /// the server itself never blocks a thread here.
+    pub fn submit_many(
+        self: &Arc<Self>,
+        service: &Arc<SearchService>,
+        specs: Vec<QuerySpec>,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<BatchReply>, QueueFull> {
+        let (tx, rx) = unbounded();
+        self.submit_many_async(service, specs, deadline, None, move |replies| {
+            let _ = tx.send(replies);
+        })?;
+        Ok(rx.recv().unwrap_or_default())
+    }
+
+    /// Leader duty: wait out the flush target (window end, capped by
+    /// pending deadlines, re-evaluated on every arrival), flush once,
+    /// then either resign (if the accumulator emptied) or hand
+    /// leadership to a worker-pool continuation for the next flush.
     fn lead(self: &Arc<Self>, service: &Arc<SearchService>) {
-        let wait = self.window_capped_by_deadlines();
-        if !wait.is_zero() {
-            std::thread::sleep(wait);
-        }
+        self.wait_out_window();
         let batch = {
             let mut state = self.state.lock(); // lock: server.batch
             std::mem::take(&mut state.pending)
@@ -274,81 +374,96 @@ impl Batcher {
         }
     }
 
-    /// The leader's wait: the batch window, shortened to the earliest
-    /// pending deadline minus [`DEADLINE_FLUSH_MARGIN`] (floored at
-    /// zero — an already-tight deadline flushes immediately). Computed
-    /// once when the leader starts waiting; a shorter-deadline arrival
-    /// mid-sleep waits out the current wait, which the window bounds.
-    fn window_capped_by_deadlines(&self) -> Duration {
+    /// The leader's wait. The flush target is the window end (fixed when
+    /// the wait starts) capped at the earliest pending deadline minus
+    /// [`DEADLINE_FLUSH_MARGIN`]; the leader parks on [`Self::arrivals`]
+    /// until the target passes, recomputing it after every wake — so an
+    /// arrival whose deadline undercuts the current target pulls the
+    /// flush forward instead of expiring while the leader sleeps.
+    fn wait_out_window(&self) {
         let window = self.limits.window;
         if window.is_zero() {
-            return window;
+            return;
         }
-        let earliest = {
-            let state = self.state.lock(); // lock: server.batch
-            state.pending.iter().filter_map(|p| p.deadline).min()
-        };
-        match earliest {
-            Some(deadline) => window.min(
-                deadline
-                    .saturating_duration_since(Instant::now())
-                    .saturating_sub(DEADLINE_FLUSH_MARGIN),
-            ),
-            None => window,
+        let window_end = Instant::now() + window;
+        let mut state = self.state.lock(); // lock: server.batch
+        loop {
+            let earliest = state.pending.iter().filter_map(|p| p.deadline).min();
+            let target = match earliest {
+                Some(deadline) => {
+                    window_end.min(deadline.checked_sub(DEADLINE_FLUSH_MARGIN).unwrap_or(deadline))
+                }
+                None => window_end,
+            };
+            let now = Instant::now();
+            if target <= now {
+                return;
+            }
+            self.arrivals.wait_for(&mut state, target - now);
         }
     }
 
-    /// Flushes one drained batch: drop dead connections, expire, execute,
-    /// deliver.
+    /// Flushes one drained batch: expire, execute (skipping cancelled
+    /// slots), deliver.
     fn execute(&self, service: &Arc<SearchService>, batch: Vec<Pending>) {
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
         let mut expired = 0u64;
-        let mut dropped = 0u64;
         for entry in batch {
-            // Liveness first: a dead connection's query is dropped, not
-            // expired — nobody is parked on the reply of a closed socket
-            // for long, but the execution slot matters.
-            if entry.alive.as_ref().is_some_and(|alive| !alive()) {
-                dropped += 1;
-                let _ = entry.reply.send(BatchReply::Dropped);
-                continue;
-            }
             match entry.deadline {
                 Some(d) if d <= now => {
                     expired += 1;
-                    let _ = entry.reply.send(BatchReply::Expired);
+                    entry.reply.deliver(BatchReply::Expired);
                 }
                 _ => live.push(entry),
             }
         }
-        self.queries_batched.fetch_add(live.len() as u64 + expired + dropped, Ordering::Relaxed);
+        self.queries_batched.fetch_add(live.len() as u64 + expired, Ordering::Relaxed);
         self.expired.fetch_add(expired, Ordering::Relaxed);
-        self.dropped_disconnected.fetch_add(dropped, Ordering::Relaxed);
         if live.is_empty() {
             return;
         }
         self.batches_executed.fetch_add(1, Ordering::Relaxed);
         let _guard = self.inflight.begin(service.epoch());
         let specs: Vec<QuerySpec> = live.iter().map(|p| p.spec).collect();
-        match service.top_r_many_pinned(&specs) {
+        let cancels: Vec<Option<CancelToken>> = live.iter().map(|p| p.cancel.clone()).collect();
+        // Counters are bumped *before* the reply that completes a frame is
+        // delivered: the completion callback races this function's tail, and
+        // a caller inspecting stats from it must see its own drops.
+        let drop_counted = |n: u64| {
+            self.dropped_disconnected.fetch_add(n, Ordering::Relaxed);
+            self.cancelled.fetch_add(n, Ordering::Relaxed);
+        };
+        match service.top_r_many_pinned_cancellable(&specs, &cancels) {
             Ok((epoch, results)) => {
-                for (entry, result) in live.iter().zip(results) {
-                    let _ = entry.reply.send(BatchReply::Answered { epoch, result });
+                drop_counted(results.iter().filter(|r| r.is_none()).count() as u64);
+                for (entry, result) in live.into_iter().zip(results) {
+                    match result {
+                        Some(result) => entry.reply.deliver(BatchReply::Answered { epoch, result }),
+                        // The slot boundary found the token cancelled:
+                        // the query was skipped, not run-and-discarded.
+                        None => entry.reply.deliver(BatchReply::Dropped),
+                    }
                 }
             }
             Err(_) => {
                 // Batch-level failure: one query's error (say, its `r`
                 // exceeds the tenant's vertex count) poisoned the
                 // all-or-nothing call. Isolate it: run each query alone
-                // so only the offender fails.
+                // so only the offender fails. Tokens are re-checked —
+                // the fallback is a fresh slot boundary per query.
                 for entry in live {
+                    if entry.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                        drop_counted(1);
+                        entry.reply.deliver(BatchReply::Dropped);
+                        continue;
+                    }
                     let epoch = service.epoch();
                     let reply = match service.top_r(&entry.spec) {
                         Ok(result) => BatchReply::Answered { epoch, result },
                         Err(err) => BatchReply::Failed(err),
                     };
-                    let _ = entry.reply.send(reply);
+                    entry.reply.deliver(reply);
                 }
             }
         }
@@ -385,6 +500,26 @@ mod tests {
         assert_eq!(*epoch, 0);
         let expected = svc.top_r(&spec).expect("in-process");
         assert_eq!(result.entries, expected.entries);
+    }
+
+    #[test]
+    fn async_submission_completes_off_the_submitting_thread() {
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::ZERO, max_pending: 8 });
+        let spec = QuerySpec::new(3, 2).expect("spec").with_engine(EngineKind::Online);
+        let (tx, rx) = unbounded();
+        let submitter = std::thread::current().id();
+        tenant
+            .batcher
+            .submit_many_async(&svc, vec![spec, spec], None, None, move |replies| {
+                let _ = tx.send((std::thread::current().id(), replies));
+            })
+            .expect("admitted");
+        let (completer, replies) =
+            rx.recv_timeout(Duration::from_secs(10)).expect("completion fires");
+        assert_ne!(completer, submitter, "done runs on a pool thread, not the submitter");
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|r| matches!(r, BatchReply::Answered { .. })), "{replies:?}");
     }
 
     #[test]
@@ -482,24 +617,77 @@ mod tests {
         assert_eq!(tenant.batcher.stats().expired, 0);
     }
 
+    /// Regression: the leader's wait used to be a plain `thread::sleep`
+    /// whose duration was fixed when the wait *started* — a query with a
+    /// short deadline arriving mid-sleep could not shorten it, so the
+    /// leader slept out the full window and answered that query
+    /// `Expired`. Against that code this test fails (the late frame
+    /// expires after ~300 ms); with the condvar-parked leader the
+    /// arrival wakes it, the target is recomputed, and the query runs
+    /// well inside the window.
     #[test]
-    fn dead_connections_queries_are_dropped_at_dequeue() {
+    fn late_short_deadline_arrival_wakes_the_parked_leader() {
+        let (svc, tenant, _reg) =
+            tenant_with(BatchLimits { window: Duration::from_millis(300), max_pending: 8 });
+        let spec = QuerySpec::new(3, 2).expect("spec").with_engine(EngineKind::Online);
+        // Frame A (no deadline) makes the leader park for the window.
+        let leader = {
+            let svc = svc.clone();
+            let tenant = tenant.clone();
+            std::thread::spawn(move || tenant.batcher.submit_many(&svc, vec![spec], None))
+        };
+        // Frame B arrives mid-wait with a deadline far shorter than the
+        // window's remainder.
+        std::thread::sleep(Duration::from_millis(40));
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(60);
+        let late = tenant.batcher.submit_many(&svc, vec![spec], Some(deadline)).expect("admitted");
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(late[0], BatchReply::Answered { .. }),
+            "a short-deadline arrival must wake the parked leader and run, got {late:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "the flush must be pulled forward by the arrival, not wait out the window \
+             (took {elapsed:?})"
+        );
+        let first = leader.join().expect("join").expect("admitted");
+        assert!(matches!(first[0], BatchReply::Answered { .. }), "got {first:?}");
+        assert_eq!(tenant.batcher.stats().expired, 0);
+        assert_eq!(tenant.batcher.stats().batches_executed, 1, "both frames share the flush");
+    }
+
+    #[test]
+    fn cancelled_frames_queries_are_dropped_at_their_slots() {
         let (svc, tenant, _reg) =
             tenant_with(BatchLimits { window: Duration::ZERO, max_pending: 8 });
         let spec = QuerySpec::new(3, 2).expect("spec");
-        let dead: LivenessProbe = Arc::new(|| false);
-        let replies = tenant
+        let token = CancelToken::new();
+        token.cancel();
+        let (tx, rx) = unbounded();
+        tenant
             .batcher
-            .submit_many_live(&svc, vec![spec, spec], None, Some(dead))
+            .submit_many_async(&svc, vec![spec, spec], None, Some(token), move |replies| {
+                let _ = tx.send(replies);
+            })
             .expect("admitted");
+        let replies = rx.recv_timeout(Duration::from_secs(10)).expect("completion fires");
         assert!(replies.iter().all(|r| matches!(r, BatchReply::Dropped)), "got {replies:?}");
         let stats = tenant.batcher.stats();
         assert_eq!(stats.dropped_disconnected, 2);
-        assert_eq!(stats.batches_executed, 0, "nothing ran for the dead connection");
-        // A live probe executes normally.
-        let alive: LivenessProbe = Arc::new(|| true);
-        let replies =
-            tenant.batcher.submit_many_live(&svc, vec![spec], None, Some(alive)).expect("admitted");
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(svc.queries_served(), 0, "cancelled slots never reach an engine");
+        // An un-cancelled token executes normally.
+        let live = CancelToken::new();
+        let (tx, rx) = unbounded();
+        tenant
+            .batcher
+            .submit_many_async(&svc, vec![spec], None, Some(live), move |replies| {
+                let _ = tx.send(replies);
+            })
+            .expect("admitted");
+        let replies = rx.recv_timeout(Duration::from_secs(10)).expect("completion fires");
         assert!(matches!(replies[0], BatchReply::Answered { .. }), "got {replies:?}");
     }
 

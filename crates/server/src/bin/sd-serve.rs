@@ -1,9 +1,11 @@
 //! `sd-serve`: the structural diversity search server.
 //!
 //! ```text
-//! sd-serve serve [ADDR]     host the paper's two fixture graphs on ADDR
-//!                           (default 127.0.0.1:7071) until a Shutdown
-//!                           frame arrives
+//! sd-serve serve [ADDR] [--io-threads N]
+//!                           host the paper's two fixture graphs on ADDR
+//!                           (default 127.0.0.1:7071), multiplexing every
+//!                           connection over N readiness-loop threads
+//!                           (default 2), until a Shutdown frame arrives
 //! sd-serve selftest         start a server on an ephemeral port, drive it
 //!                           with a scripted client, verify the answers
 //!                           against in-process results, exit 0/1 — the CI
@@ -21,7 +23,7 @@ use sd_server::{
 };
 
 fn usage() -> ExitCode {
-    eprintln!("usage: sd-serve serve [ADDR]");
+    eprintln!("usage: sd-serve serve [ADDR] [--io-threads N]");
     eprintln!("       sd-serve selftest");
     ExitCode::from(2)
 }
@@ -29,7 +31,24 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("serve") => serve(args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7071")),
+        Some("serve") => {
+            let mut addr = "127.0.0.1:7071".to_string();
+            let mut io_threads = 2usize;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                if arg == "--io-threads" {
+                    match rest.next().and_then(|n| n.parse::<usize>().ok()) {
+                        Some(n) if n >= 1 => io_threads = n,
+                        _ => return usage(),
+                    }
+                } else if arg.starts_with('-') {
+                    return usage();
+                } else {
+                    addr = arg.clone();
+                }
+            }
+            serve(&addr, io_threads)
+        }
         Some("selftest") => selftest(),
         _ => usage(),
     }
@@ -54,9 +73,9 @@ fn demo_registry() -> (Arc<TenantRegistry>, GraphFingerprint, GraphFingerprint) 
     (registry, key1, key18)
 }
 
-fn serve(addr: &str) -> ExitCode {
+fn serve(addr: &str, io_threads: usize) -> ExitCode {
     let (registry, key1, key18) = demo_registry();
-    let config = ServerConfig { addr: addr.to_string(), ..ServerConfig::default() };
+    let config = ServerConfig::new().addr(addr).io_threads(io_threads);
     let server = match Server::start(config, registry) {
         Ok(server) => server,
         Err(err) => {
@@ -89,11 +108,7 @@ fn check(ok: bool, what: &str, failures: &mut u32) {
 fn selftest() -> ExitCode {
     let mut failures = 0u32;
     let (registry, key1, key18) = demo_registry();
-    let config = ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        drain_grace: Duration::from_secs(10),
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::new().addr("127.0.0.1:0").drain_grace(Duration::from_secs(10));
     let server = match Server::start(config, Arc::clone(&registry)) {
         Ok(server) => server,
         Err(err) => {

@@ -1,9 +1,20 @@
 //! A small blocking `sd-wire` client: one connection, one frame in
 //! flight. The loopback tests and `sd-serve selftest` drive the server
-//! through it; it is deliberately simple rather than pooled or pipelined.
+//! through it; it is deliberately simple rather than pooled or
+//! pipelined.
+//!
+//! [`ClientConfig`] adds the operational knobs a caller outside a test
+//! wants: a connect timeout, a per-frame I/O timeout, and optional
+//! retry-on-[`Response::Overloaded`] that honors the server's
+//! `retry_after_ms` hint (the server *tells* the client when capacity
+//! should exist again; a client that retries sooner just feeds the
+//! overload). Retries are off by default — a shed surfaces as
+//! [`ServeError::Overloaded`] immediately — because tests assert on the
+//! shed itself.
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use bytes::Bytes;
 use sd_core::GraphFingerprint;
@@ -24,7 +35,8 @@ pub enum ServeError {
     Wire(WireError),
     /// The server answered with a typed [`Verb::Error`] frame.
     Rejected(ErrorResponse),
-    /// The server shed the request with a [`Verb::Overloaded`] frame.
+    /// The server shed the request with a [`Verb::Overloaded`] frame
+    /// (and retries, if configured, were exhausted).
     Overloaded(OverloadInfo),
     /// The server answered with a well-formed frame of the wrong kind
     /// for the request that was sent.
@@ -66,17 +78,65 @@ impl From<WireError> for ServeError {
     }
 }
 
+/// Connection and retry policy for a [`Client`]. The default is no
+/// timeouts and no retries — what the assertion-heavy tests want.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientConfig {
+    /// Cap on establishing the TCP connection; `None` blocks.
+    pub connect_timeout: Option<Duration>,
+    /// Cap on each socket read/write while exchanging frames; `None`
+    /// blocks. A request that trips this surfaces as
+    /// [`ServeError::Io`] with kind `WouldBlock`/`TimedOut`.
+    pub io_timeout: Option<Duration>,
+    /// How many times a typed-request call re-sends after an
+    /// [`Response::Overloaded`] shed, sleeping the server's
+    /// `retry_after_ms` hint first. A connection-level shed closes the
+    /// socket, so retries reconnect as needed. 0 disables retrying.
+    pub retries: u32,
+}
+
 /// One blocking connection to an `sd-serve` instance.
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects with the default [`ClientConfig`] (no timeouts, no
+    /// retries).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects under `config`.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let stream = Client::open(addr, &config)?;
+        Ok(Client { stream, addr, config })
+    }
+
+    fn open(addr: SocketAddr, config: &ClientConfig) -> io::Result<TcpStream> {
+        let stream = match config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&addr, timeout)?,
+            None => TcpStream::connect(addr)?,
+        };
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        stream.set_read_timeout(config.io_timeout)?;
+        stream.set_write_timeout(config.io_timeout)?;
+        Ok(stream)
+    }
+
+    /// Drops the current socket and dials a fresh one to the same
+    /// server. Typed-request retries use this after a connection-level
+    /// shed (the server closed the shed connection behind the
+    /// `Overloaded` frame).
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Client::open(self.addr, &self.config)?;
+        Ok(())
     }
 
     /// Writes raw bytes to the connection — the adversarial tests use
@@ -101,21 +161,47 @@ impl Client {
         Ok(Frame::new(header.verb, header.fingerprint, Bytes::from(payload)))
     }
 
-    /// Sends one request frame and reads the response frame.
+    /// Sends one request frame and reads the response frame — a single
+    /// shot, no retrying (the raw-frame seam the adversarial tests use).
     pub fn roundtrip(&mut self, frame: &Frame) -> Result<Response, ServeError> {
         self.send_bytes(frame.encode().as_ref())?;
         self.read_response()
     }
 
+    /// The typed-request path: roundtrip, retrying on `Overloaded` per
+    /// [`ClientConfig::retries`], honoring each shed's `retry_after_ms`
+    /// before re-sending (reconnecting if the shed closed the socket).
     fn request(
         &mut self,
         request: &Request,
         fingerprint: GraphFingerprint,
     ) -> Result<Response, ServeError> {
-        match self.roundtrip(&request.to_frame(fingerprint))? {
-            Response::Error(e) => Err(ServeError::Rejected(e)),
-            Response::Overloaded(o) => Err(ServeError::Overloaded(o)),
-            other => Ok(other),
+        let frame = request.to_frame(fingerprint);
+        let mut attempts_left = self.config.retries;
+        loop {
+            let response = match self.roundtrip(&frame) {
+                Ok(response) => response,
+                // A connection-shed server writes the Overloaded frame
+                // and closes; a retry that raced the close sees an I/O
+                // error on the dead socket. Reconnect and try again if
+                // we still may.
+                Err(ServeError::Io(_)) if attempts_left < self.config.retries => {
+                    self.reconnect()?;
+                    self.roundtrip(&frame)?
+                }
+                Err(e) => return Err(e),
+            };
+            match response {
+                Response::Error(e) => return Err(ServeError::Rejected(e)),
+                Response::Overloaded(o) => {
+                    if attempts_left == 0 {
+                        return Err(ServeError::Overloaded(o));
+                    }
+                    attempts_left -= 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(o.retry_after_ms)));
+                }
+                other => return Ok(other),
+            }
         }
     }
 

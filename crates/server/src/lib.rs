@@ -3,45 +3,59 @@
 //!
 //! [`sd_core::SearchService`] answers top-r structural diversity queries
 //! (Huang, Huang & Xu, ICDE 2021) in-process. This crate puts it behind
-//! a TCP listener speaking **`sd-wire`**, a length-prefixed binary frame
-//! protocol with the same adversarial decode discipline as the on-disk
-//! [`sd_core::IndexEnvelope`]: magic, version, fingerprint routing, and
-//! every length validated before it is trusted.
+//! an **event-driven** network front-end speaking **`sd-wire`**, a
+//! length-prefixed binary frame protocol with the same adversarial
+//! decode discipline as the on-disk [`sd_core::IndexEnvelope`]: magic,
+//! version, fingerprint routing, and every length validated before it
+//! is trusted.
 //!
 //! The serving pipeline, front to back:
 //!
 //! - [`proto`] — the wire format: [`Frame`] headers,
 //!   request/response payloads, typed [`WireError`]s.
-//! - [`server`] — the thread-per-connection front-end with graceful,
-//!   epoch-aware draining.
+//! - [`transport`] — the byte-pipe seam: [`Transport`] accepts,
+//!   [`TransportStream`] carries one connection; [`TcpTransport`] is
+//!   today's implementation, TLS-shaped tomorrow's.
+//! - [`conn`] — the per-connection state machine ([`Conn`]): header →
+//!   payload → dispatched → writing, advanced one non-blocking step per
+//!   readiness event.
+//! - [`server`] — the readiness-loop front-end: a fixed set of
+//!   `sd-io-{i}` threads multiplexing every connection over epoll, with
+//!   graceful, epoch-aware draining.
 //! - [`registry`] — multi-tenant routing: one service per graph, keyed by
 //!   the [`GraphFingerprint`](sd_core::GraphFingerprint) it was
 //!   registered under.
 //! - [`batch`] — group-commit query coalescing: concurrent connections'
 //!   queries flush as one [`top_r_many`](sd_core::SearchService::top_r_many)
-//!   fan-out on the shared worker pool.
+//!   fan-out on the shared worker pool, with completion callbacks back
+//!   to the I/O loops and [`CancelToken`]-based disconnect cancellation.
 //! - [`admission`] — typed load shedding: connection, build-queue, and
 //!   query-queue pressure all answer
 //!   [`Overloaded`](proto::Response::Overloaded), never a hang.
-//! - [`client`] — a small blocking client, used by the loopback tests and
+//! - [`client`] — a small blocking client ([`ClientConfig`]: timeouts,
+//!   retry-on-overload), used by the loopback tests and
 //!   `sd-serve selftest`.
 //!
-//! Locking: the server's four lock classes (`server.tenants`,
-//! `server.conns`, `server.batch`, `server.inflight`) rank below every
-//! service-layer class in [`sd_core::lock_order`], so a connection thread
-//! may hold server state across any `SearchService` entry point; the
-//! `lock-order-check` sentinel enforces it at runtime.
+//! Locking: the server's five lock classes (`server.tenants`,
+//! `server.io`, `server.batch`, `server.frame`, `server.inflight`) rank
+//! below every service-layer class in [`sd_core::lock_order`], so an
+//! I/O loop may hold server state across any `SearchService` entry
+//! point; the `lock-order-check` sentinel enforces it at runtime.
 
 pub mod admission;
 pub mod batch;
 pub mod client;
+pub mod conn;
+mod io;
 pub mod proto;
 pub mod registry;
 pub mod server;
+pub mod transport;
 
 pub use admission::AdmissionLimits;
 pub use batch::{BatchLimits, BatchReply, BatchStats, Batcher, QueueFull};
-pub use client::{Client, ServeError};
+pub use client::{Client, ClientConfig, ServeError};
+pub use conn::{Conn, ConnEvent};
 pub use proto::{
     server_scope, ErrorCode, ErrorResponse, Frame, OverloadInfo, OverloadReason, QueryOutcome,
     QueryRequest, QueryResponse, Request, Response, ServerStatsWire, StatsResponse,
@@ -49,4 +63,6 @@ pub use proto::{
     MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use registry::{Inflight, InflightGuard, Tenant, TenantRegistry};
+pub use sd_core::CancelToken;
 pub use server::{DrainReport, Server, ServerConfig};
+pub use transport::{TcpTransport, Transport, TransportStream};

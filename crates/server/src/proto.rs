@@ -51,8 +51,10 @@ pub const WIRE_MAGIC: u32 = 0x5344_5250;
 /// Current protocol version. Decoding rejects any other value with
 /// [`WireError::UnsupportedVersion`]. Version 2 widened the `StatsOk`
 /// payload: tenant scope gained `hybrid_carries`/`gct_repairs`, server
-/// scope gained `dropped_disconnected`.
-pub const WIRE_VERSION: u16 = 2;
+/// scope gained `dropped_disconnected`. Version 3 widened it again:
+/// server scope gained `cancelled` (queries skipped at a batch-slot
+/// boundary after their connection disconnected).
+pub const WIRE_VERSION: u16 = 3;
 
 /// Fixed size of the frame header preceding the payload.
 pub const FRAME_HEADER_BYTES: usize = 40;
@@ -805,7 +807,7 @@ impl UpdateResponse {
     }
 }
 
-/// Server-scope counters inside [`StatsResponse::Server`] — 10 × `u64`
+/// Server-scope counters inside [`StatsResponse::Server`] — 11 × `u64`
 /// after the scope byte.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStatsWire {
@@ -824,9 +826,13 @@ pub struct ServerStatsWire {
     pub batches_executed: u64,
     /// Requests shed by admission control (all reasons).
     pub shed_overload: u64,
-    /// Batched queries discarded at dequeue because their connection had
+    /// Batched queries answered `Dropped` because their connection had
     /// already closed.
     pub dropped_disconnected: u64,
+    /// Batched queries whose [`sd_core::CancelToken`] was cancelled
+    /// before their batch slot ran (today always equal to
+    /// `dropped_disconnected` — disconnects are the only cancel source).
+    pub cancelled: u64,
     /// Worker threads alive in the process-wide pool.
     pub pool_threads: u64,
     /// Jobs queued (not yet running) in the process-wide pool.
@@ -895,6 +901,7 @@ impl StatsResponse {
                     s.batches_executed,
                     s.shed_overload,
                     s.dropped_disconnected,
+                    s.cancelled,
                     s.pool_threads,
                     s.pool_queued_jobs,
                 ] {
@@ -934,7 +941,7 @@ impl StatsResponse {
         need(&buf, 1)?;
         match buf.get_u8() {
             0 => {
-                need(&buf, 10 * 8)?;
+                need(&buf, 11 * 8)?;
                 let s = StatsResponse::Server(ServerStatsWire {
                     tenants: buf.get_u64_le(),
                     active_connections: buf.get_u64_le(),
@@ -944,6 +951,7 @@ impl StatsResponse {
                     batches_executed: buf.get_u64_le(),
                     shed_overload: buf.get_u64_le(),
                     dropped_disconnected: buf.get_u64_le(),
+                    cancelled: buf.get_u64_le(),
                     pool_threads: buf.get_u64_le(),
                     pool_queued_jobs: buf.get_u64_le(),
                 });
@@ -1137,6 +1145,7 @@ mod tests {
                 batches_executed: 41,
                 shed_overload: 3,
                 dropped_disconnected: 2,
+                cancelled: 2,
                 pool_threads: 8,
                 pool_queued_jobs: 0,
             })),

@@ -1,81 +1,139 @@
-//! The TCP front-end: a thread-per-connection listener speaking the
-//! `sd-wire` protocol of [`crate::proto`].
+//! The event-driven front-end: a fixed set of readiness-loop I/O
+//! threads speaking the `sd-wire` protocol of [`crate::proto`] over a
+//! pluggable [`Transport`].
 //!
 //! ## Threading
 //!
-//! One acceptor thread plus one thread per live connection. Connection
-//! threads do blocking I/O and therefore live **outside** the worker
-//! pool on purpose: a pool thread parked in `read` would starve the CPU
-//! work the pool exists for. All CPU work — engine builds, batch
-//! fan-out, coalescing continuations — still runs on the shared
-//! [`sd_core::WorkerPool`]; connection threads only park on sockets and
-//! reply channels. Threads are spawned through `std::thread::Builder`
-//! (the same primitive the pool's own workers use) so spawn failure is a
-//! typed error, not a panic.
+//! `io_threads` loops (`sd-io-0` … `sd-io-{n-1}`), each multiplexing its
+//! share of the client connections over one epoll instance — connection
+//! count no longer implies thread count. Thread 0 also owns the
+//! transport and accepts; accepted connections are assigned round-robin
+//! and never migrate. All CPU work — engine builds, batch fan-out,
+//! coalescing — runs on the shared [`sd_core::WorkerPool`]; query
+//! replies return to the owning I/O loop as completion commands through
+//! its wake pipe. I/O threads never block and never
+//! borrow the pool, so a one-core deployment cannot deadlock itself.
 //!
 //! ## Graceful shutdown
 //!
-//! `shutdown` (or a wire `Shutdown` frame) flips the drain flag and
-//! wakes the acceptor with a loopback connect. From that point no new
-//! connection is admitted, and every connection thread exits at its next
-//! *frame boundary* — a frame whose first byte has been read is always
-//! read to completion and answered, so an accepted request is never
-//! dropped. Draining is epoch-aware through the registry's
-//! [`Inflight`](crate::registry::Inflight) gauge: the report says which
-//! epochs (current or superseded) still had work at trigger time, and
+//! [`Server::shutdown`] (or a wire `Shutdown` frame) flips the drain
+//! flag and broadcasts a drain command to every loop. From that point no
+//! new connection is admitted, idle connections close immediately, and a
+//! connection mid-frame is answered first — a frame whose first byte has
+//! been read is always read to completion and answered, so an accepted
+//! request is never dropped. Draining is epoch-aware through the
+//! registry's [`Inflight`](crate::registry::Inflight) gauge, and
 //! connections are only force-closed after the grace period expires.
+//!
+//! ## Disconnect cancellation
+//!
+//! A client that disconnects while its queries are queued or batched is
+//! observed by its loop's poller; the frame's
+//! [`CancelToken`](sd_core::CancelToken) is flipped and the queries are
+//! skipped at their batch-slot boundary — see [`crate::batch`].
 
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use parking_lot::Mutex;
-use sd_core::lock_order::SERVER_CONNS;
-use sd_core::SearchError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use polling::{Interest, Poller};
 
 use crate::admission::AdmissionLimits;
-use crate::batch::{BatchReply, LivenessProbe};
+use crate::io::{IoCmd, IoHandle, IoLoop, LISTENER_KEY};
 use crate::proto::{
-    server_scope, ErrorCode, ErrorResponse, Frame, QueryOutcome, QueryRequest, QueryResponse,
-    Request, Response, ServerStatsWire, StatsResponse, TenantStatsWire, UpdateResponse,
-    FRAME_HEADER_BYTES,
+    server_scope, Frame, Response, ServerStatsWire, StatsResponse, TenantStatsWire,
 };
 use crate::registry::TenantRegistry;
+use crate::transport::{TcpTransport, Transport};
 
-/// Everything tunable about a [`Server`].
+/// Everything tunable about a [`Server`], builder-style:
+///
+/// ```no_run
+/// # use sd_server::{Server, ServerConfig, TenantRegistry};
+/// # use std::sync::Arc;
+/// # let registry = Arc::new(TenantRegistry::new(Default::default()));
+/// let server = Server::start(
+///     ServerConfig::new()
+///         .addr("127.0.0.1:7071")
+///         .io_threads(4)
+///         .drain_grace(std::time::Duration::from_secs(10)),
+///     registry,
+/// )?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
+    addr: String,
+    io_threads: usize,
+    accept_backlog: i32,
+    admission: AdmissionLimits,
+    drain_grace: Duration,
+}
+
+impl ServerConfig {
+    /// The defaults: an ephemeral loopback port, 2 I/O threads, a
+    /// 128-deep accept backlog, default admission limits, and a 5 s
+    /// drain grace.
+    pub fn new() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            io_threads: 2,
+            accept_backlog: 128,
+            admission: AdmissionLimits::default(),
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+
     /// Bind address, e.g. `"127.0.0.1:7071"`; port 0 picks an ephemeral
     /// port (read it back with [`Server::local_addr`]).
-    pub addr: String,
+    pub fn addr(mut self, addr: impl Into<String>) -> ServerConfig {
+        self.addr = addr.into();
+        self
+    }
+
+    /// How many readiness-loop threads multiplex the connections
+    /// (clamped to at least 1). This is the server's *total* I/O thread
+    /// count, independent of connection count.
+    pub fn io_threads(mut self, io_threads: usize) -> ServerConfig {
+        self.io_threads = io_threads;
+        self
+    }
+
+    /// Pending-connection slots in the listener's accept backlog.
+    pub fn accept_backlog(mut self, accept_backlog: i32) -> ServerConfig {
+        self.accept_backlog = accept_backlog;
+        self
+    }
+
     /// Admission thresholds (connections, build-queue depth).
-    pub admission: AdmissionLimits,
+    pub fn admission(mut self, admission: AdmissionLimits) -> ServerConfig {
+        self.admission = admission;
+        self
+    }
+
     /// How long [`Server::shutdown`] waits for connections to finish
     /// before force-closing them.
-    pub drain_grace: Duration,
-    /// How often an idle connection thread re-checks the drain flag.
-    pub poll_interval: Duration,
+    pub fn drain_grace(mut self, drain_grace: Duration) -> ServerConfig {
+        self.drain_grace = drain_grace;
+        self
+    }
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            admission: AdmissionLimits::default(),
-            drain_grace: Duration::from_secs(5),
-            poll_interval: Duration::from_millis(25),
-        }
+        ServerConfig::new()
     }
 }
 
 /// What [`Server::shutdown`] observed while draining.
 #[derive(Clone, Debug)]
 pub struct DrainReport {
-    /// Connection threads joined cleanly (including force-closed ones).
+    /// Connections that were open when draining was triggered (all of
+    /// them are closed by the time the report exists).
     pub connections_joined: usize,
     /// Connections force-closed because the grace period expired.
     pub forced_closes: usize,
@@ -86,57 +144,93 @@ pub struct DrainReport {
     pub within_grace: bool,
 }
 
-struct ConnTable {
-    /// Live connection streams (clones), for force-close at grace expiry.
-    streams: Vec<(u64, TcpStream)>,
-    /// Join handles of every connection thread ever spawned.
-    handles: Vec<JoinHandle<()>>,
-}
-
-struct ServerShared {
-    registry: Arc<TenantRegistry>,
-    admission: AdmissionLimits,
-    poll_interval: Duration,
-    local_addr: SocketAddr,
-    draining: AtomicBool,
-    conns: Mutex<ConnTable>,
-    active_connections: AtomicU64,
-    accepted_connections: AtomicU64,
-    requests_served: AtomicU64,
-    shed_overload: AtomicU64,
+pub(crate) struct ServerShared {
+    pub(crate) registry: Arc<TenantRegistry>,
+    pub(crate) admission: AdmissionLimits,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) draining: AtomicBool,
+    /// One inbox per I/O loop, indexed by thread.
+    pub(crate) io: Vec<Arc<IoHandle>>,
+    pub(crate) active_connections: AtomicU64,
+    pub(crate) accepted_connections: AtomicU64,
+    pub(crate) requests_served: AtomicU64,
+    pub(crate) shed_overload: AtomicU64,
+    /// Signalled once when draining is first triggered; [`Server::join`]
+    /// parks on the paired receiver.
+    pub(crate) drain_tx: Sender<()>,
 }
 
 /// A running `sd-wire` server. Dropping it drains; prefer
 /// [`Server::shutdown`] to also read the [`DrainReport`].
 pub struct Server {
     shared: Arc<ServerShared>,
-    acceptor: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
     drain_grace: Duration,
+    drain_rx: Receiver<()>,
 }
 
 impl Server {
-    /// Binds `config.addr` and starts accepting frames for the tenants
-    /// of `registry`.
+    /// Binds a [`TcpTransport`] on `config.addr` and starts serving the
+    /// tenants of `registry`.
     pub fn start(config: ServerConfig, registry: Arc<TenantRegistry>) -> io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
+        let transport = TcpTransport::bind(&config.addr, config.accept_backlog)?;
+        Server::start_with_transport(Box::new(transport), config, registry)
+    }
+
+    /// As [`Server::start`], over any [`Transport`] — the seam a TLS or
+    /// Unix-socket front-end plugs into. `config.addr` and
+    /// `config.accept_backlog` are ignored (the transport already
+    /// bound).
+    pub fn start_with_transport(
+        transport: Box<dyn Transport>,
+        config: ServerConfig,
+        registry: Arc<TenantRegistry>,
+    ) -> io::Result<Server> {
+        let io_threads = config.io_threads.max(1);
+        let local_addr = transport.local_addr();
+        // Pollers and wakers are created *before* the loops spawn, so
+        // the shared handle table is complete before any thread runs.
+        let mut pollers = Vec::with_capacity(io_threads);
+        let mut handles = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let poller = Poller::new()?;
+            let handle = Arc::new(IoHandle::new(&poller)?);
+            pollers.push(poller);
+            handles.push(handle);
+        }
+        // The listener lives in loop 0's poller; register it before the
+        // loop starts so a connect racing startup is never missed.
+        pollers[0].add(transport.listener_fd(), LISTENER_KEY, Interest::READABLE)?;
+        let (drain_tx, drain_rx) = unbounded();
         let shared = Arc::new(ServerShared {
             registry,
             admission: config.admission,
-            poll_interval: config.poll_interval.max(Duration::from_millis(1)),
             local_addr,
             draining: AtomicBool::new(false),
-            conns: SERVER_CONNS.mutex(ConnTable { streams: Vec::new(), handles: Vec::new() }),
+            io: handles,
             active_connections: AtomicU64::new(0),
             accepted_connections: AtomicU64::new(0),
             requests_served: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
+            drain_tx,
         });
-        let acceptor_shared = Arc::clone(&shared);
-        let acceptor = std::thread::Builder::new()
-            .name("sd-accept".into())
-            .spawn(move || accept_loop(listener, acceptor_shared))?;
-        Ok(Server { shared, acceptor: Some(acceptor), drain_grace: config.drain_grace })
+        let mut threads = Vec::with_capacity(io_threads);
+        let mut transport = Some(transport);
+        for (index, poller) in pollers.into_iter().enumerate() {
+            let io_loop = IoLoop {
+                index,
+                poller,
+                handle: Arc::clone(&shared.io[index]),
+                shared: Arc::clone(&shared),
+                transport: if index == 0 { transport.take() } else { None },
+                conns: Default::default(),
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("sd-io-{index}"))
+                .spawn(move || io_loop.run())?;
+            threads.push(thread);
+        }
+        Ok(Server { shared, threads, drain_grace: config.drain_grace, drain_rx })
     }
 
     /// The address the server actually bound (resolves port 0).
@@ -160,15 +254,15 @@ impl Server {
         server_stats(&self.shared)
     }
 
-    /// Flips the drain flag and wakes the acceptor, without waiting.
-    /// Idempotent; [`Server::shutdown`] calls it first.
+    /// Flips the drain flag and notifies every I/O loop, without
+    /// waiting. Idempotent; [`Server::shutdown`] calls it first.
     pub fn trigger_drain(&self) {
         trigger_drain(&self.shared);
     }
 
     /// Graceful shutdown: stop accepting, let every in-flight request
     /// finish (up to the grace period), then force-close stragglers and
-    /// join every thread.
+    /// join every I/O thread.
     pub fn shutdown(mut self) -> DrainReport {
         self.drain()
     }
@@ -177,44 +271,49 @@ impl Server {
     /// `Shutdown` frame, or [`Server::trigger_drain`] from another
     /// thread — then drains and reports. This is `sd-serve`'s main loop.
     pub fn join(mut self) -> DrainReport {
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
-        }
+        let _ = self.drain_rx.recv();
         self.drain()
     }
 
     fn drain(&mut self) -> DrainReport {
+        if self.threads.is_empty() {
+            // Already drained (shutdown/join ran; Drop re-enters here).
+            return DrainReport {
+                connections_joined: 0,
+                forced_closes: 0,
+                inflight_at_trigger: Vec::new(),
+                within_grace: true,
+            };
+        }
         trigger_drain(&self.shared);
         let inflight_at_trigger = self.shared.registry.inflight().snapshot();
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
-        }
+        let connections_joined = self.shared.active_connections.load(Ordering::SeqCst) as usize;
         let deadline = Instant::now().checked_add(self.drain_grace);
-        loop {
-            let live = {
-                let table = self.shared.conns.lock(); // lock: server.conns
-                table.streams.len()
-            };
-            if live == 0 {
-                break;
-            }
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0 {
             match deadline {
                 Some(d) if Instant::now() < d => std::thread::sleep(Duration::from_millis(2)),
                 _ => break,
             }
         }
-        let (forced, handles) = {
-            let mut table = self.shared.conns.lock(); // lock: server.conns
-            let forced = table.streams.len();
-            for (_, stream) in table.streams.iter() {
-                let _ = stream.shutdown(Shutdown::Both);
+        let forced = self.shared.active_connections.load(Ordering::SeqCst) as usize;
+        if forced > 0 {
+            for handle in &self.shared.io {
+                handle.post(IoCmd::ForceCloseAll);
             }
-            table.streams.clear();
-            (forced, std::mem::take(&mut table.handles))
-        };
-        let connections_joined = handles.len();
-        for handle in handles {
-            let _ = handle.join();
+            // Force-closing is prompt (each loop just drops its table);
+            // bound the wait anyway so a wedged loop cannot hang drop.
+            let force_deadline = Instant::now() + Duration::from_secs(5);
+            while self.shared.active_connections.load(Ordering::SeqCst) > 0
+                && Instant::now() < force_deadline
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        for handle in &self.shared.io {
+            handle.post(IoCmd::Stop);
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
         }
         DrainReport {
             connections_joined,
@@ -228,344 +327,27 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         // Idempotent: a server consumed by `shutdown`/`join` has no
-        // acceptor handle and an empty connection table left to drain.
+        // threads left to join.
         let _ = self.drain();
     }
 }
 
-fn trigger_drain(shared: &ServerShared) {
+pub(crate) fn trigger_drain(shared: &ServerShared) {
     if shared.draining.swap(true, Ordering::SeqCst) {
-        return; // already draining; the acceptor is already waking/awake
+        return; // already draining; the loops already know
     }
-    // Wake the acceptor out of `accept` so it notices the flag. If the
-    // connect fails the listener is already gone — equally fine.
-    let _ = TcpStream::connect(shared.local_addr);
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
-    loop {
-        let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
-            Err(_) => {
-                if shared.draining.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if shared.draining.load(Ordering::SeqCst) {
-            return; // the wake connection (or a late client) — refuse and stop
-        }
-        shared.accepted_connections.fetch_add(1, Ordering::Relaxed);
-        let active = shared.active_connections.load(Ordering::SeqCst);
-        if let Err(info) = shared.admission.admit_connection(active as usize) {
-            // Shed with the typed frame so the client learns why, then
-            // close by dropping the stream.
-            shared.shed_overload.fetch_add(1, Ordering::Relaxed);
-            let frame = Response::Overloaded(info).to_frame(server_scope());
-            write_frame(&stream, &frame);
-            continue;
-        }
-        let conn_id = shared.accepted_connections.load(Ordering::Relaxed);
-        let Ok(clone) = stream.try_clone() else {
-            continue; // can't track it for force-close; refuse it instead
-        };
-        shared.active_connections.fetch_add(1, Ordering::SeqCst);
-        {
-            let mut table = shared.conns.lock(); // lock: server.conns
-            table.streams.push((conn_id, clone));
-        }
-        let conn_shared = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
-            .name(format!("sd-conn-{conn_id}"))
-            .spawn(move || connection_loop(stream, conn_id, conn_shared));
-        match spawned {
-            Ok(handle) => {
-                let mut table = shared.conns.lock(); // lock: server.conns
-                table.handles.push(handle);
-            }
-            Err(_) => retire_connection(&shared, conn_id),
-        }
+    for handle in &shared.io {
+        handle.post(IoCmd::Drain);
     }
+    let _ = shared.drain_tx.send(());
 }
 
-/// Removes a connection from the live table and the active gauge.
-fn retire_connection(shared: &ServerShared, conn_id: u64) {
-    let mut table = shared.conns.lock(); // lock: server.conns
-    if let Some(pos) = table.streams.iter().position(|(id, _)| *id == conn_id) {
-        table.streams.swap_remove(pos);
-        drop(table);
-        shared.active_connections.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-enum ReadOutcome {
-    Full,
-    /// Peer closed, I/O failed, or the drain flag fired between frames —
-    /// either way the connection is done.
-    Closed,
-}
-
-/// Reads exactly `buf.len()` bytes. With `at_frame_boundary`, a drain
-/// flag seen while **zero** bytes have arrived ends the connection; once
-/// the first byte of a frame is in, the read always completes — that is
-/// the accepted-requests-never-dropped guarantee. Uses the stream's read
-/// timeout as the drain poll interval.
-fn read_full(
-    stream: &mut TcpStream,
-    shared: &ServerShared,
-    buf: &mut [u8],
-    at_frame_boundary: bool,
-) -> ReadOutcome {
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        if at_frame_boundary && filled == 0 && shared.draining.load(Ordering::SeqCst) {
-            return ReadOutcome::Closed;
-        }
-        // UFCS keeps this visibly an I/O read, not a lock acquisition.
-        match io::Read::read(&mut *stream, &mut buf[filled..]) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) =>
-            {
-                continue;
-            }
-            Err(_) => return ReadOutcome::Closed,
-        }
-    }
-    ReadOutcome::Full
-}
-
-fn write_frame(mut stream: &TcpStream, frame: &Frame) -> bool {
-    io::Write::write_all(&mut stream, frame.encode().as_ref()).is_ok()
-}
-
-/// Builds a dequeue-time liveness probe for a connection's batched
-/// queries: a nonblocking `peek` on a dup of the socket. `Ok(0)` is an
-/// orderly shutdown from the peer; buffered bytes or `WouldBlock` mean
-/// the peer is still there. The toggle is safe because the probe only
-/// runs while this connection's own thread is parked inside the batcher
-/// — it cannot be mid-`read` on the same socket.
-fn liveness_probe(stream: &TcpStream) -> Option<LivenessProbe> {
-    let probe = stream.try_clone().ok()?;
-    Some(Arc::new(move || {
-        if probe.set_nonblocking(true).is_err() {
-            return false;
-        }
-        let alive = match probe.peek(&mut [0u8; 1]) {
-            Ok(0) => false,
-            Ok(_) => true,
-            Err(e) => e.kind() == io::ErrorKind::WouldBlock,
-        };
-        let _ = probe.set_nonblocking(false);
-        alive
-    }))
-}
-
-fn connection_loop(mut stream: TcpStream, conn_id: u64, shared: Arc<ServerShared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.poll_interval));
-    let alive = liveness_probe(&stream);
-    loop {
-        let mut header_bytes = [0u8; FRAME_HEADER_BYTES];
-        if matches!(read_full(&mut stream, &shared, &mut header_bytes, true), ReadOutcome::Closed) {
-            break;
-        }
-        let header = match Frame::decode_header(&header_bytes) {
-            Ok(header) => header,
-            Err(err) => {
-                // A malformed header desynchronizes the stream: answer
-                // with the typed error, then close.
-                let resp = Response::Error(ErrorResponse {
-                    code: ErrorCode::BadRequest,
-                    message: err.to_string(),
-                });
-                write_frame(&stream, &resp.to_frame(server_scope()));
-                break;
-            }
-        };
-        // The cap was validated in decode_header, so this allocation is
-        // bounded by MAX_FRAME_PAYLOAD.
-        let mut payload = vec![0u8; header.payload_len as usize];
-        if matches!(read_full(&mut stream, &shared, &mut payload, false), ReadOutcome::Closed) {
-            break;
-        }
-        let frame = Frame::new(header.verb, header.fingerprint, Bytes::from(payload));
-        let (response, close_after) = dispatch(&shared, &frame, alive.as_ref());
-        shared.requests_served.fetch_add(1, Ordering::Relaxed);
-        if !write_frame(&stream, &response.to_frame(header.fingerprint)) {
-            break;
-        }
-        if close_after {
-            break;
-        }
-    }
-    retire_connection(&shared, conn_id);
-}
-
-/// Handles one fully received frame. Returns the response and whether
-/// the connection must close afterwards.
-fn dispatch(
-    shared: &ServerShared,
-    frame: &Frame,
-    alive: Option<&LivenessProbe>,
-) -> (Response, bool) {
-    let request = match Request::from_frame(frame) {
-        Ok(request) => request,
-        Err(err) => {
-            // The payload was length-framed, so the stream is still in
-            // sync: report and keep the connection.
-            let resp = Response::Error(ErrorResponse {
-                code: ErrorCode::BadRequest,
-                message: err.to_string(),
-            });
-            return (resp, false);
-        }
-    };
-    match request {
-        Request::Query(query) => (handle_query(shared, frame, query, alive), false),
-        Request::Update(update) => (handle_update(shared, frame, update.updates), false),
-        Request::Stats => (handle_stats(shared, frame), false),
-        Request::Shutdown => {
-            trigger_drain(shared);
-            (Response::Shutdown, true)
-        }
-    }
-}
-
-fn unknown_tenant(frame: &Frame) -> Response {
-    let fp = frame.fingerprint;
-    Response::Error(ErrorResponse {
-        code: ErrorCode::UnknownTenant,
-        message: format!(
-            "no tenant registered under fingerprint (n={}, m={}, checksum={:#018x})",
-            fp.n, fp.m, fp.edge_checksum
-        ),
-    })
-}
-
-fn error_code_of(err: &SearchError) -> ErrorCode {
-    match err {
-        SearchError::Internal { .. } => ErrorCode::Internal,
-        _ => ErrorCode::BadRequest,
-    }
-}
-
-fn handle_query(
-    shared: &ServerShared,
-    frame: &Frame,
-    query: QueryRequest,
-    alive: Option<&LivenessProbe>,
-) -> Response {
-    let Some(tenant) = shared.registry.lookup(&frame.fingerprint) else {
-        return unknown_tenant(frame);
-    };
-    if let Err(info) = shared.admission.admit_query(tenant.service.pool().queued_jobs()) {
-        shared.shed_overload.fetch_add(1, Ordering::Relaxed);
-        return Response::Overloaded(info);
-    }
-    let deadline = if query.deadline_ms == 0 {
-        None
-    } else {
-        Instant::now().checked_add(Duration::from_millis(u64::from(query.deadline_ms)))
-    };
-    // Resolve specs per query: an invalid one fails alone (its outcome
-    // slot), never the frame.
-    let mut outcomes: Vec<Option<QueryOutcome>> = Vec::with_capacity(query.queries.len());
-    let mut specs = Vec::new();
-    let mut spec_slots = Vec::new();
-    for (i, wire_query) in query.queries.iter().enumerate() {
-        match wire_query.to_spec() {
-            Ok(spec) => {
-                outcomes.push(None);
-                specs.push(spec);
-                spec_slots.push(i);
-            }
-            Err(err) => outcomes.push(Some(QueryOutcome::Failed {
-                code: error_code_of(&err),
-                message: err.to_string(),
-            })),
-        }
-    }
-    let replies =
-        match tenant.batcher.submit_many_live(&tenant.service, specs, deadline, alive.cloned()) {
-            Ok(replies) => replies,
-            Err(full) => {
-                shared.shed_overload.fetch_add(1, Ordering::Relaxed);
-                return Response::Overloaded(shared.admission.queue_full(full));
-            }
-        };
-    let mut epoch = None;
-    for (slot, reply) in spec_slots.into_iter().zip(replies) {
-        outcomes[slot] = Some(match reply {
-            BatchReply::Answered { epoch: e, result } => {
-                epoch = epoch.or(Some(e));
-                QueryOutcome::Answered(result.entries)
-            }
-            BatchReply::Failed(err) => {
-                QueryOutcome::Failed { code: error_code_of(&err), message: err.to_string() }
-            }
-            BatchReply::Expired => QueryOutcome::Expired,
-            // The peer is gone; nobody will read this response. Any
-            // outcome works — Failed keeps the slot accounted for.
-            BatchReply::Dropped => QueryOutcome::Failed {
-                code: ErrorCode::Internal,
-                message: "connection closed before the query ran".into(),
-            },
-        });
-    }
-    let outcomes = outcomes
-        .into_iter()
-        .map(|o| {
-            o.unwrap_or(QueryOutcome::Failed {
-                code: ErrorCode::Internal,
-                message: "query slot left unfilled".into(),
-            })
-        })
-        .collect();
-    Response::Query(QueryResponse {
-        epoch: epoch.unwrap_or_else(|| tenant.service.epoch()),
-        outcomes,
-    })
-}
-
-fn handle_update(
-    shared: &ServerShared,
-    frame: &Frame,
-    updates: Vec<sd_graph::GraphUpdate>,
-) -> Response {
-    let Some(tenant) = shared.registry.lookup(&frame.fingerprint) else {
-        return unknown_tenant(frame);
-    };
-    let _guard = shared.registry.inflight().begin(tenant.service.epoch());
-    match tenant.service.apply_updates(&updates) {
-        Ok(stats) => Response::Update(UpdateResponse {
-            epoch: stats.epoch,
-            applied: stats.applied as u64,
-            rejected: stats.rejected as u64,
-            tsd_repairs: stats.tsd_repairs as u64,
-            tsd_carried: stats.tsd_carried,
-            n: stats.n as u64,
-            m: stats.m as u64,
-        }),
-        Err(err) => {
-            Response::Error(ErrorResponse { code: error_code_of(&err), message: err.to_string() })
-        }
-    }
-}
-
-fn handle_stats(shared: &ServerShared, frame: &Frame) -> Response {
+pub(crate) fn handle_stats(shared: &ServerShared, frame: &Frame) -> Response {
     if frame.fingerprint == server_scope() {
         return Response::Stats(StatsResponse::Server(server_stats(shared)));
     }
     let Some(tenant) = shared.registry.lookup(&frame.fingerprint) else {
-        return unknown_tenant(frame);
+        return crate::io::unknown_tenant(frame);
     };
     let service = &tenant.service;
     let stats = service.stats();
@@ -587,11 +369,12 @@ fn handle_stats(shared: &ServerShared, frame: &Frame) -> Response {
     }))
 }
 
-fn server_stats(shared: &ServerShared) -> ServerStatsWire {
+pub(crate) fn server_stats(shared: &ServerShared) -> ServerStatsWire {
     let mut queries_batched = 0u64;
     let mut batches_executed = 0u64;
     let mut shed_queue_full = 0u64;
     let mut dropped_disconnected = 0u64;
+    let mut cancelled = 0u64;
     // Walking tenants under the routing-table read lock while each
     // batcher snapshot runs is the documented
     // `server.tenants → epoch.ptr`-compatible nesting (batcher stats are
@@ -602,6 +385,7 @@ fn server_stats(shared: &ServerShared) -> ServerStatsWire {
         batches_executed += stats.batches_executed;
         shed_queue_full += stats.shed_queue_full;
         dropped_disconnected += stats.dropped_disconnected;
+        cancelled += stats.cancelled;
     });
     let pool = sd_core::pool::global();
     ServerStatsWire {
@@ -613,6 +397,7 @@ fn server_stats(shared: &ServerShared) -> ServerStatsWire {
         batches_executed,
         shed_overload: shared.shed_overload.load(Ordering::Relaxed) + shed_queue_full,
         dropped_disconnected,
+        cancelled,
         pool_threads: pool.spawned_threads() as u64,
         pool_queued_jobs: pool.queued_jobs() as u64,
     }

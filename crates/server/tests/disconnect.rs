@@ -1,0 +1,73 @@
+//! Disconnect-cancellation end-to-end: a client that hangs up while its
+//! query is still queued must cancel that query, not burn a batch slot
+//! computing an answer nobody will read. The poller observes the hangup,
+//! flips the connection's [`sd_server::CancelToken`], and the batch
+//! leader skips the slot — both `dropped_disconnected` (the cause) and
+//! `cancelled` (the mechanism) move.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sd_core::{paper_figure1_graph, SearchService, WorkerPool};
+use sd_server::{
+    BatchLimits, Client, QueryRequest, Request, Server, ServerConfig, TenantRegistry, WireQuery,
+};
+
+/// Spins until `probe` returns true or ~5 s elapse.
+fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn mid_query_disconnect_cancels_the_batched_query() {
+    // A 1-thread private pool the test parks: the batch leader is a pool
+    // job, so the submitted query is pinned in the accumulator — queued,
+    // not yet running — for as long as the worker stays parked.
+    let (graph, _, _) = paper_figure1_graph();
+    let service = Arc::new(SearchService::with_pool(graph, Arc::new(WorkerPool::new(1))));
+    let registry = Arc::new(TenantRegistry::new(BatchLimits {
+        window: Duration::ZERO,
+        ..BatchLimits::default()
+    }));
+    let key = registry.register(service.clone()).expect("register");
+    let tenant = registry.lookup(&key).expect("registered above");
+    let server = Server::start(ServerConfig::new().addr("127.0.0.1:0"), registry).expect("bind");
+
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    service.pool().submit(move || {
+        let _ = release_rx.recv();
+    });
+
+    // Send a query frame raw — and never read the response.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let frame =
+        Request::Query(QueryRequest { deadline_ms: 0, queries: vec![WireQuery::new(3, 2)] })
+            .to_frame(key);
+    client.send_bytes(frame.encode().as_ref()).expect("send query");
+    wait_for("the query to reach the accumulator", || tenant.batcher.pending() == 1);
+
+    // Hang up while the query is still queued behind the parked worker.
+    drop(client);
+    wait_for("the poller to observe the hangup", || server.stats().active_connections == 0);
+
+    // Release the worker: the leader drains the batch and finds the
+    // slot's token already cancelled.
+    release_tx.send(()).expect("release");
+    wait_for("the cancelled slot to be dropped", || {
+        let stats = tenant.batcher.stats();
+        stats.dropped_disconnected == 1 && stats.cancelled == 1
+    });
+    assert_eq!(service.queries_served(), 0, "the abandoned query never reached an engine");
+
+    // The server-scope wire stats surface both counters too.
+    let stats = server.stats();
+    assert_eq!(stats.dropped_disconnected, 1);
+    assert_eq!(stats.cancelled, 1);
+
+    let report = server.shutdown();
+    assert!(report.within_grace, "{report:?}");
+}

@@ -39,12 +39,10 @@ fn start(
         .into_iter()
         .map(|svc| registry.register(svc).expect("unique fingerprint"))
         .collect();
-    let config = ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        admission,
-        drain_grace: Duration::from_secs(20),
-        poll_interval: Duration::from_millis(5),
-    };
+    let config = ServerConfig::new()
+        .addr("127.0.0.1:0")
+        .admission(admission)
+        .drain_grace(Duration::from_secs(20));
     (Server::start(config, registry).expect("bind"), keys)
 }
 
@@ -289,28 +287,43 @@ fn short_deadline_is_answered_by_an_early_flush_not_expired() {
 
 #[test]
 fn expired_deadline_yields_partial_batch_not_a_drop() {
+    // The batch leader is a pool job, so a 1-thread private pool the test
+    // parks pins *every* pending query in the accumulator until release —
+    // a deterministic way to hold a short-deadline frame past its
+    // deadline. (The old version of this test leaned on the leader's
+    // uncancellable sleep; arrivals now wake the leader, so parking the
+    // pool is the only honest way to force an expiry.)
+    let (graph, _, _) = paper_figure1_graph();
+    let service = Arc::new(SearchService::with_pool(graph, Arc::new(WorkerPool::new(1))));
     let (server, keys) = start(
-        BatchLimits { window: Duration::from_millis(150), ..BatchLimits::default() },
+        BatchLimits { window: Duration::ZERO, ..BatchLimits::default() },
         AdmissionLimits::default(),
-        vec![figure1_service()],
+        vec![service.clone()],
     );
     let addr = server.local_addr();
     let key = keys[0];
-    // Frame A: no deadline — its leader commits to the full 150 ms
-    // window before frame B exists.
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    service.pool().submit(move || {
+        let _ = release_rx.recv();
+    });
+
+    // Frame A: no deadline. Its flush is queued behind the parked worker.
     let lively = std::thread::spawn(move || {
         let mut client = Client::connect(addr).expect("connect");
         client.query(key, 0, vec![WireQuery::new(3, 2)]).expect("admitted")
     });
-    std::thread::sleep(Duration::from_millis(40));
-    // Frame B: 1 ms deadline, coalescing behind A mid-sleep. The
-    // leader's wait was capped before B arrived (the documented
-    // mid-sleep-arrival limitation), so B is past its deadline at flush
-    // — expired per-entry, never dropping its batch mates.
-    let mut client = Client::connect(addr).expect("connect");
-    let resp =
-        client.query(key, 1, vec![WireQuery::new(3, 2), WireQuery::new(3, 3)]).expect("admitted");
+    std::thread::sleep(Duration::from_millis(30));
+    // Frame B: 1 ms deadline, coalescing behind A while the leader is
+    // still parked. By the time the worker is released the deadline is
+    // long past — expired per-entry, never dropping its batch mates.
+    let late = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.query(key, 1, vec![WireQuery::new(3, 2), WireQuery::new(3, 3)]).expect("admitted")
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    release_tx.send(()).expect("release");
 
+    let resp = late.join().expect("late frame thread");
     assert_eq!(resp.outcomes.len(), 2, "expired queries still get outcome slots");
     assert!(
         resp.outcomes.iter().all(|o| matches!(o, QueryOutcome::Expired)),

@@ -18,6 +18,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 struct State<T> {
     queue: VecDeque<T>,
@@ -65,6 +66,26 @@ pub enum TryRecvError {
     Empty,
     /// The channel is empty and every sender has been dropped.
     Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout (but senders remain).
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
 }
 
 /// Creates an unbounded channel; messages arrive in send order.
@@ -155,6 +176,30 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             state = self.shared.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks until a message is available or `timeout` elapses, whichever
+    /// comes first. Like [`recv`](Receiver::recv), buffered messages keep
+    /// draining after the last sender drops.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) =
+                deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _timed_out) =
+                self.shared.ready.wait_timeout(state, remaining).unwrap_or_else(|e| e.into_inner());
+            state = guard;
         }
     }
 

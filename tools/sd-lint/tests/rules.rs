@@ -62,10 +62,14 @@ fn std_sync_fires_outside_shims_and_stays_quiet_inside() {
         "use std::sync::{Arc, Mutex};\nfn go() { std::thread::spawn(|| {}); }\n",
     )
     .write("shims/parking_lot/src/lib.rs", "use std::sync::Mutex;\nuse std::sync::Condvar;\n")
+    // `shims/polling` is first-party syscall code, not a std::sync
+    // wrapper, so the rule covers it like any library crate.
+    .write("shims/polling/src/bad.rs", "use std::sync::Mutex;\n")
     .write("crates/core/src/pool.rs", "use std::sync::Condvar;\n");
     let report = fx.run();
-    assert_eq!(rules_fired(&report), vec!["std-sync", "std-sync"]);
+    assert_eq!(rules_fired(&report), vec!["std-sync", "std-sync", "std-sync"]);
     assert_eq!(report.violations[0].file, "crates/core/src/bad.rs");
+    assert!(report.violations.iter().any(|v| v.file == "shims/polling/src/bad.rs"));
 }
 
 #[test]
@@ -140,6 +144,13 @@ fn f(m: &parking_lot::Mutex<u8>) {
     let unknown = m.lock(); // lock: made.up
     let good = m.lock(); // lock: epoch.ptr
     drop((untagged, unknown, good));
+}
+fn g(stream: &mut std::net::TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    // Socket `.read(buf)` / `.write(buf)` take arguments; only argless
+    // calls are lock acquisitions.
+    use std::io::{Read, Write};
+    let n = stream.read(buf)?;
+    stream.write(&buf[..n])
 }
 "#,
     );
